@@ -1,0 +1,108 @@
+"""Extension experiments beyond the paper's evaluation.
+
+Three studies the paper's discussion motivates but does not quantify:
+
+* **endurance** — CIM turns intermediate results into NVM writes; how does
+  the mapping affect cell wear and projected array lifetime?
+* **inter-array parallelism** — the paper's controller issues serially; how
+  much makespan does a banked controller recover from Sherlock's schedules?
+* **PCM** — the third technology of Sec. 1, absent from Table 2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_dag, bench_target, save_result
+from repro.core.compiler import SherlockCompiler
+from repro.core.config import CompilerConfig
+from repro.core.report import format_table
+from repro.devices import get_technology
+from repro.sim import parallel_latency_cycles, wear_report
+from repro.workloads import bfs
+
+
+@pytest.fixture(scope="module")
+def programs():
+    dag = bench_dag("bitweaving")
+    target = bench_target(512, "reram")
+    return {
+        mapper: SherlockCompiler(target, CompilerConfig(mapper=mapper)).compile(dag)
+        for mapper in ("naive", "sherlock")
+    }
+
+
+def test_endurance_study(programs):
+    rows = []
+    lifetimes = {}
+    for mapper, program in programs.items():
+        report = wear_report(program.instructions)
+        lifetime = report.lifetime_executions(program.target.technology)
+        lifetimes[mapper] = lifetime
+        rows.append([mapper, report.total_cell_writes, report.cells_written,
+                     report.max_writes_per_cell,
+                     round(report.mean_writes_per_cell, 3),
+                     f"{lifetime:.2e}"])
+    save_result("ext_endurance.txt", format_table(
+        ["mapper", "cell writes", "cells", "max/cell", "mean/cell",
+         "lifetime (runs)"], rows))
+    # fewer writes -> at least no worse projected lifetime
+    naive = wear_report(programs["naive"].instructions)
+    opt = wear_report(programs["sherlock"].instructions)
+    assert opt.total_cell_writes <= naive.total_cell_writes
+
+
+def test_parallel_controller_study(programs):
+    rows = []
+    for mapper, program in programs.items():
+        serial = program.metrics.latency_cycles
+        parallel = parallel_latency_cycles(program.instructions, program.target)
+        rows.append([mapper, serial, parallel,
+                     round(serial / parallel, 2) if parallel else "-"])
+        assert parallel <= serial
+    save_result("ext_parallel_arrays.txt", format_table(
+        ["mapper", "serial cycles", "banked cycles", "overlap"], rows))
+
+
+def test_pcm_technology_comparison():
+    dag = bench_dag("bitweaving")
+    rows = []
+    latencies = {}
+    for tech_name in ("stt-mram", "reram", "pcm"):
+        target = bench_target(512, tech_name)
+        program = SherlockCompiler(target, CompilerConfig()).compile(dag)
+        m = program.metrics
+        latencies[tech_name] = m.latency_us
+        rows.append([tech_name, round(m.latency_us, 2),
+                     round(m.energy_uj, 2), f"{m.p_app:.2e}",
+                     f"{get_technology(tech_name).hrs_lrs_ratio:.1f}"])
+    save_result("ext_pcm.txt", format_table(
+        ["tech", "latency_us", "energy_uJ", "P_app", "HRS/LRS"], rows))
+    # PCM has the slowest writes; STT-MRAM the fastest
+    assert latencies["pcm"] > latencies["reram"] > latencies["stt-mram"]
+
+
+def test_bfs_workload_study():
+    """The graph workload has a wide, shallow DAG — a different regime."""
+    dag = bfs.bfs_step_dag(16)
+    target = bench_target(512, "reram")
+    rows = []
+    metrics = {}
+    for mapper in ("naive", "sherlock"):
+        program = SherlockCompiler(target, CompilerConfig(mapper=mapper)).compile(dag)
+        metrics[mapper] = program.metrics
+        rows.append([mapper, dag.num_ops, program.metrics.instruction_count,
+                     round(program.metrics.latency_us, 2),
+                     round(program.metrics.energy_uj, 3)])
+    save_result("ext_bfs.txt", format_table(
+        ["mapper", "dag ops", "instructions", "latency_us", "energy_uJ"], rows))
+    assert metrics["sherlock"].latency_us <= metrics["naive"].latency_us
+
+
+def test_benchmark_parallel_timing(benchmark, programs):
+    program = programs["sherlock"]
+
+    def run():
+        return parallel_latency_cycles(program.instructions, program.target)
+
+    assert benchmark(run) > 0

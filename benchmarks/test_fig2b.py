@@ -1,0 +1,77 @@
+"""Fig. 2b: decision-failure exacerbation with multi-row activation.
+
+Regenerates the composite-conductance distributions for 2 vs 4 activated
+rows on STT-MRAM (the two panels of Fig. 2b) and tabulates ``P_DF`` per
+operation and activation count for both technologies — the quantitative
+content behind the figure's overlap regions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_result
+from repro.core.report import format_table
+from repro.devices import (
+    RERAM,
+    STT_MRAM,
+    composite_state,
+    decision_failure_probability,
+    overlap_curve,
+)
+from repro.dfg import OpType
+
+OPS = (OpType.AND, OpType.OR, OpType.XOR)
+KS = (2, 3, 4, 6, 8)
+
+
+def test_generate_fig2b_distributions():
+    rows = []
+    for k in (2, 4):
+        curves = overlap_curve(STT_MRAM, k, points=8)
+        xs = curves["conductance"]
+        for j in range(k + 1):
+            peak = max(curves[f"state_{j}"])
+            rows.append([k, j, f"{xs[0]:.3e}..{xs[-1]:.3e}", f"{peak:.3e}"])
+    text = format_table(["activated rows", "HRS cells j", "G range (S)",
+                         "pdf peak"], rows)
+
+    pdf_rows = []
+    for tech in (STT_MRAM, RERAM):
+        for op in OPS:
+            pdf_rows.append([tech.name, op.value] + [
+                f"{decision_failure_probability(tech, op, k):.3e}" for k in KS])
+    text += "\n\nP_DF per op and activation count:\n"
+    text += format_table(["tech", "op"] + [f"k={k}" for k in KS], pdf_rows)
+    save_result("fig2b.txt", text)
+
+
+def test_overlap_grows_with_activated_rows():
+    """The figure's message: 4-row sensing overlaps far more than 2-row."""
+    for tech in (STT_MRAM, RERAM):
+        for op in OPS:
+            p2 = decision_failure_probability(tech, op, 2)
+            p4 = decision_failure_probability(tech, op, 4)
+            assert p4 > p2
+
+
+def test_stt_mram_margins_much_worse_than_reram():
+    for op in OPS:
+        assert (decision_failure_probability(STT_MRAM, op, 2)
+                > 10 * decision_failure_probability(RERAM, op, 2))
+
+
+def test_sigma_grows_sqrt_like():
+    s1 = composite_state(STT_MRAM, 1, 0)
+    s4 = composite_state(STT_MRAM, 4, 0)
+    ratio = s4.sigma / s1.sigma
+    assert 1.5 < ratio < 2.5  # sqrt(4) = 2 modulo the reference noise floor
+
+
+def test_benchmark_pdf_evaluation(benchmark):
+    def evaluate_all():
+        return [decision_failure_probability(tech, op, k)
+                for tech in (STT_MRAM, RERAM) for op in OPS for k in KS]
+
+    values = benchmark(evaluate_all)
+    assert all(0 <= v <= 1 for v in values)

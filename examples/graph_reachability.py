@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Batched graph reachability: BFS levels computed in NVM.
+
+Extension beyond the paper's three workloads (its introduction motivates
+graph processing): one compiled frontier-expansion program traverses many
+independent graphs at once — one graph per lane.  The host iterates the
+step until every frontier drains and checks the levels against a reference
+BFS.
+
+Run:  python examples/graph_reachability.py
+"""
+
+import random
+
+from repro.core import CompilerConfig, SherlockCompiler, TargetSpec
+from repro.devices import RERAM
+from repro.workloads import bfs
+
+NUM_VERTICES = 12
+LANES = 8  # independent graphs traversed simultaneously
+
+
+def main():
+    rng = random.Random(11)
+    dag = bfs.bfs_step_dag(NUM_VERTICES)
+    target = TargetSpec.square(256, RERAM)
+    program = SherlockCompiler(target, CompilerConfig()).compile(dag)
+    m = program.metrics
+    print(f"BFS step program: {dag.num_ops} ops -> "
+          f"{m.instruction_count} instructions, {m.latency_us:.2f} us, "
+          f"{m.energy_uj:.3f} uJ per level ({target.data_width} graphs "
+          "in parallel on the modeled hardware)")
+
+    graphs = [[[1 if rng.random() < 0.18 and i != j else 0
+                for j in range(NUM_VERTICES)] for i in range(NUM_VERTICES)]
+              for _ in range(LANES)]
+    sources = [rng.randrange(NUM_VERTICES) for _ in range(LANES)]
+    frontiers = [{s} for s in sources]
+    visited = [{s} for s in sources]
+    levels = [{s: 0} for s in sources]
+
+    step = 0
+    while any(frontiers) and step < NUM_VERTICES:
+        step += 1
+        outputs = program.execute(
+            bfs.step_inputs(graphs, frontiers, visited), LANES)
+        for lane in range(LANES):
+            frontiers[lane], visited[lane] = bfs.decode_step(
+                outputs, lane, NUM_VERTICES)
+            for vertex in frontiers[lane]:
+                levels[lane][vertex] = step
+    print(f"traversal converged after {step} in-memory steps")
+
+    for lane in range(LANES):
+        expected = bfs.bfs_reference(graphs[lane], sources[lane])
+        assert levels[lane] == expected, f"lane {lane} diverges"
+        reachable = len(expected)
+        print(f"  graph {lane}: source {sources[lane]:2d}, "
+              f"{reachable:2d}/{NUM_VERTICES} vertices reachable, "
+              f"eccentricity {max(expected.values())}")
+    print("all lanes match the reference BFS")
+
+
+if __name__ == "__main__":
+    main()

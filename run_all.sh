@@ -1,0 +1,26 @@
+#!/bin/sh
+# Reproduce everything: tests, all paper experiments, benchmark timings.
+#
+#   ./run_all.sh          full run (the AES Table 2 matrix takes ~10-15 min)
+#   QUICK=1 ./run_all.sh  reduced-round AES for a fast pass
+set -e
+
+if [ -n "$QUICK" ]; then
+    export SHERLOCK_BENCH_AES_ROUNDS=2
+fi
+
+echo "== unit / integration / property tests =="
+python -m pytest tests/ 2>&1 | tee test_output.txt
+
+echo "== paper experiments (tables land in benchmarks/results/) =="
+python -m pytest benchmarks/ 2>&1 | tee benchmarks/results/full_run.log
+
+echo "== benchmark timings =="
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+echo "== examples =="
+for example in examples/*.py; do
+    echo "-- $example"
+    python "$example" > /dev/null
+done
+echo "all green"

@@ -1,0 +1,8 @@
+"""Sherlock: scheduling efficient and reliable bulk bitwise operations in NVMs.
+
+Python reproduction of Farzaneh et al., DAC 2024.  The public API lives in
+:mod:`repro.core`; the substrates (DFG IR, device models, CIM architecture,
+mappers, simulator, workloads) are importable subpackages.
+"""
+
+__version__ = "1.0.0"

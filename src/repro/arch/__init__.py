@@ -1,0 +1,29 @@
+"""Architecture substrate: target specs, the CIM ISA, and memory layouts."""
+
+from repro.arch.isa import (
+    Instruction,
+    NotInst,
+    ReadInst,
+    ShiftInst,
+    TransferInst,
+    WriteInst,
+    program_text,
+)
+from repro.arch.layout import CellAddr, Layout
+from repro.arch.parse import parse_instruction, parse_program
+from repro.arch.target import TargetSpec
+
+__all__ = [
+    "CellAddr",
+    "Instruction",
+    "Layout",
+    "NotInst",
+    "ReadInst",
+    "ShiftInst",
+    "TargetSpec",
+    "TransferInst",
+    "WriteInst",
+    "parse_instruction",
+    "parse_program",
+    "program_text",
+]

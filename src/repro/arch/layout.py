@@ -1,0 +1,195 @@
+"""Memory layout: where each DAG operand lives in the CIM arrays.
+
+The layout is the first half of both mapping algorithms' output ("indicating
+how operands in the application are mapped to the memory array").  Columns
+are addressed *globally*: global column ``g`` maps to array ``g // cols``,
+local column ``g % cols``.  An operand may have several physical copies —
+the data duplication the naive mapping incurs when an op's operands have to
+be gathered into a common column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.target import TargetSpec
+from repro.errors import MappingError
+
+
+@dataclass(frozen=True)
+class CellAddr:
+    """One cell of one array (all lanes of it)."""
+
+    array: int
+    row: int
+    col: int
+
+
+class Layout:
+    """Tracks operand placements and per-column occupancy."""
+
+    def __init__(self, target: TargetSpec) -> None:
+        self.target = target
+        self._fill: dict[int, int] = {}  # global col -> rows used bottom-up
+        self._top_fill: dict[int, int] = {}  # global col -> rows used top-down
+        self._copies: dict[int, list[CellAddr]] = {}  # operand id -> cells
+        self._duplicates = 0
+
+    # ------------------------------------------------------------------
+    # addressing
+    # ------------------------------------------------------------------
+    @property
+    def num_global_cols(self) -> int:
+        return self.target.num_arrays * self.target.cols
+
+    def split(self, gcol: int) -> tuple[int, int]:
+        """Global column -> (array, local column)."""
+        if not 0 <= gcol < self.num_global_cols:
+            raise MappingError(
+                f"global column {gcol} out of range "
+                f"(target has {self.num_global_cols})")
+        return divmod(gcol, self.target.cols)
+
+    def global_col(self, array: int, col: int) -> int:
+        """(array, local column) -> global column index."""
+        return array * self.target.cols + col
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def column_fill(self, gcol: int) -> int:
+        """Rows already used bottom-up in the given global column."""
+        self.split(gcol)
+        return self._fill.get(gcol, 0)
+
+    def column_top_fill(self, gcol: int) -> int:
+        """Rows already used top-down in the given global column."""
+        self.split(gcol)
+        return self._top_fill.get(gcol, 0)
+
+    def column_capacity(self, gcol: int) -> int:
+        """Highest row (exclusive) the bottom-up region may still reach."""
+        return self.target.rows - self.column_top_fill(gcol)
+
+    def column_free(self, gcol: int) -> int:
+        """Rows still unallocated between the two fill regions."""
+        return self.column_capacity(gcol) - self.column_fill(gcol)
+
+    def _record(self, operand_id: int, addr: CellAddr) -> CellAddr:
+        existing = self._copies.setdefault(operand_id, [])
+        if existing:
+            self._duplicates += 1
+        existing.append(addr)
+        return addr
+
+    def place(self, operand_id: int, gcol: int) -> CellAddr:
+        """Allocate the next bottom-up row of ``gcol`` for an operand copy."""
+        array, col = self.split(gcol)
+        row = self._fill.get(gcol, 0)
+        if row >= self.column_capacity(gcol):
+            raise MappingError(
+                f"column {gcol} (array {array}, col {col}) is full "
+                f"({self.target.rows} rows, "
+                f"{self.column_top_fill(gcol)} used top-down)")
+        self._fill[gcol] = row + 1
+        return self._record(operand_id, CellAddr(array, row, col))
+
+    def place_top(self, operand_id: int, gcol: int) -> CellAddr:
+        """Allocate the next top-down row of ``gcol``.
+
+        The scheduler parks resident inputs and gather copies here so they
+        never perturb the row alignment of the bottom-up result region.
+        """
+        array, col = self.split(gcol)
+        used = self._top_fill.get(gcol, 0)
+        row = self.target.rows - 1 - used
+        if row < self.column_fill(gcol):
+            raise MappingError(
+                f"column {gcol} (array {array}, col {col}) is full "
+                f"({self.target.rows} rows, {self.column_fill(gcol)} "
+                "used bottom-up)")
+        self._top_fill[gcol] = used + 1
+        return self._record(operand_id, CellAddr(array, row, col))
+
+    def place_at(self, operand_id: int, gcol: int, row: int) -> CellAddr:
+        """Place at a specific row at or beyond the bottom-up fill line.
+
+        Used by the row-aligned scheduler: skipped rows become unusable
+        padding, the price of keeping result rows aligned across columns so
+        that instructions can merge (wordlines are shared array-wide).
+        """
+        array, col = self.split(gcol)
+        fill = self._fill.get(gcol, 0)
+        if row < fill:
+            raise MappingError(
+                f"row {row} of column {gcol} is already below the fill "
+                f"line ({fill})")
+        if row >= self.column_capacity(gcol):
+            raise MappingError(
+                f"column {gcol} cannot reach row {row} "
+                f"(array height {self.target.rows}, "
+                f"{self.column_top_fill(gcol)} rows used top-down)")
+        self._fill[gcol] = row + 1
+        return self._record(operand_id, CellAddr(array, row, col))
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def is_placed(self, operand_id: int) -> bool:
+        """Whether the operand has at least one physical copy."""
+        return operand_id in self._copies
+
+    def copies(self, operand_id: int) -> list[CellAddr]:
+        """All physical copies of an operand (possibly none)."""
+        return list(self._copies.get(operand_id, []))
+
+    def primary(self, operand_id: int) -> CellAddr:
+        """The first (authoritative) copy; raises if unplaced."""
+        try:
+            return self._copies[operand_id][0]
+        except KeyError:
+            raise MappingError(f"operand {operand_id} is not placed") from None
+
+    def copy_in_column(self, operand_id: int, gcol: int) -> CellAddr | None:
+        """A copy of the operand living in the given global column, if any."""
+        array, col = self.split(gcol)
+        for addr in self._copies.get(operand_id, []):
+            if addr.array == array and addr.col == col:
+                return addr
+        return None
+
+    def placements(self) -> dict[int, list[CellAddr]]:
+        """All placements (operand id -> copies), for reporting."""
+        return {oid: list(addrs) for oid, addrs in self._copies.items()}
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def cells_used(self) -> int:
+        return sum(self._fill.values()) + sum(self._top_fill.values())
+
+    @property
+    def duplicates(self) -> int:
+        """Extra physical copies beyond one per operand."""
+        return self._duplicates
+
+    def _touched_cols(self) -> set[int]:
+        cols = {g for g, used in self._fill.items() if used}
+        cols |= {g for g, used in self._top_fill.items() if used}
+        return cols
+
+    @property
+    def columns_used(self) -> int:
+        return len(self._touched_cols())
+
+    @property
+    def arrays_used(self) -> int:
+        return len({gcol // self.target.cols for gcol in self._touched_cols()})
+
+    def utilization(self) -> float:
+        """Fraction of the touched arrays' cells holding data."""
+        touched = self.arrays_used
+        if touched == 0:
+            return 0.0
+        return self.cells_used / (touched * self.target.cells_per_array)

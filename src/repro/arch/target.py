@@ -1,0 +1,104 @@
+"""Target system specification (Sec. 2.1 and Table 1).
+
+A target is a set of identical CIM-capable NVM arrays of ``rows × cols``
+cells plus a row buffer per array with CMOS shift/NOT circuitry.  The
+``data_width`` is the lockstep lane count: following Table 1, an ``N × N``
+array configuration exposes a ``4N``-bit data path (e.g. 512 {2048}), so a
+bulk operand is a ``data_width``-wide bit vector and every instruction
+operates on all lanes simultaneously.
+
+``max_activated_rows`` is the multi-row-activation (MRA) limit: the largest
+number of rows scouting logic may sense at once, i.e. the largest op arity
+the mapper may emit.  ``selective_columns`` models the fine-grained variant
+of Sec. 2.1 in which multiplexers let each instruction address an arbitrary
+subset of columns and compute *different* ops on different columns; without
+it, instruction merging across clusters is impossible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import cached_property
+
+from repro.devices.arraymodel import ArrayCostModel
+from repro.devices.technology import Technology, get_technology
+from repro.errors import TargetError
+
+
+@dataclass(frozen=True)
+class TargetSpec:
+    """A CIM accelerator configuration the compiler maps onto."""
+
+    technology: Technology
+    rows: int
+    cols: int
+    data_width: int
+    num_arrays: int = 16
+    max_activated_rows: int = 2
+    selective_columns: bool = True
+    clock_ghz: float = 1.0
+    #: fraction of a column the mapper may fill with planned operands;
+    #: the remainder absorbs gather copies created during code generation
+    column_fill_factor: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.rows < 2 or self.cols < 1:
+            raise TargetError("array must have at least 2 rows and 1 column")
+        if self.data_width < 1:
+            raise TargetError("data_width must be positive")
+        if self.num_arrays < 1:
+            raise TargetError("num_arrays must be positive")
+        if self.max_activated_rows < 2:
+            raise TargetError("max_activated_rows must be at least 2")
+        if self.max_activated_rows > self.technology.max_activated_rows:
+            raise TargetError(
+                f"{self.technology.name} caps MRA at "
+                f"{self.technology.max_activated_rows}, "
+                f"requested {self.max_activated_rows}")
+        if self.max_activated_rows > self.rows:
+            raise TargetError("cannot activate more rows than the array has")
+        if self.clock_ghz <= 0:
+            raise TargetError("clock_ghz must be positive")
+        if not 0 < self.column_fill_factor <= 1:
+            raise TargetError("column_fill_factor must be in (0, 1]")
+
+    @classmethod
+    def square(cls, size: int, technology: Technology | str, **kwargs) -> "TargetSpec":
+        """Table 1 style configuration: ``size × size`` array, 4·size lanes."""
+        if isinstance(technology, str):
+            technology = get_technology(technology)
+        kwargs.setdefault("data_width", 4 * size)
+        return cls(technology=technology, rows=size, cols=size, **kwargs)
+
+    @cached_property
+    def cost_model(self) -> ArrayCostModel:
+        return ArrayCostModel(self.technology, self.rows, self.cols)
+
+    @property
+    def cells_per_array(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def capacity(self) -> int:
+        """Total operand cells across all arrays."""
+        return self.cells_per_array * self.num_arrays
+
+    @property
+    def usable_rows(self) -> int:
+        """Rows per column the mapper may plan with (fill factor applied)."""
+        return max(2, int(self.rows * self.column_fill_factor))
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.clock_ghz
+
+    def with_(self, **kwargs) -> "TargetSpec":
+        """A modified copy (convenience for sweeps)."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the configuration."""
+        return (f"{self.technology.name} {self.rows}x{self.cols} "
+                f"x{self.num_arrays} arrays, {self.data_width}-bit data path, "
+                f"MRA<={self.max_activated_rows}, "
+                f"{'selective' if self.selective_columns else 'full-row'} columns")

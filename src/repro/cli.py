@@ -1,0 +1,172 @@
+"""Command-line interface: ``sherlock compile|run|sweep|workloads``.
+
+Examples::
+
+    sherlock compile kernel.c --tech reram --size 512 --mapper sherlock
+    sherlock run --workload bitweaving --tech stt-mram --size 1024
+    sherlock sweep --workload bitweaving --tech reram --size 512
+    sherlock workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.arch.target import TargetSpec
+from repro.core.compiler import SherlockCompiler
+from repro.core.config import CompilerConfig
+from repro.core.report import ProgramReport, format_table, render_reports
+from repro.devices import get_technology
+from repro.errors import SherlockError
+from repro.frontend import c_to_dfg
+from repro.reliability import mra_sweep
+from repro.workloads import WORKLOADS, get_workload
+
+
+def _add_target_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--tech", default="reram",
+                        help="technology: reram | stt-mram | pcm")
+    parser.add_argument("--size", type=int, default=512,
+                        help="square array dimension (rows = cols)")
+    parser.add_argument("--arrays", type=int, default=16,
+                        help="number of arrays in the target")
+    parser.add_argument("--mra", type=int, default=2,
+                        help="rows in multi-row activation (2 = binary DAG)")
+    parser.add_argument("--mapper", default="sherlock",
+                        choices=("sherlock", "naive"))
+
+
+def _target_of(args: argparse.Namespace) -> TargetSpec:
+    return TargetSpec.square(
+        args.size, get_technology(args.tech), num_arrays=args.arrays,
+        max_activated_rows=max(2, args.mra))
+
+
+def _config_of(args: argparse.Namespace) -> CompilerConfig:
+    return CompilerConfig(mapper=args.mapper, mra=max(2, args.mra))
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    with open(args.source) as handle:
+        dag = c_to_dfg(handle.read(), args.function)
+    program = SherlockCompiler(_target_of(args), _config_of(args)).compile(dag)
+    if args.emit:
+        print(program.text())
+    if args.output:
+        from repro.core.serialize import save_program
+
+        save_program(program, args.output)
+        print(f"saved compiled program to {args.output}", file=sys.stderr)
+    report = ProgramReport.from_program(program)
+    print(render_reports([report]), file=sys.stderr)
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    """Reload a saved program, report it, optionally re-verify it."""
+    from repro.core.serialize import load_program
+    from repro.dfg.evaluate import evaluate
+    import random as _random
+
+    program = load_program(args.program)
+    print(render_reports([ProgramReport.from_program(program)]))
+    if args.verify:
+        rng = _random.Random(args.seed)
+        inputs = {o.name: rng.getrandbits(args.lanes)
+                  for o in program.source_dag.inputs()}
+        program.verify(inputs, args.lanes)
+        print(f"functional re-verification passed on {args.lanes} lanes")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    target = _target_of(args)
+    program = SherlockCompiler(target, _config_of(args)).compile(
+        workload.build_dag())
+    rng = random.Random(args.seed)
+    lanes = args.lanes
+    inputs = workload.make_inputs(rng, lanes)
+    outputs = program.execute(inputs, lanes)
+    workload.check(inputs, outputs, lanes)
+    print(f"functional check passed on {lanes} lanes")
+    print(render_reports([ProgramReport.from_program(program, workload.name)]))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    target = _target_of(args).with_(max_activated_rows=max(4, args.mra))
+    points = mra_sweep(workload.build_dag(), target, args.mapper)
+    rows = [[p.allowed_fraction, f"{p.achieved_fraction:.1%}", p.latency_us,
+             p.energy_uj, p.p_app, p.instructions] for p in points]
+    print(format_table(
+        ["allowed", "achieved", "latency_us", "energy_uJ", "P_app", "insts"],
+        rows))
+    return 0
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    rows = [[w.name, w.description] for w in WORKLOADS.values()]
+    print(format_table(["name", "description"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="sherlock",
+        description="Sherlock: bulk-bitwise CIM mapping and scheduling")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile a C kernel to CIM code")
+    p.add_argument("source", help="C-subset source file")
+    p.add_argument("--function", default=None, help="kernel function name")
+    p.add_argument("--emit", action="store_true",
+                   help="print the generated instructions")
+    p.add_argument("--output", "-o", default=None,
+                   help="save the compiled program as JSON")
+    _add_target_args(p)
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("inspect",
+                       help="report (and re-verify) a saved program")
+    p.add_argument("program", help="JSON file from 'compile -o'")
+    p.add_argument("--verify", action="store_true",
+                   help="re-execute against the reference semantics")
+    p.add_argument("--lanes", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser("run", help="compile, execute and verify a workload")
+    p.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
+    p.add_argument("--lanes", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    _add_target_args(p)
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("sweep", help="latency/reliability MRA sweep (Fig. 6)")
+    p.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
+    _add_target_args(p)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("workloads", help="list available workloads")
+    p.set_defaults(func=_cmd_workloads)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except SherlockError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

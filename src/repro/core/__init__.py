@@ -1,0 +1,38 @@
+"""Public API of the Sherlock reproduction.
+
+Typical use::
+
+    from repro.core import CompilerConfig, SherlockCompiler, TargetSpec
+    from repro.devices import RERAM
+
+    target = TargetSpec.square(512, RERAM)
+    program = SherlockCompiler(target, CompilerConfig(mapper="sherlock")).compile(dag)
+    program.verify({"a": 0b1010, ...})
+    print(program.metrics.latency_us, program.metrics.energy_uj)
+"""
+
+from repro.arch.target import TargetSpec
+from repro.core.compiler import CompiledProgram, SherlockCompiler, compile_dag
+from repro.core.config import TABLE2_CONFIGS, CompilerConfig
+from repro.core.serialize import load_program, save_program
+from repro.core.report import (
+    PROGRAM_REPORT_HEADERS,
+    ProgramReport,
+    format_table,
+    render_reports,
+)
+
+__all__ = [
+    "CompiledProgram",
+    "CompilerConfig",
+    "PROGRAM_REPORT_HEADERS",
+    "ProgramReport",
+    "SherlockCompiler",
+    "TABLE2_CONFIGS",
+    "TargetSpec",
+    "compile_dag",
+    "load_program",
+    "save_program",
+    "format_table",
+    "render_reports",
+]

@@ -1,0 +1,158 @@
+"""The Sherlock compiler driver: DAG in, scheduled CIM program out (Fig. 1).
+
+Pipeline::
+
+    DAG -> normalize -> [CSE] -> MRA node substitution / binary split
+        -> [NAND lowering] -> arity clamp -> map (naive | sherlock)
+        -> CompiledProgram (layout + instructions + metrics + execution)
+
+A :class:`CompiledProgram` can be functionally executed against arbitrary
+inputs (and verified against the source DAG), priced into the Table 2
+latency/energy metrics, and inspected as Fig. 4-style text.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.arch.isa import Instruction, program_text
+from repro.arch.target import TargetSpec
+from repro.dfg.graph import DataFlowGraph
+from repro.dfg.transforms import (
+    common_subexpression_elimination,
+    fold_duplicate_operands,
+    nand_lower,
+    split_multi_operand,
+    substitute_nodes,
+)
+from repro.core.config import CompilerConfig
+from repro.dfg.evaluate import evaluate
+from repro.errors import MappingError, SherlockError
+from repro.mapping.base import MappingResult
+from repro.mapping.naive import map_naive
+from repro.mapping.optimized import SherlockOptions, map_sherlock
+from repro.sim.executor import ArrayMachine, extract_outputs, preload_sources
+from repro.sim.metrics import TraceMetrics, analyze_trace
+
+#: technologies whose HRS/LRS window is too small for direct XOR/OR sensing
+NAND_LOWERING_WINDOW = 5.0
+
+
+@dataclass
+class CompiledProgram:
+    """The compiler's output: a mapped, scheduled, executable CIM program."""
+
+    source_dag: DataFlowGraph
+    dag: DataFlowGraph
+    target: TargetSpec
+    config: CompilerConfig
+    mapping: MappingResult
+
+    @property
+    def instructions(self) -> list[Instruction]:
+        return self.mapping.instructions
+
+    @property
+    def layout(self):
+        return self.mapping.layout
+
+    @cached_property
+    def metrics(self) -> TraceMetrics:
+        """Latency/energy/P_app of one run of the program (Table 2 row)."""
+        return analyze_trace(self.instructions, self.target)
+
+    def text(self) -> str:
+        """The program in the Fig. 4 instruction format."""
+        return program_text(self.instructions)
+
+    def execute(self, inputs: dict[str, int], lanes: int = 64,
+                fault_rng: random.Random | None = None) -> dict[str, int]:
+        """Functionally execute the program on lane-bitmask inputs."""
+        machine = ArrayMachine(self.target, lanes, fault_rng)
+        preload_sources(machine, self.layout, self.dag, inputs)
+        machine.run(self.instructions)
+        return extract_outputs(machine, self.layout, self.dag)
+
+    def verify(self, inputs: dict[str, int], lanes: int = 64) -> bool:
+        """Execute and compare against the source DAG's reference semantics.
+
+        Raises :class:`SherlockError` on a mismatch; returns ``True``.
+        """
+        expected = evaluate(self.source_dag, inputs, lanes)
+        actual = self.execute(inputs, lanes)
+        if expected != actual:
+            diffs = {name: (expected[name], actual.get(name))
+                     for name in expected if expected[name] != actual.get(name)}
+            raise SherlockError(f"compiled program diverges on outputs: {diffs}")
+        return True
+
+
+class SherlockCompiler:
+    """End-to-end compiler for one target and configuration."""
+
+    def __init__(self, target: TargetSpec,
+                 config: CompilerConfig | None = None) -> None:
+        self.target = target
+        self.config = config or CompilerConfig()
+
+    # ------------------------------------------------------------------
+    def _wants_nand_lowering(self) -> bool:
+        if self.config.nand_lowering is not None:
+            return self.config.nand_lowering
+        return self.target.technology.hrs_lrs_ratio < NAND_LOWERING_WINDOW
+
+    def transform(self, dag: DataFlowGraph) -> DataFlowGraph:
+        """Apply the configured DAG rewrites; the input is left untouched."""
+        work = dag.copy(name=f"{dag.name}.{self.config.mapper}")
+        fold_duplicate_operands(work)
+        if self.config.cse:
+            common_subexpression_elimination(work)
+            # merging equal subexpressions can leave XOR(t, t) etc. behind
+            fold_duplicate_operands(work)
+        effective_mra = min(self.config.mra, self.target.max_activated_rows)
+        if effective_mra > 2:
+            substitute_nodes(work, effective_mra, self.config.mra_fraction)
+            # fusing XOR(t, x) into t = XOR(x, y) re-mentions x: fold again
+            fold_duplicate_operands(work)
+        if self._wants_nand_lowering():
+            nand_lower(work)
+            fold_duplicate_operands(work)
+        split_multi_operand(work, self.target.max_activated_rows)
+        work.validate()
+        return work
+
+    def compile(self, dag: DataFlowGraph) -> CompiledProgram:
+        """Transform, map, and schedule a DAG for the target."""
+        work = self.transform(dag)
+        if self.config.mapper == "naive":
+            mapping = map_naive(work, self.target)
+        else:
+            options = SherlockOptions(
+                alpha=self.config.alpha, beta=self.config.beta,
+                merge_instructions=self.config.merge_instructions)
+            mapping = map_sherlock(work, self.target, options)
+        self._place_passthrough_outputs(work, mapping)
+        return CompiledProgram(source_dag=dag, dag=work, target=self.target,
+                               config=self.config, mapping=mapping)
+
+    def _place_passthrough_outputs(self, dag: DataFlowGraph,
+                                   mapping: MappingResult) -> None:
+        """Outputs that alias an input/const still need a home cell."""
+        layout = mapping.layout
+        for oid in dag.outputs.values():
+            if layout.is_placed(oid):
+                continue
+            for gcol in range(layout.num_global_cols):
+                if layout.column_free(gcol) > 0:
+                    layout.place(oid, gcol)
+                    break
+            else:
+                raise MappingError("no free cell left for a program output")
+
+
+def compile_dag(dag: DataFlowGraph, target: TargetSpec,
+                config: CompilerConfig | None = None) -> CompiledProgram:
+    """One-call convenience wrapper around :class:`SherlockCompiler`."""
+    return SherlockCompiler(target, config).compile(dag)

@@ -1,0 +1,56 @@
+"""Compiler configuration: every knob the paper's evaluation sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import SherlockError
+
+VALID_MAPPERS = ("sherlock", "naive")
+
+
+@dataclass(frozen=True)
+class CompilerConfig:
+    """End-to-end pipeline options.
+
+    ``mra`` is the paper's "# rows in MRA" column: 2 keeps the original
+    binary DAG, larger values apply the node-substitution transform of
+    Sec. 3.3.3 up to that arity (clamped by the target's own limit).
+    ``mra_fraction`` budgets the share of multi-operand ops — the x-axis of
+    Fig. 6.  ``nand_lowering=None`` lets the compiler decide from the
+    technology window (STT-MRAM's unreliable XOR/OR get lowered, Sec. 4.2).
+    """
+
+    mapper: str = "sherlock"
+    mra: int = 2
+    mra_fraction: float = 1.0
+    nand_lowering: bool | None = None
+    cse: bool = False
+    #: Eq. 1 clustering weights (sherlock mapper only)
+    alpha: float = 1.0
+    beta: float = 0.05
+    #: merge compatible instructions across clusters (sherlock mapper only)
+    merge_instructions: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mapper not in VALID_MAPPERS:
+            raise SherlockError(
+                f"unknown mapper {self.mapper!r}; choose from {VALID_MAPPERS}")
+        if self.mra < 2:
+            raise SherlockError(f"mra must be >= 2, got {self.mra}")
+        if not 0.0 <= self.mra_fraction <= 1.0:
+            raise SherlockError(
+                f"mra_fraction must be in [0, 1], got {self.mra_fraction}")
+
+    def with_(self, **kwargs) -> "CompilerConfig":
+        """A modified copy (convenience for sweeps)."""
+        return replace(self, **kwargs)
+
+
+#: the four per-benchmark configurations of Table 2
+TABLE2_CONFIGS: dict[str, CompilerConfig] = {
+    "naive/mra2": CompilerConfig(mapper="naive", mra=2),
+    "naive/mra>2": CompilerConfig(mapper="naive", mra=4),
+    "opt/mra2": CompilerConfig(mapper="sherlock", mra=2),
+    "opt/mra>2": CompilerConfig(mapper="sherlock", mra=4),
+}

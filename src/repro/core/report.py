@@ -1,0 +1,86 @@
+"""Reporting helpers: experiment tables in the style of the paper."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.compiler import CompiledProgram
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e6):
+                return f"{value:.2e}"
+            return f"{value:,.3f}"
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ProgramReport:
+    """Flat summary of one compiled program (one Table 2 cell group)."""
+
+    workload: str
+    technology: str
+    array_size: int
+    mapper: str
+    mra: int
+    latency_us: float
+    energy_uj: float
+    p_app: float
+    instructions: int
+    cim_reads: int
+    writes: int
+    gather_moves: int
+    clusters: int | None
+    edp: float
+
+    @classmethod
+    def from_program(cls, program: CompiledProgram,
+                     workload: str = "") -> "ProgramReport":
+        metrics = program.metrics
+        stats = program.mapping.stats
+        return cls(
+            workload=workload or program.source_dag.name,
+            technology=program.target.technology.name,
+            array_size=program.target.rows,
+            mapper=program.config.mapper,
+            mra=program.config.mra,
+            latency_us=metrics.latency_us,
+            energy_uj=metrics.energy_uj,
+            p_app=metrics.p_app,
+            instructions=metrics.instruction_count,
+            cim_reads=metrics.cim_reads,
+            writes=metrics.writes,
+            gather_moves=stats.gather_moves,
+            clusters=stats.clusters,
+            edp=metrics.edp,
+        )
+
+    def row(self) -> list[object]:
+        """The report as a table row (see PROGRAM_REPORT_HEADERS)."""
+        return [self.workload, self.technology, self.array_size, self.mapper,
+                self.mra, self.latency_us, self.energy_uj, self.p_app,
+                self.instructions]
+
+
+PROGRAM_REPORT_HEADERS = [
+    "workload", "tech", "N", "mapper", "MRA", "latency_us", "energy_uJ",
+    "P_app", "instructions",
+]
+
+
+def render_reports(reports: Sequence[ProgramReport]) -> str:
+    """Render program reports as one monospace table."""
+    return format_table(PROGRAM_REPORT_HEADERS, [r.row() for r in reports])

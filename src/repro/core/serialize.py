@@ -1,0 +1,182 @@
+"""Saving and loading compiled programs as JSON artifacts.
+
+A :class:`repro.core.compiler.CompiledProgram` is fully determined by its
+DAGs, target, configuration, layout and instruction stream; this module
+round-trips all of it through a single JSON document so compiled kernels can
+be archived, diffed, shipped to a device controller, and re-executed without
+recompiling.  Instructions serialize in the Fig. 4 text format.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+from repro.arch.layout import CellAddr, Layout
+from repro.arch.parse import parse_program
+from repro.arch.target import TargetSpec
+from repro.core.compiler import CompiledProgram
+from repro.core.config import CompilerConfig
+from repro.arch.isa import program_text
+from repro.devices.technology import TECHNOLOGIES, Technology
+from repro.dfg.graph import DataFlowGraph, OperandKind
+from repro.errors import SherlockError
+from repro.mapping.base import MappingResult, MappingStats
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# DAG <-> dict
+# ----------------------------------------------------------------------
+def dag_to_dict(dag: DataFlowGraph) -> dict:
+    """Serialize a DAG to plain JSON-compatible dictionaries."""
+    operands = []
+    for operand in sorted(dag.operand_nodes(), key=lambda o: o.node_id):
+        operands.append({
+            "id": operand.node_id,
+            "kind": operand.kind.value,
+            "name": operand.name,
+            "const": operand.const_value,
+        })
+    ops = []
+    for node in sorted(dag.op_nodes(), key=lambda n: n.node_id):
+        ops.append({
+            "id": node.node_id,
+            "op": node.op.value,
+            "operands": list(node.operands),
+            "result": node.result,
+        })
+    return {"name": dag.name, "operands": operands, "ops": ops,
+            "outputs": dag.outputs}
+
+
+def dag_from_dict(data: dict) -> tuple[DataFlowGraph, dict[int, int]]:
+    """Rebuild a DAG; also return old-id -> new-id for operand nodes."""
+    from repro.dfg.ops import OpType
+
+    dag = DataFlowGraph(data["name"])
+    id_map: dict[int, int] = {}
+    produced = {op["result"]: op for op in data["ops"]}
+    for operand in data["operands"]:
+        if operand["id"] in produced:
+            continue  # results are recreated by add_op
+        kind = OperandKind(operand["kind"])
+        if kind is OperandKind.INPUT:
+            id_map[operand["id"]] = dag.add_input(operand["name"])
+        elif kind is OperandKind.CONST:
+            id_map[operand["id"]] = dag.add_const(operand["const"],
+                                                  operand["name"])
+        else:
+            raise SherlockError(
+                f"intermediate operand {operand['id']} has no producing op")
+    # ops serialized in creation (id) order are already topological for
+    # graphs built through the public API; fall back to a worklist otherwise
+    pending = list(data["ops"])
+    progress = True
+    while pending and progress:
+        progress = False
+        remaining = []
+        for op in pending:
+            if all(oid in id_map for oid in op["operands"]):
+                result = dag.add_op(OpType(op["op"]),
+                                    [id_map[oid] for oid in op["operands"]])
+                id_map[op["result"]] = result
+                progress = True
+            else:
+                remaining.append(op)
+        pending = remaining
+    if pending:
+        raise SherlockError("serialized DAG has unresolvable dependencies")
+    for name, oid in data["outputs"].items():
+        dag.mark_output(id_map[oid], name)
+    dag.validate()
+    return dag, id_map
+
+
+# ----------------------------------------------------------------------
+# target / config
+# ----------------------------------------------------------------------
+def target_to_dict(target: TargetSpec) -> dict:
+    """Serialize a target spec, keeping full technology parameters."""
+    data = dataclasses.asdict(target)
+    tech = data.pop("technology")
+    data["technology"] = tech  # keep full parameters for custom technologies
+    data["technology_name"] = target.technology.name
+    return data
+
+
+def target_from_dict(data: dict) -> TargetSpec:
+    """Rebuild a target spec, reusing built-in technologies when equal."""
+    data = dict(data)
+    name = data.pop("technology_name")
+    tech_params = data.pop("technology")
+    builtin = TECHNOLOGIES.get(name)
+    technology = (builtin if builtin is not None
+                  and dataclasses.asdict(builtin) == tech_params
+                  else Technology(**tech_params))
+    return TargetSpec(technology=technology, **data)
+
+
+# ----------------------------------------------------------------------
+# program <-> file
+# ----------------------------------------------------------------------
+def save_program(program: CompiledProgram, path: str | pathlib.Path) -> None:
+    """Write a compiled program to ``path`` as JSON."""
+    placements = {
+        str(oid): [[a.array, a.row, a.col] for a in addrs]
+        for oid, addrs in program.layout.placements().items()
+    }
+    document = {
+        "format_version": FORMAT_VERSION,
+        "source_dag": dag_to_dict(program.source_dag),
+        "dag": dag_to_dict(program.dag),
+        "target": target_to_dict(program.target),
+        "config": dataclasses.asdict(program.config),
+        "instructions": program_text(program.instructions),
+        "placements": placements,
+        "stats": program.mapping.stats.as_dict(),
+    }
+    pathlib.Path(path).write_text(json.dumps(document, indent=1))
+
+
+def load_program(path: str | pathlib.Path) -> CompiledProgram:
+    """Reload a program saved by :func:`save_program`."""
+    document = json.loads(pathlib.Path(path).read_text())
+    if document.get("format_version") != FORMAT_VERSION:
+        raise SherlockError(
+            f"unsupported program format {document.get('format_version')!r}")
+    source_dag, _ = dag_from_dict(document["source_dag"])
+    dag, id_map = dag_from_dict(document["dag"])
+    target = target_from_dict(document["target"])
+    layout = Layout(target)
+    # placements refer to the serialized ids; translate through id_map and
+    # restore the addresses verbatim (fill lines follow from the maxima)
+    restored: dict[int, list[CellAddr]] = {}
+    for old_id, addrs in document["placements"].items():
+        new_id = id_map.get(int(old_id))
+        if new_id is None:
+            raise SherlockError(f"placement for unknown operand {old_id}")
+        restored[new_id] = [CellAddr(a, r, c) for a, r, c in addrs]
+    _restore_layout(layout, restored)
+    stats_data = document["stats"]
+    stats = MappingStats(**stats_data)
+    instructions = parse_program(document["instructions"])
+    mapping = MappingResult(dag=dag, target=target, layout=layout,
+                            instructions=instructions, stats=stats)
+    config = CompilerConfig(**document["config"])
+    return CompiledProgram(source_dag=source_dag, dag=dag, target=target,
+                           config=config, mapping=mapping)
+
+
+def _restore_layout(layout: Layout, placements: dict[int, list[CellAddr]]) -> None:
+    """Rebuild the layout's internal maps from explicit addresses."""
+    fill: dict[int, int] = {}
+    for addrs in placements.values():
+        for addr in addrs:
+            gcol = layout.global_col(addr.array, addr.col)
+            fill[gcol] = max(fill.get(gcol, 0), addr.row + 1)
+    layout._fill = fill
+    layout._copies = {oid: list(addrs) for oid, addrs in placements.items()}
+    layout._duplicates = sum(len(a) - 1 for a in placements.values())

@@ -1,0 +1,35 @@
+"""Device substrate: NVM technologies, sensing reliability, array costs."""
+
+from repro.devices.arraymodel import ArrayCostModel
+from repro.devices.failure import (
+    CompositeState,
+    application_failure_probability,
+    boundary_error,
+    composite_state,
+    decision_failure_probability,
+    overlap_curve,
+)
+from repro.devices.technology import (
+    PCM,
+    RERAM,
+    STT_MRAM,
+    TECHNOLOGIES,
+    Technology,
+    get_technology,
+)
+
+__all__ = [
+    "ArrayCostModel",
+    "CompositeState",
+    "PCM",
+    "RERAM",
+    "STT_MRAM",
+    "TECHNOLOGIES",
+    "Technology",
+    "application_failure_probability",
+    "boundary_error",
+    "composite_state",
+    "decision_failure_probability",
+    "get_technology",
+    "overlap_curve",
+]

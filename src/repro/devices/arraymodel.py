@@ -1,0 +1,118 @@
+"""Parametric array-level latency/energy model (the NVSim substitute).
+
+NVSim feeds the paper exactly one thing per configuration: scalar latency
+and energy figures for each array operation class, as a function of the
+array geometry and the cell technology.  We reproduce that role with a
+first-order RC model:
+
+* wordline/bitline delay grows linearly with the array dimension (driver +
+  distributed RC, linearized around the 128–1024 range NVSim reports);
+* the sense amplifier adds a technology-dependent sensing time;
+* writes add the technology's programming pulse on top of the array access;
+* the row-buffer shifter and inverters are CMOS-speed (sub-nanosecond).
+
+Energy is accounted per instruction as a static decode/driver part plus a
+per-bit dynamic part (cells touched × lanes), again with technology-specific
+read/write energies.  All constants are module-level and documented so a
+user can recalibrate against a real NVSim run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.technology import Technology
+from repro.errors import DeviceError
+
+#: linearized bitline/wordline RC delay per row of array height (ns)
+RC_NS_PER_ROW = 0.002
+#: address decode + driver setup per array access (ns)
+DECODE_NS = 0.5
+#: latency of a row-buffer barrel shift, independent of distance (ns)
+SHIFT_NS = 1.0
+#: latency of a row-buffer CMOS operation (NOT on selected columns) (ns)
+ROWBUF_OP_NS = 0.5
+#: extra sensing time per additional simultaneously activated row (ns);
+#: multi-row activation slightly slows the bitline settle
+MRA_EXTRA_NS_PER_ROW = 0.1
+
+#: static energy per issued instruction: decoder, drivers, control (pJ)
+DECODE_PJ = 2.0
+#: wordline activation energy per activated row per lane slice (pJ)
+WORDLINE_PJ_PER_ROW = 0.05
+#: row-buffer shift energy per bit moved (pJ)
+SHIFT_PJ_PER_BIT = 0.01
+#: row-buffer NOT energy per bit (pJ)
+ROWBUF_PJ_PER_BIT = 0.005
+#: inter-array bus transfer latency (ns) and energy per bit (pJ)
+XFER_NS = 4.0
+XFER_PJ_PER_BIT = 0.2
+
+
+@dataclass(frozen=True)
+class ArrayCostModel:
+    """Latency/energy oracle for one array geometry and technology."""
+
+    technology: Technology
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise DeviceError("array dimensions must be positive")
+
+    # ------------------------------------------------------------------
+    # latency (ns per instruction; lanes run in lockstep and add nothing)
+    # ------------------------------------------------------------------
+    def _access_ns(self) -> float:
+        return DECODE_NS + RC_NS_PER_ROW * self.rows
+
+    def read_latency_ns(self, activated_rows: int = 1) -> float:
+        """Plain or CIM (scouting) read with ``activated_rows`` rows."""
+        if activated_rows < 1:
+            raise DeviceError("activated_rows must be >= 1")
+        extra = MRA_EXTRA_NS_PER_ROW * (activated_rows - 1)
+        return self._access_ns() + self.technology.read_latency_ns + extra
+
+    def write_latency_ns(self) -> float:
+        """Array access plus the technology's programming pulse."""
+        return self._access_ns() + self.technology.write_latency_ns
+
+    def shift_latency_ns(self) -> float:
+        """Row-buffer barrel shift (distance-independent)."""
+        return SHIFT_NS
+
+    def rowbuf_op_latency_ns(self) -> float:
+        """Row-buffer CMOS op (NOT on selected columns)."""
+        return ROWBUF_OP_NS
+
+    def transfer_latency_ns(self) -> float:
+        """Inter-array bus transfer of row-buffer bits."""
+        return XFER_NS
+
+    # ------------------------------------------------------------------
+    # energy (pJ per instruction, scaled by the lockstep lane count)
+    # ------------------------------------------------------------------
+    def read_energy_pj(self, num_cols: int, activated_rows: int, lanes: int) -> float:
+        """Energy of one (CIM) read instruction."""
+        dynamic = (num_cols * self.technology.read_energy_pj_per_bit
+                   + activated_rows * WORDLINE_PJ_PER_ROW)
+        return DECODE_PJ + lanes * dynamic
+
+    def write_energy_pj(self, num_cols: int, lanes: int) -> float:
+        """Energy of one write instruction."""
+        dynamic = (num_cols * self.technology.write_energy_pj_per_bit
+                   + WORDLINE_PJ_PER_ROW)
+        return DECODE_PJ + lanes * dynamic
+
+    def shift_energy_pj(self, lanes: int) -> float:
+        """Energy of one row-buffer shift."""
+        return DECODE_PJ + lanes * self.cols * SHIFT_PJ_PER_BIT
+
+    def rowbuf_op_energy_pj(self, num_cols: int, lanes: int) -> float:
+        """Energy of one row-buffer NOT."""
+        return DECODE_PJ + lanes * num_cols * ROWBUF_PJ_PER_BIT
+
+    def transfer_energy_pj(self, num_cols: int, lanes: int) -> float:
+        """Energy of one inter-array transfer."""
+        return DECODE_PJ + lanes * num_cols * XFER_PJ_PER_BIT

@@ -1,0 +1,43 @@
+"""Data-flow graph IR: the bipartite operand/op DAG of Sherlock (Sec. 3.1)."""
+
+from repro.dfg.blevel import blevel_order, compute_blevels, critical_path_length
+from repro.dfg.builder import DFGBuilder, Wire
+from repro.dfg.compose import union
+from repro.dfg.dot import to_dot
+from repro.dfg.evaluate import evaluate, evaluate_all
+from repro.dfg.graph import DataFlowGraph, OperandKind, OperandNode, OpNode
+from repro.dfg.ops import OpType, apply_op
+from repro.dfg.transforms import (
+    SubstitutionReport,
+    common_subexpression_elimination,
+    eliminate_dead_nodes,
+    fold_duplicate_operands,
+    nand_lower,
+    split_multi_operand,
+    substitute_nodes,
+)
+
+__all__ = [
+    "DataFlowGraph",
+    "DFGBuilder",
+    "OperandKind",
+    "OperandNode",
+    "OpNode",
+    "OpType",
+    "SubstitutionReport",
+    "Wire",
+    "apply_op",
+    "blevel_order",
+    "common_subexpression_elimination",
+    "compute_blevels",
+    "critical_path_length",
+    "eliminate_dead_nodes",
+    "evaluate",
+    "fold_duplicate_operands",
+    "evaluate_all",
+    "nand_lower",
+    "split_multi_operand",
+    "substitute_nodes",
+    "to_dot",
+    "union",
+]

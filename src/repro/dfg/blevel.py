@@ -1,0 +1,39 @@
+"""b-level priorities for DAG scheduling (Kwok & Ahmad, CSUR'99).
+
+The b-level of a node is the length of the longest path from the node to any
+exit node, counting node weights along the path.  In Sherlock's DFG all
+operation nodes are unit-weighted while operand nodes and edges carry zero
+weight (Sec. 3.1), so the b-level of an op node is simply one plus the
+largest b-level among the ops consuming its result.  Both mapping algorithms
+process op nodes in descending b-level order, which is also a valid
+topological order between dependent nodes.
+"""
+
+from __future__ import annotations
+
+from repro.dfg.graph import DataFlowGraph
+
+
+def compute_blevels(dag: DataFlowGraph) -> dict[int, int]:
+    """b-level of every op node (op node id -> priority)."""
+    levels: dict[int, int] = {}
+    for op_id in reversed(dag.topological_ops()):
+        succ_levels = [levels[s] for s in dag.succ_ops(op_id)]
+        levels[op_id] = 1 + (max(succ_levels) if succ_levels else 0)
+    return levels
+
+
+def blevel_order(dag: DataFlowGraph) -> list[int]:
+    """Op node ids sorted by descending b-level (the paper's node queue).
+
+    Ties are broken by ascending node id, which makes the order — and hence
+    every mapping built from it — deterministic.
+    """
+    levels = compute_blevels(dag)
+    return sorted(levels, key=lambda op_id: (-levels[op_id], op_id))
+
+
+def critical_path_length(dag: DataFlowGraph) -> int:
+    """Number of op nodes on the longest dependence chain."""
+    levels = compute_blevels(dag)
+    return max(levels.values(), default=0)

@@ -1,0 +1,122 @@
+"""Pythonic builder DSL for constructing data-flow graphs.
+
+The C front-end (``repro.frontend``) is the paper's entry point, but for
+programmatically generated kernels (bit-sliced AES, ripple-carry adders...)
+a direct builder is far more convenient::
+
+    b = DFGBuilder("maj3")
+    x, y, z = b.inputs("x", "y", "z")
+    b.output("maj", (x & y) | (x & z) | (y & z))
+    dag = b.build()
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.dfg.graph import DataFlowGraph
+from repro.dfg.ops import OpType
+from repro.errors import GraphError
+
+
+class Wire:
+    """Handle to an operand node, overloading the bitwise operators."""
+
+    __slots__ = ("builder", "operand_id")
+
+    def __init__(self, builder: "DFGBuilder", operand_id: int) -> None:
+        self.builder = builder
+        self.operand_id = operand_id
+
+    def _binary(self, op: OpType, other: "Wire") -> "Wire":
+        if not isinstance(other, Wire):
+            return NotImplemented
+        if other.builder is not self.builder:
+            raise GraphError("cannot combine wires from different builders")
+        return self.builder.op(op, [self, other])
+
+    def __and__(self, other: "Wire") -> "Wire":
+        return self._binary(OpType.AND, other)
+
+    def __or__(self, other: "Wire") -> "Wire":
+        return self._binary(OpType.OR, other)
+
+    def __xor__(self, other: "Wire") -> "Wire":
+        return self._binary(OpType.XOR, other)
+
+    def __invert__(self) -> "Wire":
+        return self.builder.op(OpType.NOT, [self])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Wire({self.operand_id})"
+
+
+class DFGBuilder:
+    """Incrementally build a :class:`DataFlowGraph` through wires."""
+
+    def __init__(self, name: str = "dfg") -> None:
+        self._dag = DataFlowGraph(name)
+        self._built = False
+
+    def input(self, name: str) -> Wire:
+        """Declare a program input."""
+        return Wire(self, self._dag.add_input(name))
+
+    def inputs(self, *names: str) -> list[Wire]:
+        """Declare several inputs at once."""
+        return [self.input(n) for n in names]
+
+    def const(self, value: int, name: str | None = None) -> Wire:
+        """A constant 0/1 broadcast over all lanes."""
+        return Wire(self, self._dag.add_const(value, name))
+
+    def op(self, op: OpType, operands: Sequence[Wire]) -> Wire:
+        """Add an arbitrary (possibly multi-operand) op node."""
+        ids = [self._wire_id(w) for w in operands]
+        return Wire(self, self._dag.add_op(op, ids))
+
+    def and_(self, *operands: Wire) -> Wire:
+        """n-ary AND."""
+        return self.op(OpType.AND, operands)
+
+    def or_(self, *operands: Wire) -> Wire:
+        """n-ary OR."""
+        return self.op(OpType.OR, operands)
+
+    def xor(self, *operands: Wire) -> Wire:
+        """n-ary XOR (parity)."""
+        return self.op(OpType.XOR, operands)
+
+    def nand(self, *operands: Wire) -> Wire:
+        """n-ary NAND."""
+        return self.op(OpType.NAND, operands)
+
+    def nor(self, *operands: Wire) -> Wire:
+        """n-ary NOR."""
+        return self.op(OpType.NOR, operands)
+
+    def xnor(self, *operands: Wire) -> Wire:
+        """n-ary XNOR."""
+        return self.op(OpType.XNOR, operands)
+
+    def not_(self, operand: Wire) -> Wire:
+        """Bitwise complement."""
+        return self.op(OpType.NOT, [operand])
+
+    def output(self, name: str, wire: Wire) -> None:
+        """Declare a program output."""
+        self._dag.mark_output(self._wire_id(wire), name)
+
+    def build(self) -> DataFlowGraph:
+        """Validate and return the graph; the builder stays usable."""
+        self._dag.validate()
+        if not self._dag.outputs:
+            raise GraphError("graph has no outputs; call output() first")
+        return self._dag
+
+    def _wire_id(self, wire: Wire) -> int:
+        if not isinstance(wire, Wire):
+            raise GraphError(f"expected a Wire, got {type(wire).__name__}")
+        if wire.builder is not self:
+            raise GraphError("wire belongs to a different builder")
+        return wire.operand_id

@@ -1,0 +1,54 @@
+"""Composing data-flow graphs: disjoint union with shared inputs.
+
+Batched workloads (multi-segment scans, pixel tiles) map several kernel
+instances onto the CIM arrays at once.  :func:`union` splices component
+DAGs into one: inputs with the same name become one resident operand
+(data reuse across instances — exactly what the naive mapping duplicates
+and Sherlock's clustering exploits), while outputs get per-instance
+prefixes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.dfg.graph import DataFlowGraph, OperandKind
+from repro.errors import GraphError
+
+
+def union(graphs: Sequence[DataFlowGraph], prefixes: Sequence[str] | None = None,
+          name: str = "union") -> DataFlowGraph:
+    """Splice several DAGs into one, sharing equally named inputs.
+
+    ``prefixes[i]`` is prepended to the outputs of ``graphs[i]`` (default
+    ``g<i>_``).  Input names are global: two components naming an input
+    ``x[3]`` will read the same operand node.
+    """
+    if not graphs:
+        raise GraphError("union needs at least one graph")
+    if prefixes is None:
+        prefixes = [f"g{i}_" for i in range(len(graphs))]
+    if len(prefixes) != len(graphs):
+        raise GraphError("need exactly one prefix per graph")
+    merged = DataFlowGraph(name)
+    inputs_by_name: dict[str, int] = {}
+    for graph, prefix in zip(graphs, prefixes):
+        mapping: dict[int, int] = {}
+        for operand in graph.operand_nodes():
+            if operand.producer is not None:
+                continue
+            if operand.kind is OperandKind.INPUT:
+                if operand.name not in inputs_by_name:
+                    inputs_by_name[operand.name] = merged.add_input(operand.name)
+                mapping[operand.node_id] = inputs_by_name[operand.name]
+            else:
+                mapping[operand.node_id] = merged.add_const(
+                    operand.const_value, operand.name)
+        for op_id in graph.topological_ops():
+            node = graph.op(op_id)
+            mapping[node.result] = merged.add_op(
+                node.op, [mapping[oid] for oid in node.operands])
+        for out_name, oid in graph.outputs.items():
+            merged.mark_output(mapping[oid], f"{prefix}{out_name}")
+    merged.validate()
+    return merged

@@ -1,0 +1,35 @@
+"""Graphviz DOT export of a data-flow graph (for inspection/papers)."""
+
+from __future__ import annotations
+
+from repro.dfg.blevel import compute_blevels
+from repro.dfg.graph import DataFlowGraph, OperandKind
+
+
+def to_dot(dag: DataFlowGraph, with_blevels: bool = True) -> str:
+    """Render the DFG in the style of Fig. 3b: orange operands, blue ops."""
+    levels = compute_blevels(dag) if with_blevels else {}
+    output_ids = {oid: name for name, oid in dag.outputs.items()}
+    lines = [f'digraph "{dag.name}" {{', "  rankdir=TB;"]
+    for operand in dag.operand_nodes():
+        label = operand.name or f"t{operand.node_id}"
+        if operand.kind is OperandKind.CONST:
+            label = str(operand.const_value)
+        if operand.node_id in output_ids:
+            label += f"\\n[{output_ids[operand.node_id]}]"
+        lines.append(
+            f'  n{operand.node_id} [label="{label}", shape=ellipse, '
+            'style=filled, fillcolor=orange];')
+    for node in dag.op_nodes():
+        label = node.op.value.upper()
+        if with_blevels:
+            label += f"\\nb={levels[node.node_id]}"
+        lines.append(
+            f'  n{node.node_id} [label="{label}", shape=box, '
+            'style=filled, fillcolor=lightblue];')
+    for node in dag.op_nodes():
+        for oid in node.operands:
+            lines.append(f"  n{oid} -> n{node.node_id};")
+        lines.append(f"  n{node.node_id} -> n{node.result};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Reference (functional) evaluation of a data-flow graph.
+
+Bulk values are Python integers used as lane bitmasks: bit ``i`` of a value
+is the bit held by lane ``i``.  Arbitrary-precision integers make the lane
+count unbounded and the bitwise semantics exact, which is precisely what we
+need to cross-check the compiled instruction traces against the source DAG.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.dfg.graph import DataFlowGraph, OperandKind
+from repro.dfg.ops import apply_op
+from repro.errors import GraphError
+
+
+def evaluate(dag: DataFlowGraph, inputs: Mapping[str, int], lanes: int) -> dict[str, int]:
+    """Evaluate the DAG on ``lanes`` parallel lanes.
+
+    ``inputs`` maps input names to lane bitmasks; the result maps output
+    names to lane bitmasks.  Values wider than the lane count are rejected.
+    """
+    if lanes < 1:
+        raise GraphError(f"lane count must be positive, got {lanes}")
+    mask = (1 << lanes) - 1
+    values: dict[int, int] = {}
+    for operand in dag.operand_nodes():
+        if operand.kind is OperandKind.INPUT:
+            if operand.name not in inputs:
+                raise GraphError(f"missing value for input {operand.name!r}")
+            value = inputs[operand.name]
+            if value < 0 or value > mask:
+                raise GraphError(
+                    f"input {operand.name!r} does not fit in {lanes} lanes")
+            values[operand.node_id] = value
+        elif operand.kind is OperandKind.CONST:
+            values[operand.node_id] = mask if operand.const_value else 0
+    unknown = set(inputs) - {o.name for o in dag.inputs()}
+    if unknown:
+        raise GraphError(f"unknown inputs: {sorted(unknown)}")
+    for op_id in dag.topological_ops():
+        node = dag.op(op_id)
+        operand_values = [values[oid] for oid in node.operands]
+        values[node.result] = apply_op(node.op, operand_values, mask)
+    results = {}
+    for name, oid in dag.outputs.items():
+        if oid not in values:
+            raise GraphError(f"output {name!r} is not computed by any op")
+        results[name] = values[oid]
+    return results
+
+
+def evaluate_all(dag: DataFlowGraph, inputs: Mapping[str, int], lanes: int) -> dict[int, int]:
+    """Like :func:`evaluate` but return the value of *every* operand node."""
+    mask = (1 << lanes) - 1
+    values: dict[int, int] = {}
+    for operand in dag.operand_nodes():
+        if operand.kind is OperandKind.INPUT:
+            values[operand.node_id] = inputs[operand.name] & mask
+        elif operand.kind is OperandKind.CONST:
+            values[operand.node_id] = mask if operand.const_value else 0
+    for op_id in dag.topological_ops():
+        node = dag.op(op_id)
+        values[node.result] = apply_op(node.op, [values[o] for o in node.operands], mask)
+    return values

@@ -1,0 +1,306 @@
+"""DAG transformations (Sec. 3.3.3 of the paper).
+
+Three rewrites matter for Sherlock:
+
+* **Node substitution** — two op nodes of the same associative type, where
+  one's result feeds only the other, fuse into a single multi-operand node.
+  The fused node activates more rows simultaneously (MRA > 2): faster, but
+  with a worse sensing margin, i.e. a higher decision-failure probability.
+  The fraction of multi-operand ops is budgeted, which is exactly the knob
+  swept on the x-axis of Fig. 6.
+
+* **NAND lowering** — on technologies with a small HRS/LRS ratio (STT-MRAM),
+  the XOR/OR sensing boundaries sit in the noisy low-resistance region and
+  become unreliable.  The paper's Fig. 6b therefore uses NAND-based
+  implementations of XOR and OR; NAND only needs the well-separated
+  all-HRS boundary.
+
+* **Dead-node elimination** — housekeeping after the rewrites above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dfg.blevel import compute_blevels
+from repro.dfg.graph import DataFlowGraph, OperandKind
+from repro.dfg.ops import OpType
+from repro.errors import GraphError
+
+
+@dataclass(frozen=True)
+class SubstitutionReport:
+    """What :func:`substitute_nodes` did to the graph."""
+
+    merges_applied: int
+    ops_before: int
+    ops_after: int
+    multi_operand_ops: int
+
+    @property
+    def multi_operand_fraction(self) -> float:
+        return self.multi_operand_ops / self.ops_after if self.ops_after else 0.0
+
+
+def substitute_nodes(dag: DataFlowGraph, max_operands: int,
+                     allowed_fraction: float = 1.0) -> SubstitutionReport:
+    """Fuse same-type associative op chains into multi-operand ops, in place.
+
+    ``max_operands`` bounds the arity of a fused node (the target's MRA
+    limit).  ``allowed_fraction`` bounds the fraction of op nodes that may
+    end up with more than two operands; merges are applied in descending
+    b-level order (critical path first) until the budget is exhausted.
+    """
+    if max_operands < 2:
+        raise GraphError(f"max_operands must be >= 2, got {max_operands}")
+    if not 0.0 <= allowed_fraction <= 1.0:
+        raise GraphError(f"allowed_fraction must be in [0, 1], got {allowed_fraction}")
+    ops_before = dag.num_ops
+    merges = 0
+    outputs = set(dag.outputs.values())
+
+    def multi_count() -> int:
+        return sum(1 for n in dag.op_nodes() if n.arity > 2)
+
+    multi = multi_count()
+    # Walk consumers in priority order; re-compute b-levels lazily because
+    # merges only ever shrink the graph and never invalidate the relative
+    # order of the remaining nodes enough to matter for the greedy budget.
+    levels = compute_blevels(dag)
+    queue = sorted(levels, key=lambda op_id: (-levels[op_id], op_id))
+    alive = {op_id for op_id in queue}
+    for consumer_id in queue:
+        if consumer_id not in alive:
+            continue
+        changed = True
+        while changed:
+            changed = False
+            consumer = dag.op(consumer_id)
+            if not consumer.op.is_associative:
+                break
+            for operand_id in consumer.operands:
+                operand = dag.operand(operand_id)
+                producer_id = operand.producer
+                if producer_id is None or producer_id not in alive:
+                    continue
+                producer = dag.op(producer_id)
+                if producer.op is not consumer.op:
+                    continue
+                if len(dag.consumers(operand_id)) != 1 or operand_id in outputs:
+                    continue
+                fused_arity = consumer.arity - 1 + producer.arity
+                if fused_arity > max_operands:
+                    continue
+                will_be_multi = fused_arity > 2
+                already_multi = consumer.arity > 2
+                new_multi = multi + (1 if will_be_multi and not already_multi else 0)
+                new_multi -= 1 if producer.arity > 2 else 0
+                ops_after = dag.num_ops - 1
+                if will_be_multi and ops_after and new_multi / ops_after > allowed_fraction:
+                    continue
+                new_operands = []
+                for oid in consumer.operands:
+                    if oid == operand_id:
+                        new_operands.extend(producer.operands)
+                    else:
+                        new_operands.append(oid)
+                dag.replace_op(consumer_id, operands=new_operands)
+                dag.delete_op(producer_id)
+                alive.discard(producer_id)
+                multi = new_multi
+                merges += 1
+                changed = True
+                break
+    return SubstitutionReport(merges, ops_before, dag.num_ops, multi_count())
+
+
+def split_multi_operand(dag: DataFlowGraph, max_operands: int = 2) -> int:
+    """Split ops with arity above ``max_operands`` into balanced trees.
+
+    Returns the number of ops split.  This is the inverse of
+    :func:`substitute_nodes`; the paper's "MRA = 2" configurations run the
+    original two-operand DAG, which this transform restores.
+    """
+    if max_operands < 2:
+        raise GraphError(f"max_operands must be >= 2, got {max_operands}")
+    split = 0
+    for node in list(dag.op_nodes()):
+        if node.arity <= max_operands:
+            continue
+        if not node.op.is_associative and not node.op.is_inverted:
+            raise GraphError(f"cannot split non-associative op {node.op.value}")
+        split += 1
+        base = node.op.base
+        operands = list(node.operands)
+        while len(operands) > max_operands:
+            grouped = []
+            for i in range(0, len(operands), max_operands):
+                chunk = operands[i:i + max_operands]
+                if len(chunk) == 1:
+                    grouped.append(chunk[0])
+                else:
+                    grouped.append(dag.add_op(base, chunk))
+            operands = grouped
+        dag.replace_op(node.node_id, operands=operands)
+        if node.op is not base and len(operands) == 1:
+            # Degenerate case cannot happen: arity > max_operands >= 2 always
+            # leaves at least two groups at the top level.
+            raise GraphError("internal error: multi-operand split collapsed")
+    return split
+
+
+def nand_lower(dag: DataFlowGraph) -> int:
+    """Rewrite XOR/XNOR/OR/NOR ops into NAND/AND/NOT networks, in place.
+
+    Binary XOR becomes the classic four-NAND network; n-ary XORs are first
+    split into binary trees.  OR(a, b, ...) becomes NAND(¬a, ¬b, ...), and
+    the inverted variants absorb one extra NOT.  Returns the number of ops
+    rewritten.  AND/NAND are untouched — their sensing boundary lies in the
+    quiet all-HRS region and is already the most reliable one.
+    """
+    rewritten = 0
+    for node in list(dag.op_nodes()):
+        if node.op.base is OpType.XOR and node.arity > 2:
+            split_multi_operand_single(dag, node.node_id)
+    for node in list(dag.op_nodes()):
+        base = node.op.base
+        if base is OpType.XOR:
+            a, b = node.operands
+            nab = dag.add_op(OpType.NAND, [a, b])
+            left = dag.add_op(OpType.NAND, [a, nab])
+            right = dag.add_op(OpType.NAND, [b, nab])
+            if node.op is OpType.XOR:
+                dag.replace_op(node.node_id, op=OpType.NAND, operands=[left, right])
+            else:  # XNOR = NOT(XOR) = AND of the two inner NANDs
+                dag.replace_op(node.node_id, op=OpType.AND, operands=[left, right])
+            rewritten += 1
+        elif base is OpType.OR:
+            inverted = [dag.add_op(OpType.NOT, [oid]) for oid in node.operands]
+            if node.op is OpType.OR:
+                dag.replace_op(node.node_id, op=OpType.NAND, operands=inverted)
+            else:  # NOR = AND of the complements
+                dag.replace_op(node.node_id, op=OpType.AND, operands=inverted)
+            rewritten += 1
+    return rewritten
+
+
+def split_multi_operand_single(dag: DataFlowGraph, op_id: int) -> None:
+    """Split one multi-operand op into a binary tree (helper)."""
+    node = dag.op(op_id)
+    base = node.op.base
+    operands = list(node.operands)
+    while len(operands) > 2:
+        grouped = []
+        for i in range(0, len(operands), 2):
+            chunk = operands[i:i + 2]
+            grouped.append(chunk[0] if len(chunk) == 1 else dag.add_op(base, chunk))
+        operands = grouped
+    dag.replace_op(op_id, operands=operands)
+
+
+def fold_duplicate_operands(dag: DataFlowGraph) -> int:
+    """Canonicalize ops that mention an operand more than once, in place.
+
+    The CIM array activates each operand row once, so ``AND(a, a)`` cannot
+    be executed literally.  Idempotent ops simply drop the duplicates; the
+    XOR family keeps operands with odd multiplicity (pairs cancel).  Ops
+    that collapse to a single operand become copies (uses are rewired) or a
+    NOT; XOR ops that cancel entirely become the constant 0 (XNOR: 1).
+    Returns the number of ops rewritten.
+    """
+    rewritten = 0
+    for op_id in dag.topological_ops():
+        node = dag.op(op_id)
+        counts: dict[int, int] = {}
+        for oid in node.operands:
+            counts[oid] = counts.get(oid, 0) + 1
+        if all(c == 1 for c in counts.values()):
+            continue
+        rewritten += 1
+        if node.op.base is OpType.XOR:
+            keep = [oid for oid in dict.fromkeys(node.operands) if counts[oid] % 2]
+        else:
+            keep = list(dict.fromkeys(node.operands))
+        if len(keep) >= 2:
+            dag.replace_op(op_id, operands=keep)
+        elif len(keep) == 1:
+            if node.op.is_inverted:
+                dag.replace_op(op_id, op=OpType.NOT, operands=keep)
+            else:
+                dag.replace_uses(node.result, keep[0])
+                dag.delete_op(op_id)
+        else:  # empty XOR: pairs cancel to the constant 0 (XNOR -> 1)
+            const = dag.add_const(1 if node.op is OpType.XNOR else 0)
+            dag.replace_uses(node.result, const)
+            dag.delete_op(op_id)
+    return rewritten
+
+
+def eliminate_dead_nodes(dag: DataFlowGraph) -> int:
+    """Remove ops and source operands that do not reach any output."""
+    removed = 0
+    live_operands, live_ops = dag.live_nodes()
+    # Repeatedly peel ops whose result is unused; deleting one op can expose
+    # its producers.
+    changed = True
+    while changed:
+        changed = False
+        for node in list(dag.op_nodes()):
+            if node.node_id in live_ops:
+                continue
+            if not dag.consumers(node.result) and node.result not in dag.outputs.values():
+                dag.delete_op(node.node_id)
+                removed += 1
+                changed = True
+    for operand in list(dag.operand_nodes()):
+        if operand.node_id in live_operands or operand.producer is not None:
+            continue
+        if operand.kind is OperandKind.INPUT:
+            continue  # keep declared inputs even if unused
+        if not dag.consumers(operand.node_id):
+            dag.delete_operand(operand.node_id)
+            removed += 1
+    return removed
+
+
+def common_subexpression_elimination(dag: DataFlowGraph) -> int:
+    """Merge op nodes computing the same function of the same operands.
+
+    Operand order is irrelevant for the commutative scouting ops, so the key
+    is (op type, operand multiset).  Returns the number of ops removed.
+    """
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        seen: dict[tuple, int] = {}
+        replace: dict[int, int] = {}  # duplicate result -> canonical result
+        for op_id in dag.topological_ops():
+            node = dag.op(op_id)
+            operands = tuple(replace.get(oid, oid) for oid in node.operands)
+            if operands != node.operands:
+                dag.replace_op(op_id, operands=operands)
+                node = dag.op(op_id)
+            key = (node.op, tuple(sorted(node.operands)))
+            if key in seen:
+                canonical = dag.op(seen[key])
+                replace[node.result] = canonical.result
+            else:
+                seen[key] = op_id
+        if not replace:
+            break
+        for dup_result, canonical_result in replace.items():
+            producer = dag.operand(dup_result).producer
+            for consumer_id in list(dag.consumers(dup_result)):
+                consumer = dag.op(consumer_id)
+                dag.replace_op(consumer_id, operands=[
+                    canonical_result if oid == dup_result else oid
+                    for oid in consumer.operands])
+            outputs = {name: oid for name, oid in dag.outputs.items() if oid == dup_result}
+            if outputs:
+                continue  # keep output-producing duplicates alive
+            if not dag.consumers(dup_result):
+                dag.delete_op(producer)
+                removed += 1
+                changed = True
+    return removed

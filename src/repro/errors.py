@@ -1,0 +1,36 @@
+"""Exception hierarchy for the Sherlock reproduction.
+
+Every error raised by this package derives from :class:`SherlockError`, so
+callers can catch one type at the API boundary while the subclasses keep
+diagnostics precise.
+"""
+
+from __future__ import annotations
+
+
+class SherlockError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(SherlockError):
+    """Malformed data-flow graph (cycles, bad arity, unknown nodes...)."""
+
+
+class FrontendError(SherlockError):
+    """Error while lexing/parsing/lowering the C-subset input."""
+
+
+class MappingError(SherlockError):
+    """The mapper could not place the DAG on the target (capacity, ...)."""
+
+
+class SimulationError(SherlockError):
+    """Illegal instruction or machine state during trace execution."""
+
+
+class TargetError(SherlockError):
+    """Invalid target specification or unsupported target feature."""
+
+
+class DeviceError(SherlockError):
+    """Invalid device/technology parameters."""

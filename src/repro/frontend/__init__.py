@@ -1,0 +1,19 @@
+"""Front-end: C-subset source -> AST -> data-flow graph (Fig. 1)."""
+
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.lower import Lowerer, lower_program
+from repro.frontend.parser import parse
+
+__all__ = [
+    "Lowerer",
+    "Token",
+    "c_to_dfg",
+    "lower_program",
+    "parse",
+    "tokenize",
+]
+
+
+def c_to_dfg(source: str, function: str | None = None):
+    """Parse C-subset source and lower one kernel to a DataFlowGraph."""
+    return lower_program(parse(source), function)

@@ -1,0 +1,126 @@
+"""Abstract syntax tree for the bulk-bitwise C subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base AST node; ``line`` points back into the source for errors."""
+
+    line: int
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IntLit(Node):
+    value: int
+
+
+@dataclass(frozen=True)
+class Var(Node):
+    name: str
+
+
+@dataclass(frozen=True)
+class Index(Node):
+    """Array element access ``base[index]``."""
+
+    base: str
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class UnOp(Node):
+    op: str  # '~' or '-' (the latter only in integer constant context)
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class BinOp(Node):
+    op: str  # '&' '|' '^' for vectors; '+ - * / % << >>' and comparisons
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = IntLit | Var | Index | UnOp | BinOp
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Decl(Node):
+    """``word_t name;`` / ``word_t name = expr;`` / ``word_t name[N];``"""
+
+    name: str
+    array_size: Expr | None = None
+    init: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Assign(Node):
+    """``lhs op= expr`` where lhs is a variable or array element."""
+
+    lhs: Var | Index
+    op: str  # '=', '&=', '|=', '^='
+    value: Expr
+
+
+@dataclass(frozen=True)
+class For(Node):
+    """``for (int i = lo; i < hi; i += step) body`` — statically unrolled."""
+
+    var: str
+    init: Expr
+    cond_op: str  # '<' '<=' '>' '>=' '!='
+    bound: Expr
+    step: int
+    body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class Return(Node):
+    value: Expr
+
+
+Stmt = Decl | Assign | For | Return
+
+
+# ----------------------------------------------------------------------
+# top level
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Param(Node):
+    name: str
+    array_size: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Function(Node):
+    name: str
+    params: tuple[Param, ...]
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class Program(Node):
+    functions: tuple[Function, ...] = field(default_factory=tuple)
+
+    def function(self, name: str | None = None) -> Function:
+        """Look up a function (the only one if ``name`` is None)."""
+        from repro.errors import FrontendError
+
+        if name is None:
+            if len(self.functions) != 1:
+                raise FrontendError(
+                    f"program has {len(self.functions)} functions; "
+                    "name the kernel explicitly")
+            return self.functions[0]
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise FrontendError(f"no function named {name!r}")

@@ -1,0 +1,109 @@
+"""Tokenizer for the bulk-bitwise C subset.
+
+The paper feeds C through pycparser; we implement the needed subset from
+scratch.  Tokens cover identifiers, integer literals, the bitwise and
+integer-arithmetic operators, comparisons (loop conditions), assignment
+(including the compound ``&=``, ``|=``, ``^=`` forms), and punctuation.
+Line/column positions are retained for error messages.  ``//`` and
+``/* */`` comments are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FrontendError
+
+KEYWORDS = {
+    "for", "return", "void", "int", "unsigned", "char", "short", "long",
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t", "word_t", "bitvec_t",
+}
+
+#: multi-character operators, longest first so maximal munch works
+_MULTI_OPS = ["<<=", ">>=", "&=", "|=", "^=", "+=", "-=", "*=",
+              "==", "!=", "<=", ">=", "<<", ">>", "++", "--"]
+_SINGLE_OPS = set("+-*/%&|^~!<>=(){}[];,")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'number' | 'keyword' | 'op' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raise :class:`FrontendError` on bad characters."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(text: str) -> None:
+        nonlocal i, line, col
+        for ch in text:
+            i += 1
+            if ch == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(ch)
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            advance(source[i:end if end != -1 else n])
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise FrontendError(f"unterminated comment at line {line}")
+            advance(source[i:end + 2])
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            advance(text)
+            continue
+        if ch.isdigit():
+            j = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+            text = source[i:j]
+            tokens.append(Token("number", text, line, col))
+            advance(text)
+            continue
+        matched = False
+        for op in _MULTI_OPS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                advance(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE_OPS:
+            tokens.append(Token("op", ch, line, col))
+            advance(ch)
+            continue
+        raise FrontendError(f"unexpected character {ch!r} at line {line}, col {col}")
+    tokens.append(Token("eof", "", line, col))
+    return tokens

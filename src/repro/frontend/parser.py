@@ -1,0 +1,281 @@
+"""Recursive-descent parser for the bulk-bitwise C subset.
+
+Supported surface syntax (everything the paper's kernels need)::
+
+    word_t kernel(word_t C1[8], word_t C2[8], word_t x[8], word_t out[2]) {
+        word_t lt = 0;
+        word_t eq = ~0;
+        for (int i = 0; i < 8; i += 1) {
+            lt = lt | (eq & ~x[i] & C1[i]);
+            eq = eq & ~(x[i] ^ C1[i]);
+        }
+        out[0] = lt;
+        return lt & eq;
+    }
+
+Bit-vector expressions use ``& | ^ ~`` only.  Integer arithmetic
+(``+ - * / % << >>``) and comparisons are allowed in constant contexts:
+array sizes, loop bounds, and indices.  The lowering pass rejects misuse;
+the parser itself is permissive about where each operator appears.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FrontendError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import Token, tokenize
+
+_TYPE_KEYWORDS = {
+    "int", "unsigned", "char", "short", "long",
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t", "word_t", "bitvec_t", "void",
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _fail(self, message: str) -> FrontendError:
+        tok = self.cur
+        return FrontendError(
+            f"{message} at line {tok.line}, col {tok.col} "
+            f"(found {tok.text!r})")
+
+    def advance(self) -> Token:
+        tok = self.cur
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        tok = self.cur
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.accept(kind, text)
+        if tok is None:
+            want = text if text is not None else kind
+            raise self._fail(f"expected {want!r}")
+        return tok
+
+    def _skip_type(self) -> None:
+        """Consume one or more type keywords (``unsigned long`` etc.)."""
+        if self.cur.kind != "keyword" or self.cur.text not in _TYPE_KEYWORDS:
+            raise self._fail("expected a type")
+        while self.cur.kind == "keyword" and self.cur.text in _TYPE_KEYWORDS:
+            self.advance()
+
+    def _at_type(self) -> bool:
+        return self.cur.kind == "keyword" and self.cur.text in _TYPE_KEYWORDS
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        functions = []
+        while self.cur.kind != "eof":
+            functions.append(self.parse_function())
+        return ast.Program(line=1, functions=tuple(functions))
+
+    def parse_function(self) -> ast.Function:
+        line = self.cur.line
+        self._skip_type()
+        name = self.expect("ident").text
+        self.expect("op", "(")
+        params = []
+        if not self.accept("op", ")"):
+            while True:
+                params.append(self.parse_param())
+                if self.accept("op", ")"):
+                    break
+                self.expect("op", ",")
+        body = self.parse_block()
+        return ast.Function(line=line, name=name, params=tuple(params),
+                            body=body)
+
+    def parse_param(self) -> ast.Param:
+        line = self.cur.line
+        self._skip_type()
+        self.accept("op", "*")  # pointers are treated like arrays
+        name = self.expect("ident").text
+        size = None
+        if self.accept("op", "["):
+            size = self.parse_expr()
+            self.expect("op", "]")
+        return ast.Param(line=line, name=name, array_size=size)
+
+    def parse_block(self) -> tuple[ast.Stmt, ...]:
+        self.expect("op", "{")
+        stmts: list[ast.Stmt] = []
+        while not self.accept("op", "}"):
+            if self.cur.kind == "eof":
+                raise self._fail("unterminated block")
+            stmts.append(self.parse_statement())
+        return tuple(stmts)
+
+    def parse_statement(self) -> ast.Stmt:
+        if self._at_type():
+            return self.parse_decl()
+        if self.cur.kind == "keyword" and self.cur.text == "for":
+            return self.parse_for()
+        if self.cur.kind == "keyword" and self.cur.text == "return":
+            line = self.advance().line
+            value = self.parse_expr()
+            self.expect("op", ";")
+            return ast.Return(line=line, value=value)
+        return self.parse_assign()
+
+    def parse_decl(self) -> ast.Decl:
+        line = self.cur.line
+        self._skip_type()
+        name = self.expect("ident").text
+        size = None
+        init = None
+        if self.accept("op", "["):
+            size = self.parse_expr()
+            self.expect("op", "]")
+        elif self.accept("op", "="):
+            init = self.parse_expr()
+        self.expect("op", ";")
+        return ast.Decl(line=line, name=name, array_size=size, init=init)
+
+    def parse_assign(self) -> ast.Assign:
+        line = self.cur.line
+        name = self.expect("ident").text
+        lhs: ast.Var | ast.Index
+        if self.accept("op", "["):
+            index = self.parse_expr()
+            self.expect("op", "]")
+            lhs = ast.Index(line=line, base=name, index=index)
+        else:
+            lhs = ast.Var(line=line, name=name)
+        op_tok = self.cur
+        if op_tok.kind != "op" or op_tok.text not in ("=", "&=", "|=", "^="):
+            raise self._fail("expected an assignment operator")
+        self.advance()
+        value = self.parse_expr()
+        self.expect("op", ";")
+        return ast.Assign(line=line, lhs=lhs, op=op_tok.text, value=value)
+
+    def parse_for(self) -> ast.For:
+        line = self.expect("keyword", "for").line
+        self.expect("op", "(")
+        if self._at_type():
+            self._skip_type()
+        var = self.expect("ident").text
+        self.expect("op", "=")
+        init = self.parse_expr()
+        self.expect("op", ";")
+        cond_var = self.expect("ident").text
+        if cond_var != var:
+            raise self._fail(f"loop condition must test {var!r}")
+        cond_tok = self.cur
+        if cond_tok.kind != "op" or cond_tok.text not in ("<", "<=", ">", ">=", "!="):
+            raise self._fail("expected a loop comparison")
+        self.advance()
+        bound = self.parse_expr()
+        self.expect("op", ";")
+        step = self._parse_update(var)
+        self.expect("op", ")")
+        body = self.parse_block()
+        return ast.For(line=line, var=var, init=init, cond_op=cond_tok.text,
+                       bound=bound, step=step, body=body)
+
+    def _parse_update(self, var: str) -> int:
+        name = self.expect("ident").text
+        if name != var:
+            raise self._fail(f"loop update must modify {var!r}")
+        if self.accept("op", "++"):
+            return 1
+        if self.accept("op", "--"):
+            return -1
+        tok = self.cur
+        if tok.kind == "op" and tok.text in ("+=", "-="):
+            self.advance()
+            step_tok = self.expect("number")
+            step = int(step_tok.text, 0)
+            return step if tok.text == "+=" else -step
+        if self.accept("op", "="):
+            # i = i + 1 / i = i - 1
+            self.expect("ident", None)
+            sign_tok = self.cur
+            if sign_tok.kind != "op" or sign_tok.text not in ("+", "-"):
+                raise self._fail("expected 'var = var +/- const'")
+            self.advance()
+            step = int(self.expect("number").text, 0)
+            return step if sign_tok.text == "+" else -step
+        raise self._fail("unsupported loop update")
+
+    # ------------------------------------------------------------------
+    # expressions: | > ^ > & > shift > add > mul > unary > primary
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _binary_level(self, ops: tuple[str, ...], next_level) -> ast.Expr:
+        left = next_level()
+        while self.cur.kind == "op" and self.cur.text in ops:
+            op = self.advance()
+            right = next_level()
+            left = ast.BinOp(line=op.line, op=op.text, left=left, right=right)
+        return left
+
+    def _parse_or(self) -> ast.Expr:
+        return self._binary_level(("|",), self._parse_xor)
+
+    def _parse_xor(self) -> ast.Expr:
+        return self._binary_level(("^",), self._parse_and)
+
+    def _parse_and(self) -> ast.Expr:
+        return self._binary_level(("&",), self._parse_shift)
+
+    def _parse_shift(self) -> ast.Expr:
+        return self._binary_level(("<<", ">>"), self._parse_add)
+
+    def _parse_add(self) -> ast.Expr:
+        return self._binary_level(("+", "-"), self._parse_mul)
+
+    def _parse_mul(self) -> ast.Expr:
+        return self._binary_level(("*", "/", "%"), self._parse_unary)
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self.cur
+        if tok.kind == "op" and tok.text in ("~", "-"):
+            self.advance()
+            return ast.UnOp(line=tok.line, op=tok.text,
+                            operand=self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self.cur
+        if tok.kind == "number":
+            self.advance()
+            return ast.IntLit(line=tok.line, value=int(tok.text, 0))
+        if tok.kind == "ident":
+            self.advance()
+            if self.accept("op", "["):
+                index = self.parse_expr()
+                self.expect("op", "]")
+                return ast.Index(line=tok.line, base=tok.text, index=index)
+            return ast.Var(line=tok.line, name=tok.text)
+        if tok.kind == "op" and tok.text == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect("op", ")")
+            return inner
+        raise self._fail("expected an expression")
+
+
+def parse(source: str) -> ast.Program:
+    """Parse C-subset source into a :class:`repro.frontend.ast_nodes.Program`."""
+    return _Parser(tokenize(source)).parse_program()

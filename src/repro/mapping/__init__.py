@@ -1,0 +1,17 @@
+"""Mapping and scheduling: Algorithm 1 (naive) and Algorithm 2 (Sherlock)."""
+
+from repro.mapping.base import MappingResult, MappingStats
+from repro.mapping.clustering import Cluster, find_clusters, merge_clusters
+from repro.mapping.naive import map_naive
+from repro.mapping.optimized import SherlockOptions, map_sherlock
+
+__all__ = [
+    "Cluster",
+    "MappingResult",
+    "MappingStats",
+    "SherlockOptions",
+    "find_clusters",
+    "map_naive",
+    "map_sherlock",
+    "merge_clusters",
+]

@@ -1,0 +1,48 @@
+"""Common result types shared by the naive and Sherlock mappers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.isa import Instruction
+from repro.arch.layout import Layout
+from repro.arch.target import TargetSpec
+from repro.dfg.graph import DataFlowGraph
+
+
+@dataclass
+class MappingStats:
+    """Diagnostics both algorithms report (Sec. 3.2/3.3 discussion)."""
+
+    mapper: str
+    gather_moves: int = 0
+    merged_instruction_savings: int = 0
+    clusters: int | None = None
+    cluster_merges: int | None = None
+    columns_used: int = 0
+    arrays_used: int = 0
+    duplicates: int = 0
+    #: operand cells in use after mapping and code generation
+    cells_used: int = 0
+
+    def as_dict(self) -> dict[str, object]:
+        """All statistics as a flat dictionary."""
+        return {k: v for k, v in self.__dict__.items()}
+
+
+@dataclass
+class MappingResult:
+    """Layout + generated instructions: the output of Algorithm 1/2."""
+
+    dag: DataFlowGraph
+    target: TargetSpec
+    layout: Layout
+    instructions: list[Instruction] = field(default_factory=list)
+    stats: MappingStats = field(default_factory=lambda: MappingStats("unknown"))
+
+    def finalize_stats(self) -> None:
+        """Fill the layout-derived statistics after code generation."""
+        self.stats.columns_used = self.layout.columns_used
+        self.stats.arrays_used = self.layout.arrays_used
+        self.stats.duplicates = self.layout.duplicates
+        self.stats.cells_used = self.layout.cells_used

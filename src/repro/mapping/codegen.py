@@ -1,0 +1,343 @@
+"""Instruction generation shared by the naive and Sherlock mappers.
+
+Given a layout policy (where each op computes, where its operands live),
+the code generator emits the Fig. 4 instruction stream:
+
+* **gather moves** — an operand without a copy in the op's home column is
+  moved there first (plain read → [bus transfer] → shift → write).  This is
+  the data movement/duplication both Sec. 3.2 and Sec. 2.2 blame on poor
+  mappings;
+* **compute** — one scouting CIM read activating the operand rows of the
+  home column (or a plain read + row-buffer NOT for unary ops);
+* **result routing** — the sensed bits land in the row buffer at the home
+  column and are written to the result cell, shifting/transferring first if
+  the mapper placed the result elsewhere (the naive cursor does this a lot).
+
+Two generation modes exist.  ``run_per_op`` emits one sequence per op in
+b-level order — what Algorithm 1 does.  ``run_merged`` is Sherlock's
+scheduler (Sec. 3.3.2/3.3.3): it walks the DAG level by level and *merges*
+compatible instructions across clusters — CIM reads sharing the same
+activated rows execute as a single instruction with per-column ops, and so
+do aligned gather moves and result writes.  Merging requires the target's
+selective-column capability.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.arch.isa import Instruction, NotInst, ReadInst, ShiftInst, TransferInst, WriteInst
+from repro.arch.layout import CellAddr, Layout
+from repro.arch.target import TargetSpec
+from repro.dfg.blevel import blevel_order
+from repro.dfg.graph import DataFlowGraph, OpNode
+from repro.dfg.ops import OpType
+from repro.errors import MappingError
+from repro.mapping.base import MappingStats
+
+
+class CodeGenerator:
+    """Emit instructions for a DAG given per-op home columns."""
+
+    def __init__(self, dag: DataFlowGraph, target: TargetSpec, layout: Layout,
+                 stats: MappingStats,
+                 pad_budget: dict[int, int] | None = None) -> None:
+        self.dag = dag
+        self.target = target
+        self.layout = layout
+        self.stats = stats
+        self.instructions: list[Instruction] = []
+        #: rows per global column that row-alignment may burn as padding;
+        #: the mapper sets it to (array height - planned footprint) so that
+        #: padded columns can never overflow
+        self.pad_budget = dict(pad_budget or {})
+        self._pad_used: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _emit(self, inst: Instruction) -> None:
+        self.instructions.append(inst)
+
+    def _check_arity(self, node: OpNode) -> None:
+        if node.op is not OpType.NOT and node.arity > self.target.max_activated_rows:
+            raise MappingError(
+                f"op {node.node_id} ({node.op.value}) has {node.arity} operands "
+                f"but the target activates at most "
+                f"{self.target.max_activated_rows} rows; split the DAG first")
+
+    def _distinct_operands(self, node: OpNode) -> list[int]:
+        operands = list(dict.fromkeys(node.operands))
+        if len(operands) != len(node.operands):
+            raise MappingError(
+                f"op {node.node_id} repeats an operand; normalize the DAG "
+                "(fold duplicate operands) before mapping")
+        return operands
+
+    def _move(self, operand_id: int, src: CellAddr, dst_gcol: int) -> CellAddr:
+        """Emit one unmerged gather move and place the new copy."""
+        dst_array, dst_col = self.layout.split(dst_gcol)
+        self._emit(ReadInst(src.array, (src.col,), (src.row,), None))
+        if src.array != dst_array:
+            self._emit(TransferInst(src.array, dst_array, (src.col,)))
+        delta = dst_col - src.col
+        if delta:
+            self._emit(ShiftInst(dst_array, delta))
+        dst = self.layout.place(operand_id, dst_gcol)
+        self._emit(WriteInst(dst_array, (dst_col,), dst.row))
+        self.stats.gather_moves += 1
+        return dst
+
+    def _ensure_in_column(self, operand_id: int, gcol: int) -> CellAddr:
+        """Source placement or gather move so the operand is in ``gcol``."""
+        copy = self.layout.copy_in_column(operand_id, gcol)
+        if copy is not None:
+            return copy
+        if not self.layout.is_placed(operand_id):
+            # Resident source data (input/const): the mapper chooses where it
+            # lives; placing it costs no instructions.
+            return self.layout.place(operand_id, gcol)
+        return self._move(operand_id, self.layout.primary(operand_id), gcol)
+
+    def _route_result(self, home_gcol: int, result_addr: CellAddr) -> None:
+        """Move the row-buffer result bit from the home column to its cell."""
+        array, col = self.layout.split(home_gcol)
+        if result_addr.array != array:
+            self._emit(TransferInst(array, result_addr.array, (col,)))
+        delta = result_addr.col - col
+        if delta:
+            self._emit(ShiftInst(result_addr.array, delta))
+        self._emit(WriteInst(result_addr.array, (result_addr.col,), result_addr.row))
+
+    # ------------------------------------------------------------------
+    # per-op generation (Algorithm 1 and the no-merge ablation)
+    # ------------------------------------------------------------------
+    def run_per_op(self, home_for: Callable[[int], int],
+                   place_results: bool = True) -> None:
+        """One instruction sequence per op node, in b-level order.
+
+        ``home_for`` maps an op node id to the global column it computes in.
+        With ``place_results`` the result cell is allocated in the home
+        column; otherwise the mapper must have placed it already (the naive
+        cursor does), and the result is routed there.
+        """
+        for op_id in blevel_order(self.dag):
+            node = self.dag.op(op_id)
+            self._check_arity(node)
+            home_gcol = home_for(op_id)
+            operands = self._distinct_operands(node)
+            copies = [self._ensure_in_column(oid, home_gcol) for oid in operands]
+            array, col = self.layout.split(home_gcol)
+            if node.op is OpType.NOT:
+                self._emit(ReadInst(array, (col,), (copies[0].row,), None))
+                self._emit(NotInst(array, (col,)))
+            else:
+                rows = tuple(sorted(c.row for c in copies))
+                self._emit(ReadInst(array, (col,), rows, (node.op,)))
+            if place_results:
+                result_addr = self.layout.place(node.result, home_gcol)
+            else:
+                result_addr = self.layout.primary(node.result)
+            self._route_result(home_gcol, result_addr)
+
+    # ------------------------------------------------------------------
+    # level-synchronous merged generation (Sherlock's scheduler)
+    # ------------------------------------------------------------------
+    def run_merged(self, column_of: dict[int, int]) -> None:
+        """Merge compatible instructions across clusters (Sec. 3.3.3).
+
+        Ops are processed level by level (level = longest dependence depth),
+        so every producer's result is in memory before its consumers read
+        it.  Because the wordlines are shared by all columns of an array,
+        two CIM reads can only merge when they activate *identical* rows —
+        so the scheduler keeps columns row-aligned: the results (and gather
+        copies) of one level are placed at a common base row across all
+        participating columns, padding shorter columns.  Structurally
+        similar clusters (what the Sec. 3.3.1 cases optimize for) then hit
+        the same rows level after level.  Within a level:
+
+        1. gather moves sharing (arrays, source row, shift distance) merge;
+        2. CIM reads sharing (array, activated rows) merge into one
+           instruction with per-column ops;
+        3. result writes sharing (array, destination row) merge.
+        """
+        if not self.target.selective_columns:
+            raise MappingError(
+                "instruction merging needs selective-column support; "
+                "use per-op generation on this target")
+        levels: dict[int, int] = {}
+        by_level: dict[int, list[int]] = {}
+        for op_id in self.dag.topological_ops():
+            pred_levels = [levels[p] for p in self.dag.pred_ops(op_id)]
+            level = 1 + (max(pred_levels) if pred_levels else 0)
+            levels[op_id] = level
+            by_level.setdefault(level, []).append(op_id)
+        for level in sorted(by_level):
+            ops = sorted(by_level[level])
+            self._place_new_sources(ops, column_of)
+            self._emit_level_gathers(ops, column_of)
+            self._emit_level_computes(ops, column_of)
+
+    def _place_new_sources(self, ops: list[int], column_of: dict[int, int]) -> None:
+        """Give still-unplaced inputs/consts a primary cell.
+
+        Resident source data costs no instructions; each source lands in the
+        column of the first op that needs it, and other clusters gather it
+        from there like any other external operand.  Sources live in the
+        top-down region so they never perturb result-row alignment.
+        """
+        claimed: set[int] = set()
+        for op_id in ops:
+            gcol = column_of[op_id]
+            for oid in self._distinct_operands(self.dag.op(op_id)):
+                if oid in claimed or self.layout.is_placed(oid):
+                    continue
+                claimed.add(oid)
+                self.layout.place_top(oid, gcol)
+
+    def _aligned_place(self, items: list[tuple[int, int]]) -> dict[tuple[int, int], CellAddr]:
+        """Place (operand, gcol) pairs at a shared base row where possible.
+
+        Participating columns start placing at the same base row (the
+        deepest fill line among them), padding the shorter ones, so that
+        corresponding placements land in the same wordline and the
+        resulting write instructions merge.  Alignment is a performance
+        optimization, never a correctness requirement: a column whose
+        padding budget is exhausted falls back to its own fill line, and
+        the budget (array height minus the cluster's planned footprint)
+        guarantees padded columns can never overflow.
+        """
+        per_col: dict[int, list[int]] = {}
+        for oid, gcol in items:
+            per_col.setdefault(gcol, []).append(oid)
+        if not per_col:
+            return {}
+        base = max(self.layout.column_fill(g) for g in per_col)
+        placed: dict[tuple[int, int], CellAddr] = {}
+        for gcol, oids in sorted(per_col.items()):
+            fill = self.layout.column_fill(gcol)
+            pad = base - fill
+            budget = (self.pad_budget.get(gcol, 0)
+                      - self._pad_used.get(gcol, 0))
+            aligned = (pad <= budget
+                       and base + len(oids) <= self.layout.column_capacity(gcol))
+            if aligned and pad:
+                self._pad_used[gcol] = self._pad_used.get(gcol, 0) + pad
+            for idx, oid in enumerate(oids):
+                if aligned:
+                    placed[(oid, gcol)] = self.layout.place_at(oid, gcol, base + idx)
+                else:
+                    placed[(oid, gcol)] = self.layout.place(oid, gcol)
+        return placed
+
+    def _emit_level_gathers(self, ops: list[int], column_of: dict[int, int]) -> None:
+        # (operand, dst gcol) -> src address; dict-key dedup keeps one move
+        # when several ops of one cluster need the same operand.
+        moves: dict[tuple[int, int], CellAddr] = {}
+        for op_id in ops:
+            node = self.dag.op(op_id)
+            self._check_arity(node)
+            gcol = column_of[op_id]
+            for oid in self._distinct_operands(node):
+                if self.layout.copy_in_column(oid, gcol) is not None:
+                    continue
+                key = (oid, gcol)
+                if key not in moves:
+                    moves[key] = self.layout.primary(oid)
+        # group by (src array, dst array, src row, shift distance)
+        groups: dict[tuple[int, int, int, int], list[tuple[int, CellAddr, int]]] = {}
+        for (oid, gcol), src in sorted(moves.items()):
+            dst_array, dst_col = self.layout.split(gcol)
+            delta = dst_col - src.col
+            key = (src.array, dst_array, src.row, delta)
+            groups.setdefault(key, []).append((oid, src, gcol))
+        for (src_array, dst_array, src_row, delta), entries in sorted(groups.items()):
+            # one read may select each source column only once
+            pending = entries
+            while pending:
+                batch, rest, seen_cols = [], [], set()
+                for entry in pending:
+                    if entry[1].col in seen_cols:
+                        rest.append(entry)
+                    else:
+                        seen_cols.add(entry[1].col)
+                        batch.append(entry)
+                self._emit_move_batch(src_array, dst_array, src_row, delta, batch)
+                pending = rest
+
+    def _emit_move_batch(self, src_array: int, dst_array: int, src_row: int,
+                         delta: int, batch: list[tuple[int, CellAddr, int]]) -> None:
+        cols = tuple(entry[1].col for entry in batch)
+        self._emit(ReadInst(src_array, cols, (src_row,), None))
+        if src_array != dst_array:
+            self._emit(TransferInst(src_array, dst_array, cols))
+        if delta:
+            self._emit(ShiftInst(dst_array, delta))
+        # gather copies park in the top-down region, leaving the bottom-up
+        # result region's row alignment untouched
+        writes: dict[int, list[int]] = {}
+        for oid, src, gcol in batch:
+            dst = self.layout.place_top(oid, gcol)
+            writes.setdefault(dst.row, []).append(dst.col)
+            self.stats.gather_moves += 1
+        for row, dst_cols in sorted(writes.items()):
+            self._emit(WriteInst(dst_array, tuple(sorted(dst_cols)), row))
+        # an unmerged generator would have spent 3-4 instructions per move
+        per_move = 3 + (1 if src_array != dst_array else 0)
+        emitted = 1 + (1 if src_array != dst_array else 0) + (1 if delta else 0) + len(writes)
+        self.stats.merged_instruction_savings += per_move * len(batch) - emitted
+
+    def _emit_level_computes(self, ops: list[int], column_of: dict[int, int]) -> None:
+        # bucket by compatible sensing: same array, same activated rows
+        buckets: dict[tuple, list[tuple[int, int, OpNode]]] = {}
+        for op_id in ops:
+            node = self.dag.op(op_id)
+            gcol = column_of[op_id]
+            array, col = self.layout.split(gcol)
+            operands = self._distinct_operands(node)
+            rows = tuple(sorted(
+                self.layout.copy_in_column(oid, gcol).row for oid in operands))
+            if node.op is OpType.NOT:
+                key = ("not", array, rows)
+            else:
+                key = ("cim", array, rows)
+            buckets.setdefault(key, []).append((col, gcol, node))
+        for key in sorted(buckets, key=str):
+            kind, array, rows = key
+            # a column may appear once per merged read; split on collision
+            pending = buckets[key]
+            while pending:
+                batch, rest, seen = [], [], set()
+                for entry in pending:
+                    if entry[0] in seen:
+                        rest.append(entry)
+                    else:
+                        seen.add(entry[0])
+                        batch.append(entry)
+                self._emit_compute_batch(kind, array, rows, batch)
+                pending = rest
+
+    def _emit_compute_batch(self, kind: str, array: int, rows: tuple[int, ...],
+                            batch: list[tuple[int, int, OpNode]]) -> None:
+        batch = sorted(batch, key=lambda e: e[0])
+        cols = tuple(e[0] for e in batch)
+        if kind == "not":
+            self._emit(ReadInst(array, cols, rows, None))
+            self._emit(NotInst(array, cols))
+            base_cost = 3  # read + not + write per op, unmerged
+        else:
+            ops = tuple(e[2].op for e in batch)
+            self._emit(ReadInst(array, cols, rows, ops))
+            base_cost = 2  # read + write per op, unmerged
+        # the batch members share their operand rows; aligning their result
+        # rows too keeps them mergeable level after level
+        results = self._aligned_place([(node.result, gcol)
+                                       for _, gcol, node in batch])
+        writes: dict[int, list[int]] = {}
+        for col, gcol, node in batch:
+            result_addr = results[(node.result, gcol)]
+            writes.setdefault(result_addr.row, []).append(result_addr.col)
+        for row, dst_cols in sorted(writes.items()):
+            self._emit(WriteInst(array, tuple(sorted(dst_cols)), row))
+        emitted = (2 if kind == "not" else 1) + len(writes)
+        self.stats.merged_instruction_savings += base_cost * len(batch) - emitted

@@ -1,0 +1,83 @@
+"""Algorithm 1: the naive (state-of-the-art) mapping of a DAG to CIM arrays.
+
+Op nodes are visited in descending b-level order; every operand (and the
+op's result) that is not yet in memory is packed at a monotonically
+advancing column cursor, spilling into the next column — and eventually the
+next array — when a column fills up.  Because the cursor ignores the DAG
+structure, the operands of later ops end up scattered over many columns,
+and code generation has to gather them with plain-read/shift/write move
+sequences, duplicating data.  That movement is exactly the inefficiency
+Sherlock's clustering eliminates (Sec. 2.2, "The mapping problem").
+"""
+
+from __future__ import annotations
+
+from repro.arch.layout import Layout
+from repro.arch.target import TargetSpec
+from repro.dfg.blevel import blevel_order
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import MappingError
+from repro.mapping.base import MappingResult, MappingStats
+from repro.mapping.codegen import CodeGenerator
+
+
+def map_naive(dag: DataFlowGraph, target: TargetSpec) -> MappingResult:
+    """Map and schedule ``dag`` with the naive column-major packing."""
+    dag.validate()
+    layout = Layout(target)
+    stats = MappingStats("naive")
+    gen = CodeGenerator(dag, target, layout, stats)
+
+    cursor = 0
+    planned_rows = target.usable_rows  # leave slack for gather duplicates
+
+    def place_at_cursor(operand_id: int) -> None:
+        nonlocal cursor
+        while layout.column_fill(cursor) >= planned_rows:
+            cursor += 1
+            if cursor >= layout.num_global_cols:
+                raise MappingError(
+                    "naive mapping ran out of columns: "
+                    f"{layout.num_global_cols} columns of "
+                    f"{planned_rows} usable rows; increase num_arrays")
+        layout.place(operand_id, cursor)
+
+    # Algorithm 1 lines 5-17: pack unmapped operands and results in b-level
+    # order at the cursor.
+    for op_id in blevel_order(dag):
+        node = dag.op(op_id)
+        for oid in dict.fromkeys(node.operands):
+            if not layout.is_placed(oid):
+                place_at_cursor(oid)
+        place_at_cursor(node.result)
+
+    # Algorithm 1 line 18: generate instructions per node.  The home column
+    # is the one already holding most of the op's operands (ties: lowest
+    # column) and with room for the missing gather copies.
+    def home_for(op_id: int) -> int:
+        node = dag.op(op_id)
+        operands = list(dict.fromkeys(node.operands))
+        votes: dict[int, int] = {}
+        for oid in operands:
+            for addr in layout.copies(oid):
+                gcol = layout.global_col(addr.array, addr.col)
+                votes[gcol] = votes.get(gcol, 0) + 1
+        candidates = sorted(votes, key=lambda g: (-votes[g], g))
+        for gcol in candidates:
+            missing = len(operands) - votes[gcol]
+            if layout.column_free(gcol) >= missing:
+                return gcol
+        # no populated column has room: gather everything into a fresh one
+        for gcol in range(layout.num_global_cols):
+            if layout.column_free(gcol) >= len(operands):
+                return gcol
+        raise MappingError(
+            "no column can host the gather copies; increase num_arrays "
+            "or lower column_fill_factor")
+
+    gen.run_per_op(home_for, place_results=False)
+
+    result = MappingResult(dag=dag, target=target, layout=layout,
+                           instructions=gen.instructions, stats=stats)
+    result.finalize_stats()
+    return result

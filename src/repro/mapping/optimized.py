@@ -1,0 +1,114 @@
+"""Algorithm 2: Sherlock's optimizing mapper.
+
+The DAG's op nodes are clustered (Sec. 3.3.1) so that dependent ops share a
+column, the clusters are greedily merged down to the column budget
+``k = ⌈operands / m⌉``, each surviving cluster is bound to one CIM column,
+and the level-synchronous scheduler generates code, merging compatible
+instructions across clusters (Sec. 3.3.2/3.3.3).  Instruction merging can
+be disabled for ablation studies, and is automatically unavailable on
+targets without selective-column control.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.layout import Layout
+from repro.arch.target import TargetSpec
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import MappingError
+from repro.mapping.base import MappingResult, MappingStats
+from repro.mapping.clustering import find_clusters, merge_clusters
+from repro.mapping.codegen import CodeGenerator
+
+
+@dataclass(frozen=True)
+class SherlockOptions:
+    """Tuning knobs of the optimizing mapper."""
+
+    #: Eq. 1 weights: α scales dependency closeness, β the size penalty
+    alpha: float = 1.0
+    beta: float = 0.05
+    #: merge compatible instructions across clusters (Sec. 3.3.3)
+    merge_instructions: bool = True
+    #: fraction of the column the cluster-merging phase may fill; the rest
+    #: stays free as row-alignment padding budget, which keeps instruction
+    #: merging alive on deep DAGs (1.0 = pack columns completely)
+    merge_headroom: float = 0.6
+
+
+def map_sherlock(dag: DataFlowGraph, target: TargetSpec,
+                 options: SherlockOptions | None = None) -> MappingResult:
+    """Map and schedule ``dag`` with Sherlock's clustering mapper."""
+    options = options or SherlockOptions()
+    dag.validate()
+    layout = Layout(target)
+    stats = MappingStats("sherlock")
+    c_max = target.usable_rows
+
+    if not 0 < options.merge_headroom <= 1:
+        raise MappingError(
+            f"merge_headroom must be in (0, 1], got {options.merge_headroom}")
+    k = max(1, math.ceil(dag.num_operands / c_max))
+    build_cap = max(3, int(c_max * options.merge_headroom))
+    clusters = find_clusters(dag, build_cap, options.alpha, options.beta)
+    clusters, merges = merge_clusters(clusters, k, build_cap, dag)
+    stats.clusters = len(clusters)
+    stats.cluster_merges = merges
+
+    if len(clusters) > layout.num_global_cols:
+        raise MappingError(
+            f"need {len(clusters)} columns but the target only has "
+            f"{layout.num_global_cols}; increase num_arrays")
+
+    # bind cluster i to global column i, in creation order; the headroom
+    # above each cluster's planned footprint becomes the row-alignment
+    # padding budget of its column
+    column_of: dict[int, int] = {}
+    pad_budget: dict[int, int] = {}
+    for gcol, cluster in enumerate(clusters):
+        for op_id in cluster.ops:
+            column_of[op_id] = gcol
+        pad_budget[gcol] = max(0, target.rows - cluster.footprint)
+
+    _stage_shared_sources(dag, layout, column_of, first_free=len(clusters))
+
+    gen = CodeGenerator(dag, target, layout, stats, pad_budget=pad_budget)
+    if options.merge_instructions and target.selective_columns:
+        gen.run_merged(column_of)
+    else:
+        gen.run_per_op(lambda op_id: column_of[op_id], place_results=True)
+
+    result = MappingResult(dag=dag, target=target, layout=layout,
+                           instructions=gen.instructions, stats=stats)
+    result.finalize_stats()
+    return result
+
+
+def _stage_shared_sources(dag: DataFlowGraph, layout: Layout,
+                          column_of: dict[int, int], first_free: int) -> None:
+    """Park source data shared between clusters in dedicated columns.
+
+    A primary input sitting in one cluster's column desynchronizes that
+    column's top-down region from its structural peers and breaks
+    instruction merging, so multi-cluster inputs live in staging columns
+    and *every* consumer gathers a copy symmetrically.  Sources consumed
+    by a single cluster stay unplaced here; the code generator parks them
+    in that cluster's column for free.
+    """
+    gcol = first_free
+    usable = layout.target.usable_rows
+    for operand in sorted(dag.operand_nodes(), key=lambda o: o.node_id):
+        if operand.producer is not None:
+            continue
+        consuming = {column_of[op_id] for op_id in dag.consumers(operand.node_id)}
+        if len(consuming) <= 1:
+            continue
+        while gcol < layout.num_global_cols and layout.column_fill(gcol) >= usable:
+            gcol += 1
+        if gcol >= layout.num_global_cols:
+            # staging space exhausted: the remaining sources fall back to
+            # first-user placement inside the code generator
+            return
+        layout.place(operand.node_id, gcol)

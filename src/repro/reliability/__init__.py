@@ -1,0 +1,17 @@
+"""Application-level reliability analysis (Sec. 4.2, Fig. 6)."""
+
+from repro.devices.failure import application_failure_probability
+from repro.reliability.sweep import (
+    DEFAULT_FRACTIONS,
+    SweepPoint,
+    mra_sweep,
+    pareto_front,
+)
+
+__all__ = [
+    "DEFAULT_FRACTIONS",
+    "SweepPoint",
+    "application_failure_probability",
+    "mra_sweep",
+    "pareto_front",
+]

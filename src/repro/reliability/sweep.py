@@ -1,0 +1,71 @@
+"""Reliability/performance sweeps (Fig. 6 of the paper).
+
+The sweep knob is the allowed fraction of multi-operand (MRA > 2) ops in
+the DAG: merging ops removes instructions (latency drops) but every merged
+op senses more rows at once (``P_DF`` grows).  For each budget point we
+compile the application and report latency, energy and ``P_app`` — exactly
+the axes of Fig. 6.  On technologies with NAND lowering (STT-MRAM) the
+XOR/OR ops are rewritten after the merge, matching the Fig. 6b setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.target import TargetSpec
+from repro.core.compiler import SherlockCompiler
+from repro.core.config import CompilerConfig
+from repro.dfg.graph import DataFlowGraph
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of the Fig. 6 latency/reliability trade-off curve."""
+
+    allowed_fraction: float
+    achieved_fraction: float
+    latency_us: float
+    energy_uj: float
+    p_app: float
+    instructions: int
+
+
+DEFAULT_FRACTIONS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0)
+
+
+def mra_sweep(dag: DataFlowGraph, target: TargetSpec, mapper: str = "sherlock",
+              fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+              mra: int | None = None) -> list[SweepPoint]:
+    """Compile the DAG at each multi-operand budget and collect metrics.
+
+    ``mra`` defaults to the target's multi-row-activation limit; fraction
+    0.0 reproduces the binary-DAG baseline (leftmost Fig. 6 points).
+    """
+    mra = mra or target.max_activated_rows
+    points = []
+    for fraction in fractions:
+        config = CompilerConfig(mapper=mapper, mra=mra, mra_fraction=fraction)
+        program = SherlockCompiler(target, config).compile(dag)
+        metrics = program.metrics
+        multi = sum(count for k, count in metrics.mra_histogram.items() if k > 2)
+        total = max(1, metrics.cim_column_ops)
+        points.append(SweepPoint(
+            allowed_fraction=fraction,
+            achieved_fraction=multi / total,
+            latency_us=metrics.latency_us,
+            energy_uj=metrics.energy_uj,
+            p_app=metrics.p_app,
+            instructions=metrics.instruction_count,
+        ))
+    return points
+
+
+def pareto_front(points: list[SweepPoint]) -> list[SweepPoint]:
+    """Points not dominated in (latency, P_app) — the useful trade-offs."""
+    front = []
+    for p in points:
+        if not any(q.latency_us <= p.latency_us and q.p_app <= p.p_app
+                   and (q.latency_us, q.p_app) != (p.latency_us, p.p_app)
+                   for q in points):
+            front.append(p)
+    return sorted(front, key=lambda p: p.latency_us)

@@ -1,0 +1,26 @@
+"""Simulation substrate: functional trace execution and cost accounting."""
+
+from repro.sim.endurance import WearReport, static_write_counts, wear_from_counts, wear_report
+from repro.sim.executor import ArrayMachine, extract_outputs, preload_sources
+from repro.sim.metrics import (
+    TraceMetrics,
+    analyze_trace,
+    operation_failures,
+    p_app_of,
+    parallel_latency_cycles,
+)
+
+__all__ = [
+    "ArrayMachine",
+    "TraceMetrics",
+    "analyze_trace",
+    "extract_outputs",
+    "operation_failures",
+    "p_app_of",
+    "parallel_latency_cycles",
+    "preload_sources",
+    "static_write_counts",
+    "wear_from_counts",
+    "wear_report",
+    "WearReport",
+]

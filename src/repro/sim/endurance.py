@@ -1,0 +1,73 @@
+"""Endurance/wear analysis of compiled programs (reproduction extension).
+
+NVM cells endure a bounded number of program cycles (ReRAM ~1e9, PCM ~1e8;
+STT-MRAM is effectively wear-free).  Because CIM turns every intermediate
+result into a cell write, write traffic concentrates on the result cells of
+hot columns; this module quantifies that and projects how many kernel
+executions the array sustains before the hottest cell wears out — a
+first-order lifetime bound for the accelerator.
+
+Wear can be measured two ways: from a functional run (the
+:class:`repro.sim.executor.ArrayMachine` counts actual writes) or statically
+from the instruction trace (each write instruction programs one cell per
+selected column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.isa import Instruction, WriteInst
+from repro.devices.technology import Technology
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class WearReport:
+    """Write-traffic statistics of one program execution."""
+
+    total_cell_writes: int
+    cells_written: int
+    max_writes_per_cell: int
+    mean_writes_per_cell: float
+    #: (array, row, col) of the most-written cell
+    hottest_cell: tuple[int, int, int] | None
+
+    def lifetime_executions(self, technology: Technology) -> float:
+        """Kernel executions until the hottest cell exceeds its endurance."""
+        if self.max_writes_per_cell == 0:
+            return float("inf")
+        return technology.endurance_cycles / self.max_writes_per_cell
+
+
+def wear_from_counts(write_counts: dict[tuple[int, int, int], int]) -> WearReport:
+    """Build a report from per-cell write counters (machine or static)."""
+    if not write_counts:
+        return WearReport(0, 0, 0, 0.0, None)
+    total = sum(write_counts.values())
+    hottest = max(write_counts, key=lambda k: (write_counts[k], k))
+    return WearReport(
+        total_cell_writes=total,
+        cells_written=len(write_counts),
+        max_writes_per_cell=write_counts[hottest],
+        mean_writes_per_cell=total / len(write_counts),
+        hottest_cell=hottest,
+    )
+
+
+def static_write_counts(instructions: list[Instruction]) -> dict[tuple[int, int, int], int]:
+    """Per-cell write counts derived from the trace alone."""
+    counts: dict[tuple[int, int, int], int] = {}
+    for inst in instructions:
+        if isinstance(inst, WriteInst):
+            for col in inst.cols:
+                key = (inst.array, inst.row, col)
+                counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def wear_report(instructions: list[Instruction]) -> WearReport:
+    """Static wear report of one program run."""
+    if instructions is None:
+        raise SimulationError("need an instruction trace")
+    return wear_from_counts(static_write_counts(instructions))

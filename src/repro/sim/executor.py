@@ -1,0 +1,215 @@
+"""Functional execution of CIM instruction traces.
+
+This is the correctness half of our gem5 substitute: it implements the exact
+semantics of the ISA on a lane-parallel array model, so a compiled program
+can be cross-checked against the reference evaluation of its source DAG.
+
+Lane values are Python integers used as bitmasks (lane ``i`` = bit ``i``),
+which keeps the machine exact for any lane count.  The *simulated* lane
+count may be much smaller than the target's modeled data width: timing and
+energy are lane-agnostic (lanes run in lockstep), so simulating 64 lanes
+verifies the same program the cost model prices at 4096 lanes.
+
+Decision failures can be injected: each CIM column-op flips sensed lanes
+with the technology's ``P_DF``, letting tests observe the reliability model
+end to end.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.arch.isa import (
+    Instruction,
+    NotInst,
+    ReadInst,
+    ShiftInst,
+    TransferInst,
+    WriteInst,
+)
+from repro.arch.layout import CellAddr, Layout
+from repro.arch.target import TargetSpec
+from repro.devices.failure import decision_failure_probability
+from repro.dfg.ops import OpType, apply_op
+from repro.errors import SimulationError
+
+
+class ArrayMachine:
+    """Functional model of the CIM arrays plus their row buffers."""
+
+    def __init__(self, target: TargetSpec, lanes: int = 64,
+                 fault_rng: random.Random | None = None) -> None:
+        if lanes < 1:
+            raise SimulationError(f"lane count must be positive, got {lanes}")
+        self.target = target
+        self.lanes = lanes
+        self.mask = (1 << lanes) - 1
+        self.fault_rng = fault_rng
+        self.injected_faults = 0
+        self._cells: dict[tuple[int, int, int], int] = {}  # (array,row,col) -> lanes
+        self._rowbuf: dict[int, dict[int, int]] = {}  # array -> col -> lanes
+        #: program cycles per cell, for endurance/wear analysis
+        self.write_counts: dict[tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # cell access
+    # ------------------------------------------------------------------
+    def _check_addr(self, array: int, row: int, col: int) -> None:
+        t = self.target
+        if not (0 <= array < t.num_arrays and 0 <= row < t.rows and 0 <= col < t.cols):
+            raise SimulationError(
+                f"address (array={array}, row={row}, col={col}) outside "
+                f"target {t.num_arrays}x{t.rows}x{t.cols}")
+
+    def poke(self, addr: CellAddr, value: int) -> None:
+        """Directly set a cell (used to preload resident input data)."""
+        self._check_addr(addr.array, addr.row, addr.col)
+        self._cells[(addr.array, addr.row, addr.col)] = value & self.mask
+
+    def peek(self, addr: CellAddr) -> int:
+        """Directly observe a cell."""
+        self._check_addr(addr.array, addr.row, addr.col)
+        try:
+            return self._cells[(addr.array, addr.row, addr.col)]
+        except KeyError:
+            raise SimulationError(
+                f"cell (array={addr.array}, row={addr.row}, col={addr.col}) "
+                "was never written") from None
+
+    def rowbuf(self, array: int) -> dict[int, int]:
+        """Snapshot of an array's row-buffer contents (col -> lanes)."""
+        return dict(self._rowbuf.get(array, {}))
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, instructions: list[Instruction]) -> None:
+        """Execute a whole instruction trace in order."""
+        for inst in instructions:
+            self.execute(inst)
+
+    def execute(self, inst: Instruction) -> None:
+        """Execute one instruction."""
+        if isinstance(inst, ReadInst):
+            self._read(inst)
+        elif isinstance(inst, WriteInst):
+            self._write(inst)
+        elif isinstance(inst, ShiftInst):
+            self._shift(inst)
+        elif isinstance(inst, NotInst):
+            self._not(inst)
+        elif isinstance(inst, TransferInst):
+            self._transfer(inst)
+        else:
+            raise SimulationError(f"unknown instruction {inst!r}")
+
+    def _read(self, inst: ReadInst) -> None:
+        buf = self._rowbuf.setdefault(inst.array, {})
+        for idx, col in enumerate(inst.cols):
+            values = []
+            for row in inst.rows:
+                self._check_addr(inst.array, row, col)
+                try:
+                    values.append(self._cells[(inst.array, row, col)])
+                except KeyError:
+                    raise SimulationError(
+                        f"read of uninitialized cell (array={inst.array}, "
+                        f"row={row}, col={col})") from None
+            if inst.ops is None:
+                result = values[0]
+                op_for_fault: OpType | None = None
+            else:
+                result = apply_op(inst.ops[idx], values, self.mask)
+                op_for_fault = inst.ops[idx]
+            if self.fault_rng is not None:
+                result = self._inject(result, op_for_fault, len(inst.rows))
+            buf[col] = result
+
+    def _inject(self, value: int, op: OpType | None, k: int) -> int:
+        """Flip sensed lanes with the per-lane decision-failure probability."""
+        tech = self.target.technology
+        if op is None:
+            p = decision_failure_probability(tech, OpType.NOT, 1)
+        else:
+            p = decision_failure_probability(tech, op, k)
+        if p <= 0.0:
+            return value
+        flips = 0
+        for lane in range(self.lanes):
+            if self.fault_rng.random() < p:
+                value ^= 1 << lane
+                flips += 1
+        self.injected_faults += flips
+        return value
+
+    def _write(self, inst: WriteInst) -> None:
+        buf = self._rowbuf.get(inst.array, {})
+        for col in inst.cols:
+            self._check_addr(inst.array, inst.row, col)
+            if col not in buf:
+                raise SimulationError(
+                    f"write from empty row-buffer column {col} "
+                    f"(array {inst.array})")
+            key = (inst.array, inst.row, col)
+            self._cells[key] = buf[col]
+            self.write_counts[key] = self.write_counts.get(key, 0) + 1
+
+    def _shift(self, inst: ShiftInst) -> None:
+        buf = self._rowbuf.get(inst.array, {})
+        shifted = {}
+        for col, value in buf.items():
+            new_col = col + inst.amount
+            if 0 <= new_col < self.target.cols:
+                shifted[new_col] = value
+        self._rowbuf[inst.array] = shifted
+
+    def _not(self, inst: NotInst) -> None:
+        buf = self._rowbuf.get(inst.array, {})
+        for col in inst.cols:
+            if col not in buf:
+                raise SimulationError(
+                    f"NOT of empty row-buffer column {col} (array {inst.array})")
+            buf[col] = ~buf[col] & self.mask
+
+    def _transfer(self, inst: TransferInst) -> None:
+        src = self._rowbuf.get(inst.array, {})
+        dst = self._rowbuf.setdefault(inst.dst_array, {})
+        for col in inst.cols:
+            if col not in src:
+                raise SimulationError(
+                    f"xfer from empty row-buffer column {col} "
+                    f"(array {inst.array})")
+            dst[col] = src[col]
+
+
+def preload_sources(machine: ArrayMachine, layout: Layout, dag,
+                    inputs: dict[str, int]) -> None:
+    """Write resident input data and constants into their primary cells.
+
+    In a CIM system the application data already lives in the arrays; the
+    mapper chooses *where*.  Only the first (primary) copy is preloaded —
+    every further copy is materialized by the program's own gather moves.
+    """
+    from repro.dfg.graph import OperandKind  # local import to avoid cycles
+
+    names = {o.name for o in dag.inputs()}
+    missing = names - set(inputs)
+    if missing:
+        raise SimulationError(f"missing input values: {sorted(missing)}")
+    for operand in dag.operand_nodes():
+        if operand.kind is OperandKind.INPUT:
+            value = inputs[operand.name]
+        elif operand.kind is OperandKind.CONST:
+            value = machine.mask if operand.const_value else 0
+        else:
+            continue
+        if layout.is_placed(operand.node_id):
+            machine.poke(layout.primary(operand.node_id), value & machine.mask)
+
+
+def extract_outputs(machine: ArrayMachine, layout: Layout, dag) -> dict[str, int]:
+    """Read the program outputs back from their primary cells."""
+    results = {}
+    for name, oid in dag.outputs.items():
+        results[name] = machine.peek(layout.primary(oid))
+    return results

@@ -1,0 +1,238 @@
+"""Timing, energy and reliability accounting over instruction traces.
+
+This is the performance half of our gem5 substitute.  The controller issues
+one (possibly column-merged) instruction at a time; each instruction takes a
+whole number of controller cycles derived from the array cost model, and its
+energy scales with the selected columns and the lockstep lane count (the
+target's data width).  Reliability aggregates the per-column decision-failure
+probabilities of every CIM read into the paper's ``P_app``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.arch.isa import (
+    Instruction,
+    NotInst,
+    ReadInst,
+    ShiftInst,
+    TransferInst,
+    WriteInst,
+)
+from repro.arch.target import TargetSpec
+from repro.devices.failure import application_failure_probability
+from repro.devices.failure import decision_failure_probability as _p_df
+from repro.devices.technology import Technology
+from repro.dfg.ops import OpType
+from repro.errors import SimulationError
+
+
+@lru_cache(maxsize=4096)
+def cached_p_df(tech: Technology, op: OpType, k: int) -> float:
+    """Memoized decision-failure probability (traces repeat few (op, k))."""
+    return _p_df(tech, op, k)
+
+
+@dataclass
+class TraceMetrics:
+    """Everything the evaluation section reports about one program run."""
+
+    target: TargetSpec
+    latency_cycles: int = 0
+    energy_pj: float = 0.0
+    instruction_count: int = 0
+    plain_reads: int = 0
+    cim_reads: int = 0
+    cim_column_ops: int = 0
+    writes: int = 0
+    shifts: int = 0
+    rowbuf_nots: int = 0
+    transfers: int = 0
+    #: per-arity count of CIM column ops (arity -> count)
+    mra_histogram: dict[int, int] = field(default_factory=dict)
+    #: sum of log(1 - P_DF) over all sensing decisions
+    _log_ok: float = 0.0
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def latency_ns(self) -> float:
+        return self.latency_cycles * self.target.cycle_ns
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency_ns * 1e-3
+
+    @property
+    def energy_nj(self) -> float:
+        return self.energy_pj * 1e-3
+
+    @property
+    def energy_uj(self) -> float:
+        return self.energy_pj * 1e-6
+
+    @property
+    def p_app(self) -> float:
+        """Probability of at least one decision failure (Sec. 4.2)."""
+        return -math.expm1(self._log_ok)
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-seconds (Fig. 7's metric)."""
+        return (self.energy_pj * 1e-12) * (self.latency_ns * 1e-9)
+
+    @property
+    def movement_instructions(self) -> int:
+        """Instructions that only move data (no logic computed)."""
+        return self.plain_reads + self.shifts + self.transfers
+
+    def scaled(self, iterations: int) -> "TraceMetrics":
+        """Metrics for ``iterations`` back-to-back runs of the same trace."""
+        if iterations < 1:
+            raise SimulationError(f"iterations must be positive, got {iterations}")
+        out = TraceMetrics(
+            target=self.target,
+            latency_cycles=self.latency_cycles * iterations,
+            energy_pj=self.energy_pj * iterations,
+            instruction_count=self.instruction_count * iterations,
+            plain_reads=self.plain_reads * iterations,
+            cim_reads=self.cim_reads * iterations,
+            cim_column_ops=self.cim_column_ops * iterations,
+            writes=self.writes * iterations,
+            shifts=self.shifts * iterations,
+            rowbuf_nots=self.rowbuf_nots * iterations,
+            transfers=self.transfers * iterations,
+            mra_histogram={k: v * iterations for k, v in self.mra_histogram.items()},
+        )
+        out._log_ok = self._log_ok * iterations
+        return out
+
+    def summary(self) -> dict[str, float]:
+        """Flat dictionary for table printing."""
+        return {
+            "latency_us": self.latency_us,
+            "energy_nj": self.energy_nj,
+            "edp_js": self.edp,
+            "p_app": self.p_app,
+            "instructions": self.instruction_count,
+            "cim_reads": self.cim_reads,
+            "writes": self.writes,
+            "movement": self.movement_instructions,
+        }
+
+
+def analyze_trace(instructions: list[Instruction], target: TargetSpec,
+                  count_plain_read_failures: bool = False) -> TraceMetrics:
+    """Price a trace: cycles, picojoules and P_app, instruction by instruction.
+
+    ``count_plain_read_failures`` additionally charges the (tiny) single-row
+    sensing failure of plain reads against ``P_app``; the paper only counts
+    CIM operations, which is the default here.
+    """
+    cost = target.cost_model
+    tech = target.technology
+    lanes = target.data_width
+    clock = target.clock_ghz
+    m = TraceMetrics(target=target)
+
+    def cycles(ns: float) -> int:
+        return max(1, math.ceil(ns * clock))
+
+    for inst in instructions:
+        m.instruction_count += 1
+        if isinstance(inst, ReadInst):
+            k = len(inst.rows)
+            m.latency_cycles += cycles(cost.read_latency_ns(k))
+            m.energy_pj += cost.read_energy_pj(len(inst.cols), k, lanes)
+            if inst.ops is None:
+                m.plain_reads += 1
+                if count_plain_read_failures:
+                    p = cached_p_df(tech, OpType.NOT, 1)
+                    m._log_ok += math.log1p(-p)
+            else:
+                m.cim_reads += 1
+                m.cim_column_ops += len(inst.ops)
+                m.mra_histogram[k] = m.mra_histogram.get(k, 0) + len(inst.ops)
+                for op in inst.ops:
+                    p = cached_p_df(tech, op, k)
+                    if p >= 1.0:
+                        m._log_ok = -math.inf
+                    else:
+                        m._log_ok += math.log1p(-p)
+        elif isinstance(inst, WriteInst):
+            m.writes += 1
+            m.latency_cycles += cycles(cost.write_latency_ns())
+            m.energy_pj += cost.write_energy_pj(len(inst.cols), lanes)
+        elif isinstance(inst, ShiftInst):
+            m.shifts += 1
+            m.latency_cycles += cycles(cost.shift_latency_ns())
+            m.energy_pj += cost.shift_energy_pj(lanes)
+        elif isinstance(inst, NotInst):
+            m.rowbuf_nots += 1
+            m.latency_cycles += cycles(cost.rowbuf_op_latency_ns())
+            m.energy_pj += cost.rowbuf_op_energy_pj(len(inst.cols), lanes)
+        elif isinstance(inst, TransferInst):
+            m.transfers += 1
+            m.latency_cycles += cycles(cost.transfer_latency_ns())
+            m.energy_pj += cost.transfer_energy_pj(len(inst.cols), lanes)
+        else:
+            raise SimulationError(f"unknown instruction {inst!r}")
+    return m
+
+
+def parallel_latency_cycles(instructions: list[Instruction],
+                            target: TargetSpec) -> int:
+    """Latency with per-array concurrency (a reproduction extension).
+
+    The paper's controller issues one instruction at a time; real multi-bank
+    CIM systems let each array execute independently, synchronizing only at
+    inter-array transfers.  This model keeps one clock per array: an
+    instruction occupies only its array, and a transfer joins the source and
+    destination clocks.  The returned cycle count is the makespan — a lower
+    bound showing how much inter-array parallelism the schedule exposes.
+    """
+    cost = target.cost_model
+    clock = target.clock_ghz
+    busy: dict[int, int] = {}
+
+    def cycles(ns: float) -> int:
+        return max(1, math.ceil(ns * clock))
+
+    for inst in instructions:
+        if isinstance(inst, TransferInst):
+            start = max(busy.get(inst.array, 0), busy.get(inst.dst_array, 0))
+            done = start + cycles(cost.transfer_latency_ns())
+            busy[inst.array] = done
+            busy[inst.dst_array] = done
+            continue
+        if isinstance(inst, ReadInst):
+            ns = cost.read_latency_ns(len(inst.rows))
+        elif isinstance(inst, WriteInst):
+            ns = cost.write_latency_ns()
+        elif isinstance(inst, ShiftInst):
+            ns = cost.shift_latency_ns()
+        elif isinstance(inst, NotInst):
+            ns = cost.rowbuf_op_latency_ns()
+        else:
+            raise SimulationError(f"unknown instruction {inst!r}")
+        busy[inst.array] = busy.get(inst.array, 0) + cycles(ns)
+    return max(busy.values(), default=0)
+
+
+def operation_failures(instructions: list[Instruction], target: TargetSpec) -> list[float]:
+    """Per-CIM-column-op decision-failure probabilities, in trace order."""
+    failures = []
+    for inst in instructions:
+        if isinstance(inst, ReadInst) and inst.ops is not None:
+            k = len(inst.rows)
+            failures.extend(cached_p_df(target.technology, op, k) for op in inst.ops)
+    return failures
+
+
+def p_app_of(instructions: list[Instruction], target: TargetSpec) -> float:
+    """Convenience: ``P_app`` of a trace (Sec. 4.2 formula)."""
+    return application_failure_probability(operation_failures(instructions, target))

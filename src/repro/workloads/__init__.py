@@ -1,0 +1,231 @@
+"""Benchmark workloads: the paper's three applications plus synthetic DAGs.
+
+Each registry entry packages a DAG factory, an input generator, and an
+output checker behind one interface so the benchmark harness and tests can
+treat all workloads uniformly.  The default parameters reproduce the
+regimes of the paper's evaluation (multi-column DAGs on 512/1024 arrays).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import SherlockError
+from repro.sim.cpu import CpuEvents, aes_events, bitweaving_events, sobel_events
+from repro.workloads import aes, bfs, bitweaving, dna, sobel
+from repro.workloads.synthetic import synthetic_dag
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A benchmarkable kernel with reference semantics."""
+
+    name: str
+    description: str
+    build_dag: Callable[[], DataFlowGraph]
+    #: (rng, lanes) -> input dict for DFG evaluation / program execution
+    make_inputs: Callable[[random.Random, int], dict[str, int]]
+    #: (inputs, outputs, lanes) -> raises on mismatch with the reference
+    check: Callable[[dict[str, int], dict[str, int], int], None]
+    #: lanes -> scalar-CPU event counts for the same work (Fig. 7 baseline)
+    cpu_events: Callable[[int], CpuEvents]
+    #: full-application scale factor: program runs for a realistic dataset
+    #: program runs needed for the workload's realistic dataset size
+    dataset_iterations: Callable[[int], int] = field(
+        default=lambda data_width: 1)
+
+
+# ----------------------------------------------------------------------
+# bitweaving: 32-segment BETWEEN scan, 8-bit codes, 1M-record column
+# ----------------------------------------------------------------------
+_BW_SEGMENTS = 32
+_BW_BITS = 8
+_BW_RECORDS = 1_000_000
+_BW_LO, _BW_HI = 50, 200
+
+
+def _bw_inputs(rng: random.Random, lanes: int) -> dict[str, int]:
+    segments = [[rng.randrange(1 << _BW_BITS) for _ in range(lanes)]
+                for _ in range(_BW_SEGMENTS)]
+    return bitweaving.batch_scan_inputs(_BW_LO, _BW_HI, segments, _BW_BITS)
+
+
+def _bw_check(inputs: dict[str, int], outputs: dict[str, int], lanes: int) -> None:
+    for j in range(_BW_SEGMENTS):
+        column = []
+        for lane in range(lanes):
+            value = 0
+            for i in range(_BW_BITS):
+                bit = (inputs[f"s{j}_x[{i}]"] >> lane) & 1
+                value |= bit << (_BW_BITS - 1 - i)
+            column.append(value)
+        expected = bitweaving.between_reference(_BW_LO, _BW_HI, column)
+        if outputs[f"s{j}_return"] != expected:
+            raise SherlockError(f"bitweaving segment {j} mismatch")
+
+
+# ----------------------------------------------------------------------
+# sobel: 4x4 output tile, 8-bit pixels, 512x512 image
+# ----------------------------------------------------------------------
+_SOBEL_TILE = 4
+_SOBEL_IMAGE = 512
+
+
+def _sobel_inputs(rng: random.Random, lanes: int) -> dict[str, int]:
+    windows = [[[rng.randrange(256) for _ in range(_SOBEL_TILE + 2)]
+                for _ in range(_SOBEL_TILE + 2)] for _ in range(lanes)]
+    return sobel.tile_inputs(windows, _SOBEL_TILE)
+
+
+def _sobel_check(inputs: dict[str, int], outputs: dict[str, int], lanes: int) -> None:
+    size = _SOBEL_TILE + 2
+    grids = sobel.decode_tile_magnitudes(outputs, lanes, _SOBEL_TILE)
+    for lane in range(lanes):
+        window = [[0] * size for _ in range(size)]
+        for r in range(size):
+            for c in range(size):
+                value = 0
+                for i in range(8):
+                    value |= ((inputs[f"w{r}_{c}[{i}]"] >> lane) & 1) << i
+                window[r][c] = value
+        for r in range(_SOBEL_TILE):
+            for c in range(_SOBEL_TILE):
+                nb = [[window[r + dr][c + dc] for dc in range(3)]
+                      for dr in range(3)]
+                if grids[lane][r][c] != sobel.sobel_reference(nb):
+                    raise SherlockError(f"sobel mismatch at lane {lane} ({r},{c})")
+
+
+# ----------------------------------------------------------------------
+# aes: full AES-128 over one block per lane
+# ----------------------------------------------------------------------
+_AES_ROUNDS = 10
+_AES_KEY = aes.FIPS_KEY
+_AES_BLOCKS = 4096  # dataset: 64 KiB of plaintext
+
+
+def _aes_inputs(rng: random.Random, lanes: int) -> dict[str, int]:
+    blocks = [bytes(rng.randrange(256) for _ in range(16)) for _ in range(lanes)]
+    return aes.block_inputs(blocks, _AES_KEY, _AES_ROUNDS)
+
+
+def _aes_check(inputs: dict[str, int], outputs: dict[str, int], lanes: int) -> None:
+    got = aes.decode_blocks(outputs, lanes)
+    for lane in range(lanes):
+        block = bytes(
+            sum(((inputs[f"pt{byte}[{bit}]"] >> lane) & 1) << bit
+                for bit in range(8))
+            for byte in range(16))
+        expected = aes.encrypt_reference(block, _AES_KEY, _AES_ROUNDS)
+        if got[lane] != expected:
+            raise SherlockError(f"aes mismatch at lane {lane}")
+
+
+# ----------------------------------------------------------------------
+# bfs: bulk-bitwise frontier expansion (graph-processing extension)
+# ----------------------------------------------------------------------
+_BFS_VERTICES = 16
+_BFS_DENSITY = 0.2
+
+
+def _bfs_random_state(rng: random.Random, lanes: int):
+    graphs = [[[1 if rng.random() < _BFS_DENSITY and i != j else 0
+                for j in range(_BFS_VERTICES)] for i in range(_BFS_VERTICES)]
+              for _ in range(lanes)]
+    sources = [rng.randrange(_BFS_VERTICES) for _ in range(lanes)]
+    return graphs, sources
+
+
+def _bfs_inputs(rng: random.Random, lanes: int) -> dict[str, int]:
+    graphs, sources = _bfs_random_state(rng, lanes)
+    return bfs.step_inputs(graphs, [{s} for s in sources],
+                           [{s} for s in sources])
+
+
+def _bfs_check(inputs: dict[str, int], outputs: dict[str, int], lanes: int) -> None:
+    n = _BFS_VERTICES
+    for lane in range(lanes):
+        graph = [[(inputs[f"A{i}_{j}"] >> lane) & 1 for j in range(n)]
+                 for i in range(n)]
+        frontier = {j for j in range(n) if (inputs[f"f{j}"] >> lane) & 1}
+        visited = {i for i in range(n) if (inputs[f"vis{i}"] >> lane) & 1}
+        expected = bfs.step_reference(graph, frontier, visited)
+        if bfs.decode_step(outputs, lane, n) != expected:
+            raise SherlockError(f"bfs mismatch at lane {lane}")
+
+
+def _bfs_cpu_events(lanes: int) -> CpuEvents:
+    # one AND + OR-accumulate per edge slot, on bit-packed vertex words
+    words = max(1, -(-_BFS_VERTICES // 64))
+    per_step = CpuEvents(alu_ops=2 * _BFS_VERTICES * words + 2 * _BFS_VERTICES,
+                         loads=_BFS_VERTICES * words + 2 * _BFS_VERTICES,
+                         stores=2 * _BFS_VERTICES)
+    return per_step.scaled(lanes)
+
+
+WORKLOADS: dict[str, Workload] = {
+    "bitweaving": Workload(
+        name="bitweaving",
+        description=(f"BitWeaving-V BETWEEN scan, {_BW_SEGMENTS} segments "
+                     f"of {_BW_BITS}-bit codes"),
+        build_dag=lambda: bitweaving.between_batch_dag(_BW_BITS, _BW_SEGMENTS),
+        make_inputs=_bw_inputs,
+        check=_bw_check,
+        cpu_events=lambda lanes: bitweaving_events(lanes, _BW_BITS, _BW_SEGMENTS),
+        dataset_iterations=lambda dw: bitweaving.scan_iterations(
+            _BW_RECORDS, dw * _BW_SEGMENTS),
+    ),
+    "sobel": Workload(
+        name="sobel",
+        description=f"bit-sliced Sobel, {_SOBEL_TILE}x{_SOBEL_TILE} pixel tile",
+        build_dag=lambda: sobel.sobel_tile_dag(_SOBEL_TILE),
+        make_inputs=_sobel_inputs,
+        check=_sobel_check,
+        cpu_events=lambda lanes: sobel_events(lanes, tile=_SOBEL_TILE),
+        dataset_iterations=lambda dw: sobel.image_iterations(
+            _SOBEL_IMAGE, _SOBEL_IMAGE, dw * _SOBEL_TILE * _SOBEL_TILE),
+    ),
+    "aes": Workload(
+        name="aes",
+        description="bit-sliced AES-128 (Usuba-style), one block per lane",
+        build_dag=lambda: aes.aes_dag(_AES_ROUNDS),
+        make_inputs=_aes_inputs,
+        check=_aes_check,
+        cpu_events=lambda lanes: aes_events(lanes, _AES_ROUNDS),
+        dataset_iterations=lambda dw: max(1, -(-_AES_BLOCKS // dw)),
+    ),
+    "bfs": Workload(
+        name="bfs",
+        description=(f"bulk-bitwise BFS step, {_BFS_VERTICES}-vertex graphs, "
+                     "one graph per lane (extension)"),
+        build_dag=lambda: bfs.bfs_step_dag(_BFS_VERTICES),
+        make_inputs=_bfs_inputs,
+        check=_bfs_check,
+        cpu_events=_bfs_cpu_events,
+    ),
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a registered workload by name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise SherlockError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}") from None
+
+
+__all__ = [
+    "WORKLOADS",
+    "Workload",
+    "aes",
+    "bfs",
+    "bitweaving",
+    "dna",
+    "get_workload",
+    "sobel",
+    "synthetic_dag",
+]

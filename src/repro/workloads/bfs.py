@@ -1,0 +1,110 @@
+"""Bulk-bitwise breadth-first search step (graph-processing extension).
+
+The paper's introduction lists graph processing among the bulk-bitwise
+domains.  The classic formulation operates on a Boolean adjacency matrix:
+one BFS level expands the frontier with an AND/OR matrix-vector product,
+
+    next[i]    = ( OR_j  A[i][j] AND f[j] )  AND  NOT visited[i]
+    visited'[i] = visited[i] OR next[i]
+
+Bit-sliced over lanes, every lane traverses an *independent graph instance*
+with the same program — useful for batched reachability queries and motif
+search.  The DAG has wide OR-reduction trees feeding per-vertex updates, a
+different shape from the paper's three workloads (shallow and very wide),
+which exercises the mapper's load-balancing cases.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import SherlockError
+
+
+def bfs_step_dag(num_vertices: int = 16) -> DataFlowGraph:
+    """One frontier-expansion step for graphs of ``num_vertices`` vertices.
+
+    Inputs: ``A{i}_{j}`` adjacency bits (edge j -> i), ``f{j}`` frontier
+    bits, ``vis{i}`` visited bits.  Outputs: ``next{i}`` and ``visnew{i}``.
+    """
+    if num_vertices < 2:
+        raise SherlockError(f"need at least 2 vertices, got {num_vertices}")
+    b = DFGBuilder(f"bfs{num_vertices}")
+    frontier = [b.input(f"f{j}") for j in range(num_vertices)]
+    visited = [b.input(f"vis{i}") for i in range(num_vertices)]
+    for i in range(num_vertices):
+        terms = [b.input(f"A{i}_{j}") & frontier[j]
+                 for j in range(num_vertices)]
+        # balanced OR-reduction tree
+        level = terms
+        while len(level) > 1:
+            level = [level[k] | level[k + 1] if k + 1 < len(level) else level[k]
+                     for k in range(0, len(level), 2)]
+        reached = level[0]
+        next_i = reached & ~visited[i]
+        b.output(f"next{i}", next_i)
+        b.output(f"visnew{i}", visited[i] | next_i)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# input encoding and reference
+# ----------------------------------------------------------------------
+def step_inputs(graphs: Sequence[Sequence[Sequence[int]]],
+                frontiers: Sequence[set[int]],
+                visited: Sequence[set[int]]) -> dict[str, int]:
+    """Encode per-lane graphs/frontiers/visited sets into DFG inputs.
+
+    ``graphs[lane][i][j]`` is 1 when there is an edge j -> i.
+    """
+    if not graphs or len(graphs) != len(frontiers) or len(graphs) != len(visited):
+        raise SherlockError("need one graph, frontier and visited set per lane")
+    n = len(graphs[0])
+    inputs: dict[str, int] = {}
+    for i in range(n):
+        for j in range(n):
+            inputs[f"A{i}_{j}"] = sum(
+                (graphs[lane][i][j] & 1) << lane for lane in range(len(graphs)))
+    for j in range(n):
+        inputs[f"f{j}"] = sum(
+            (1 << lane) for lane, f in enumerate(frontiers) if j in f)
+    for i in range(n):
+        inputs[f"vis{i}"] = sum(
+            (1 << lane) for lane, v in enumerate(visited) if i in v)
+    return inputs
+
+
+def step_reference(graph: Sequence[Sequence[int]], frontier: set[int],
+                   visited: set[int]) -> tuple[set[int], set[int]]:
+    """(next frontier, new visited) of one BFS step on one lane."""
+    n = len(graph)
+    reached = {i for i in range(n)
+               if any(graph[i][j] and j in frontier for j in range(n))}
+    next_frontier = reached - visited
+    return next_frontier, visited | next_frontier
+
+
+def decode_step(outputs: dict[str, int], lane: int,
+                num_vertices: int) -> tuple[set[int], set[int]]:
+    """Per-lane (next frontier, new visited) from the DFG outputs."""
+    next_frontier = {i for i in range(num_vertices)
+                     if (outputs[f"next{i}"] >> lane) & 1}
+    new_visited = {i for i in range(num_vertices)
+                   if (outputs[f"visnew{i}"] >> lane) & 1}
+    return next_frontier, new_visited
+
+
+def bfs_reference(graph: Sequence[Sequence[int]], source: int) -> dict[int, int]:
+    """Whole-graph BFS levels (vertex -> level), for end-to-end checks."""
+    levels = {source: 0}
+    frontier = {source}
+    visited = {source}
+    level = 0
+    while frontier:
+        level += 1
+        frontier, visited = step_reference(graph, frontier, visited)
+        for vertex in frontier:
+            levels[vertex] = level
+    return levels

@@ -1,0 +1,138 @@
+"""Bit-sliced arithmetic circuits over DFG wires.
+
+Bit-sliced ("vertical") layouts store bit ``i`` of many values in one bulk
+vector, so word-level arithmetic becomes a gate network over slices — the
+representation BitWeaving-V, the bit-sliced Sobel of [18], and Usuba's AES
+all share.  These helpers build the classic networks (ripple-carry adder,
+two's-complement negation, absolute value...) with the builder DSL; slice
+lists are LSB-first throughout.
+"""
+
+from __future__ import annotations
+
+from repro.dfg.builder import DFGBuilder, Wire
+from repro.errors import GraphError
+
+
+def constant_slices(builder: DFGBuilder, value: int, width: int) -> list[Wire]:
+    """Broadcast an integer constant into LSB-first slices."""
+    if width < 1:
+        raise GraphError(f"width must be positive, got {width}")
+    return [builder.const((value >> i) & 1) for i in range(width)]
+
+
+def full_adder(builder: DFGBuilder, a: Wire, b: Wire,
+               carry: Wire | None) -> tuple[Wire, Wire]:
+    """One full adder: returns (sum, carry_out)."""
+    axb = a ^ b
+    if carry is None:
+        return axb, a & b
+    return axb ^ carry, (a & b) | (axb & carry)
+
+
+def ripple_add(builder: DFGBuilder, a: list[Wire], b: list[Wire],
+               width: int | None = None) -> list[Wire]:
+    """Bit-sliced ripple-carry addition.
+
+    The result has ``max(len(a), len(b)) + 1`` slices unless ``width`` caps
+    it (modular arithmetic).  Shorter operands are zero-extended.
+    """
+    if not a or not b:
+        raise GraphError("addition needs non-empty slice lists")
+    n = max(len(a), len(b))
+    out_width = n + 1 if width is None else width
+    zero = builder.const(0)
+    a = list(a) + [zero] * (n - len(a))
+    b = list(b) + [zero] * (n - len(b))
+    result: list[Wire] = []
+    carry: Wire | None = None
+    for i in range(min(n, out_width)):
+        s, carry = full_adder(builder, a[i], b[i], carry)
+        result.append(s)
+    if len(result) < out_width and carry is not None:
+        result.append(carry)
+    while len(result) < out_width:
+        result.append(zero)
+    return result[:out_width]
+
+
+def shift_left(builder: DFGBuilder, a: list[Wire], amount: int,
+               width: int | None = None) -> list[Wire]:
+    """Multiply by ``2**amount``: free rewiring plus zero low slices."""
+    if amount < 0:
+        raise GraphError(f"shift amount must be non-negative, got {amount}")
+    zero = builder.const(0)
+    result = [zero] * amount + list(a)
+    if width is not None:
+        result = result[:width]
+    return result
+
+
+def negate(builder: DFGBuilder, a: list[Wire]) -> list[Wire]:
+    """Two's-complement negation at the same width: ~a + 1."""
+    inverted = [~w for w in a]
+    one = constant_slices(builder, 1, len(a))
+    return ripple_add(builder, inverted, one, width=len(a))
+
+
+def subtract(builder: DFGBuilder, a: list[Wire], b: list[Wire],
+             width: int | None = None) -> list[Wire]:
+    """Bit-sliced subtraction ``a - b`` of unsigned operands.
+
+    Operands are zero-extended to the common width plus one slice so the
+    sign of the difference is representable; the result is two's complement
+    with the MSB as sign (default width: common width + 1).
+    """
+    n = max(len(a), len(b)) + 1
+    zero = builder.const(0)
+    a = list(a) + [zero] * (n - len(a))
+    b_ext = list(b) + [zero] * (n - len(b))
+    not_b = [~w for w in b_ext]
+    one = constant_slices(builder, 1, n)
+    partial = ripple_add(builder, a, not_b, width=n)
+    result = ripple_add(builder, partial, one, width=n)
+    if width is not None:
+        if width > n:
+            raise GraphError("cannot widen a subtraction result")
+        result = result[:width]
+    return result
+
+
+def conditional_negate(builder: DFGBuilder, a: list[Wire], sign: Wire) -> list[Wire]:
+    """``sign ? -a : a`` — XOR with the sign then add it back (two's compl.)."""
+    flipped = [w ^ sign for w in a]
+    sign_slices = [sign] + [builder.const(0)] * (len(a) - 1)
+    return ripple_add(builder, flipped, sign_slices, width=len(a))
+
+
+def absolute(builder: DFGBuilder, a: list[Wire]) -> list[Wire]:
+    """|a| of a two's-complement slice list (MSB is the sign)."""
+    return conditional_negate(builder, a, a[-1])
+
+
+def equals(builder: DFGBuilder, a: list[Wire], b: list[Wire]) -> Wire:
+    """Slice-wise equality reduced with ANDs (XNOR tree)."""
+    if len(a) != len(b):
+        raise GraphError("equality needs equal widths")
+    bits = [builder.xnor(x, y) for x, y in zip(a, b)]
+    acc = bits[0]
+    for bit in bits[1:]:
+        acc = acc & bit
+    return acc
+
+
+def less_than(builder: DFGBuilder, a: list[Wire], b: list[Wire]) -> Wire:
+    """Unsigned ``a < b`` over MSB-down scan (the BitWeaving recurrence)."""
+    if len(a) != len(b):
+        raise GraphError("comparison needs equal widths")
+    lt = None
+    eq = None
+    for x, y in zip(reversed(a), reversed(b)):  # MSB first
+        bit_lt = ~x & y
+        if lt is None:
+            lt = bit_lt
+            eq = builder.xnor(x, y)
+        else:
+            lt = lt | (eq & bit_lt)
+            eq = eq & builder.xnor(x, y)
+    return lt

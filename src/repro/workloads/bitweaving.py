@@ -1,0 +1,173 @@
+"""BitWeaving-V column scans (Li & Patel, SIGMOD'13) — the database workload.
+
+BitWeaving stores a database column vertically: bit-slice ``i`` holds bit
+``i`` (MSB first in storage order) of many consecutive codes.  A predicate
+scan then becomes a short bulk-bitwise recurrence per slice — the paper's
+running example (Fig. 3) is the ``BETWEEN C1 AND C2`` predicate, whose
+one-iteration DFG is what Sherlock maps.
+
+This module generates the kernels both ways: as C source fed through our
+front-end (the paper's flow) and directly via the builder.  A lane is one
+database record; scanning a table of ``R`` records on a ``W``-lane target
+takes ``ceil(R / W)`` back-to-back runs of the compiled program.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Sequence
+
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import SherlockError
+from repro.frontend import c_to_dfg
+
+
+def between_kernel_source(bits: int = 8) -> str:
+    """C source of the BETWEEN predicate scan over ``bits``-bit codes.
+
+    ``C1``/``C2`` are the constant bounds' bit-slices (broadcast per lane),
+    ``x`` the column's bit-slices, MSB first (index 0 = MSB), mirroring the
+    pseudo-code of Fig. 3a: ``gt`` accumulates ``x > C1`` and ``lt``
+    accumulates ``x < C2`` while ``eq*`` track prefix equality.
+    """
+    if bits < 1:
+        raise SherlockError(f"code width must be positive, got {bits}")
+    return f"""
+word_t between(word_t C1[{bits}], word_t C2[{bits}], word_t x[{bits}]) {{
+    word_t gt = 0;
+    word_t eq1 = ~0;
+    word_t lt = 0;
+    word_t eq2 = ~0;
+    for (int i = 0; i < {bits}; i++) {{
+        gt = gt | (eq1 & x[i] & ~C1[i]);
+        eq1 = eq1 & ~(x[i] ^ C1[i]);
+        lt = lt | (eq2 & ~x[i] & C2[i]);
+        eq2 = eq2 & ~(x[i] ^ C2[i]);
+    }}
+    return gt & lt;
+}}
+"""
+
+
+def between_dag(bits: int = 8) -> DataFlowGraph:
+    """The BETWEEN scan DFG for ``bits`` unrolled slice iterations."""
+    return c_to_dfg(between_kernel_source(bits))
+
+
+def between_batch_dag(bits: int = 8, segments: int = 16) -> DataFlowGraph:
+    """BETWEEN scans over ``segments`` independent column segments.
+
+    BitWeaving partitions a column into fixed-size segments whose bit-slices
+    are distinct memory words; a scan evaluates the predicate on many
+    segments back to back, and mapping a group of segments at once is what
+    fills several CIM columns (the regime of Table 2).  Input/output names
+    get a ``s<j>_`` prefix per segment.
+    """
+    if segments < 1:
+        raise SherlockError(f"segments must be positive, got {segments}")
+    from repro.dfg.compose import union
+
+    components = []
+    for j in range(segments):
+        # every segment scans its own slices but shares the predicate
+        # constants C1/C2 — the data reuse the mappers handle differently
+        source = f"""
+word_t scan(word_t C1[{bits}], word_t C2[{bits}], word_t s{j}_x[{bits}]) {{
+    word_t gt = 0;
+    word_t eq1 = ~0;
+    word_t lt = 0;
+    word_t eq2 = ~0;
+    for (int i = 0; i < {bits}; i++) {{
+        gt = gt | (eq1 & s{j}_x[i] & ~C1[i]);
+        eq1 = eq1 & ~(s{j}_x[i] ^ C1[i]);
+        lt = lt | (eq2 & ~s{j}_x[i] & C2[i]);
+        eq2 = eq2 & ~(s{j}_x[i] ^ C2[i]);
+    }}
+    return gt & lt;
+}}
+"""
+        components.append(c_to_dfg(source))
+    return union(components, prefixes=[f"s{j}_" for j in range(segments)],
+                 name=f"bitweaving_x{segments}")
+
+
+def iteration_dag() -> DataFlowGraph:
+    """The single-iteration DFG of Fig. 3b (one slice step of the scan)."""
+    source = """
+word_t step(word_t gt, word_t eq1, word_t lt, word_t eq2,
+            word_t x, word_t c1, word_t c2,
+            word_t out[4]) {
+    out[0] = gt | (eq1 & x & ~c1);
+    out[1] = eq1 & ~(x ^ c1);
+    out[2] = lt | (eq2 & ~x & c2);
+    out[3] = eq2 & ~(x ^ c2);
+    return out[0];
+}
+"""
+    return c_to_dfg(source)
+
+
+# ----------------------------------------------------------------------
+# reference implementation and input encoding
+# ----------------------------------------------------------------------
+def to_slices(values: Sequence[int], bits: int) -> dict[int, int]:
+    """Pack per-lane codes into MSB-first slice bitmasks (slice -> lanes)."""
+    slices: dict[int, int] = {}
+    for i in range(bits):
+        shift = bits - 1 - i
+        slices[i] = sum(((v >> shift) & 1) << lane for lane, v in enumerate(values))
+    return slices
+
+
+def scan_inputs(c1: int, c2: int, column: Sequence[int], bits: int = 8) -> dict[str, int]:
+    """DFG input dictionary for one batch of records (one lane per record)."""
+    limit = 1 << bits
+    for value in (c1, c2, *column):
+        if not 0 <= value < limit:
+            raise SherlockError(f"code {value} does not fit in {bits} bits")
+    lanes = len(column)
+    inputs: dict[str, int] = {}
+    for i, mask in to_slices([c1] * lanes, bits).items():
+        inputs[f"C1[{i}]"] = mask
+    for i, mask in to_slices([c2] * lanes, bits).items():
+        inputs[f"C2[{i}]"] = mask
+    for i, mask in to_slices(list(column), bits).items():
+        inputs[f"x[{i}]"] = mask
+    return inputs
+
+
+def between_reference(c1: int, c2: int, column: Sequence[int]) -> int:
+    """Reference result: lane bitmask of records with ``C1 < x < C2``."""
+    return sum(1 << lane for lane, v in enumerate(column) if c1 < v < c2)
+
+
+def batch_scan_inputs(c1: int, c2: int, segments: Sequence[Sequence[int]],
+                      bits: int = 8) -> dict[str, int]:
+    """Inputs for :func:`between_batch_dag`: per-segment record batches."""
+    if not segments:
+        raise SherlockError("need at least one segment")
+    lanes = len(segments[0])
+    inputs: dict[str, int] = {}
+    for i, mask in to_slices([c1] * lanes, bits).items():
+        inputs[f"C1[{i}]"] = mask
+    for i, mask in to_slices([c2] * lanes, bits).items():
+        inputs[f"C2[{i}]"] = mask
+    for j, column in enumerate(segments):
+        if len(column) != lanes:
+            raise SherlockError("all segments must have the same lane count")
+        for i, mask in to_slices(list(column), bits).items():
+            inputs[f"s{j}_x[{i}]"] = mask
+    return inputs
+
+
+def random_column(rng: random.Random, lanes: int, bits: int = 8) -> list[int]:
+    """Uniformly random codes, one per lane."""
+    return [rng.randrange(1 << bits) for _ in range(lanes)]
+
+
+def scan_iterations(num_records: int, data_width: int) -> int:
+    """Program runs needed to scan a column of ``num_records`` records."""
+    if num_records < 1 or data_width < 1:
+        raise SherlockError("records and data width must be positive")
+    return math.ceil(num_records / data_width)

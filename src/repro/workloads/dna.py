@@ -1,0 +1,93 @@
+"""Bulk-bitwise DNA k-mer matching (bio-informatics extension).
+
+DNA alignment pipelines spend much of their time on exact k-mer seeding:
+finding every position of a reference where a short pattern matches.  With
+2-bit base encoding (A=00, C=01, G=10, T=11) and one *candidate position
+per lane*, the match test is pure bulk-bitwise logic:
+
+    hit = AND over offsets o of XNOR(text_bit(o), pattern_bit(o))
+
+i.e. a bit-sliced equality over ``2k`` slices — the same XNOR/AND shape as
+BitWeaving's equality scan, but deeper and with broadcast pattern
+constants, which makes it a nice additional stress for the node
+substitution transform (long AND chains merge into multi-row activations).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import SherlockError
+
+#: 2-bit encoding of the four bases
+BASE_BITS = {"A": 0, "C": 1, "G": 2, "T": 3}
+
+
+def kmer_match_dag(k: int = 8) -> DataFlowGraph:
+    """Match a ``k``-mer pattern at one candidate position per lane.
+
+    Inputs: ``t{o}[b]`` — bit ``b`` of the text base at offset ``o`` from
+    the candidate position, and ``p{o}[b]`` — the pattern's bases (the host
+    broadcasts the same pattern to all lanes, but per-lane patterns work
+    too).  Output: ``hit`` — the per-lane match verdict.
+    """
+    if k < 1:
+        raise SherlockError(f"k must be positive, got {k}")
+    b = DFGBuilder(f"kmer{k}")
+    bits = []
+    for o in range(k):
+        for bit in range(2):
+            text = b.input(f"t{o}[{bit}]")
+            pattern = b.input(f"p{o}[{bit}]")
+            bits.append(b.xnor(text, pattern))
+    acc = bits[0]
+    for wire in bits[1:]:
+        acc = acc & wire
+    b.output("hit", acc)
+    return b.build()
+
+
+def encode_sequence(sequence: str) -> list[int]:
+    """DNA string -> list of 2-bit base codes."""
+    try:
+        return [BASE_BITS[ch] for ch in sequence.upper()]
+    except KeyError as error:
+        raise SherlockError(f"not a DNA base: {error}") from None
+
+
+def match_inputs(text: str, pattern: str, positions: Sequence[int]) -> dict[str, int]:
+    """Inputs testing ``pattern`` at each candidate ``positions[lane]``."""
+    k = len(pattern)
+    if k < 1:
+        raise SherlockError("pattern must be non-empty")
+    codes = encode_sequence(text)
+    pattern_codes = encode_sequence(pattern)
+    inputs: dict[str, int] = {}
+    for o in range(k):
+        for bit in range(2):
+            mask = 0
+            for lane, pos in enumerate(positions):
+                if not 0 <= pos + k <= len(codes):
+                    raise SherlockError(
+                        f"candidate position {pos} leaves no room for a "
+                        f"{k}-mer in a text of length {len(codes)}")
+                mask |= ((codes[pos + o] >> bit) & 1) << lane
+            inputs[f"t{o}[{bit}]"] = mask
+            pattern_bit = (pattern_codes[o] >> bit) & 1
+            inputs[f"p{o}[{bit}]"] = ((1 << len(positions)) - 1) * pattern_bit
+    return inputs
+
+
+def match_reference(text: str, pattern: str, positions: Sequence[int]) -> int:
+    """Lane bitmask of candidate positions where the pattern matches."""
+    return sum(1 << lane for lane, pos in enumerate(positions)
+               if text[pos:pos + len(pattern)].upper() == pattern.upper())
+
+
+def find_all(text: str, pattern: str) -> list[int]:
+    """All match positions (reference helper for end-to-end checks)."""
+    k = len(pattern)
+    return [i for i in range(len(text) - k + 1)
+            if text[i:i + k].upper() == pattern.upper()]

@@ -1,0 +1,181 @@
+"""Unit tests for the architecture layer: target spec, ISA, layout."""
+
+import pytest
+
+from repro.arch import (
+    CellAddr,
+    Layout,
+    NotInst,
+    ReadInst,
+    ShiftInst,
+    TargetSpec,
+    TransferInst,
+    WriteInst,
+    program_text,
+)
+from repro.devices import RERAM, STT_MRAM
+from repro.dfg import OpType
+from repro.errors import MappingError, SimulationError, TargetError
+
+
+class TestTargetSpec:
+    def test_square_follows_table1_data_width(self):
+        for size, width in [(128, 512), (256, 1024), (512, 2048), (1024, 4096)]:
+            t = TargetSpec.square(size, RERAM)
+            assert (t.rows, t.cols, t.data_width) == (size, size, width)
+
+    def test_square_accepts_technology_name(self):
+        t = TargetSpec.square(128, "stt-mram")
+        assert t.technology is STT_MRAM
+
+    def test_capacity(self):
+        t = TargetSpec.square(128, RERAM, num_arrays=4)
+        assert t.cells_per_array == 128 * 128
+        assert t.capacity == 4 * 128 * 128
+
+    def test_usable_rows_fill_factor(self):
+        t = TargetSpec.square(100, RERAM, column_fill_factor=0.8)
+        assert t.usable_rows == 80
+
+    def test_mra_capped_by_technology(self):
+        with pytest.raises(TargetError):
+            TargetSpec.square(128, RERAM,
+                              max_activated_rows=RERAM.max_activated_rows + 1)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(TargetError):
+            TargetSpec(RERAM, rows=1, cols=8, data_width=64)
+        with pytest.raises(TargetError):
+            TargetSpec(RERAM, rows=8, cols=8, data_width=0)
+        with pytest.raises(TargetError):
+            TargetSpec(RERAM, rows=8, cols=8, data_width=64, clock_ghz=0)
+
+    def test_with_override(self):
+        t = TargetSpec.square(128, RERAM)
+        t2 = t.with_(max_activated_rows=4)
+        assert t2.max_activated_rows == 4
+        assert t2.rows == t.rows
+
+    def test_describe_mentions_key_facts(self):
+        text = TargetSpec.square(256, RERAM).describe()
+        assert "reram" in text and "256x256" in text
+
+
+class TestInstructions:
+    def test_cim_read_text_format(self):
+        inst = ReadInst(0, (4, 8, 12, 16), (933, 934),
+                        (OpType.XOR, OpType.AND, OpType.OR, OpType.XOR))
+        assert inst.to_text() == "read [0][4,8,12,16][933,934] [xor,and,or,xor]"
+
+    def test_plain_read_text(self):
+        assert ReadInst(0, (1, 5, 9, 13), (5,)).to_text() == "read [0][1,5,9,13][5]"
+
+    def test_write_text(self):
+        assert WriteInst(0, (4, 8), 932).to_text() == "write [0][4,8][932]"
+
+    def test_shift_text_directions(self):
+        assert ShiftInst(0, 3).to_text() == "shift [0] R[3]"
+        assert ShiftInst(0, -2).to_text() == "shift [0] L[2]"
+
+    def test_not_and_xfer_text(self):
+        assert NotInst(1, (3,)).to_text() == "not [1][3]"
+        assert TransferInst(0, 2, (7,)).to_text() == "xfer [0->2][7]"
+
+    def test_program_text_joins_lines(self):
+        text = program_text([WriteInst(0, (1,), 0), ShiftInst(0, 1)])
+        assert text.splitlines() == ["write [0][1][0]", "shift [0] R[1]"]
+
+    def test_plain_read_single_row_only(self):
+        with pytest.raises(SimulationError):
+            ReadInst(0, (1,), (2, 3))
+
+    def test_cim_read_needs_two_rows(self):
+        with pytest.raises(SimulationError):
+            ReadInst(0, (1,), (2,), (OpType.AND,))
+
+    def test_cim_read_rejects_not(self):
+        with pytest.raises(SimulationError):
+            ReadInst(0, (1,), (2, 3), (OpType.NOT,))
+
+    def test_ops_must_match_cols(self):
+        with pytest.raises(SimulationError):
+            ReadInst(0, (1, 2), (3, 4), (OpType.AND,))
+
+    def test_duplicate_cols_rejected(self):
+        with pytest.raises(SimulationError):
+            ReadInst(0, (1, 1), (3,))
+        with pytest.raises(SimulationError):
+            WriteInst(0, (2, 2), 0)
+
+    def test_zero_shift_rejected(self):
+        with pytest.raises(SimulationError):
+            ShiftInst(0, 0)
+
+    def test_self_transfer_rejected(self):
+        with pytest.raises(SimulationError):
+            TransferInst(0, 0, (1,))
+
+
+class TestLayout:
+    def make(self, rows=8, cols=4, num_arrays=2):
+        target = TargetSpec(RERAM, rows=rows, cols=cols, data_width=16,
+                            num_arrays=num_arrays)
+        return Layout(target)
+
+    def test_place_fills_rows_in_order(self):
+        layout = self.make()
+        a0 = layout.place(10, 0)
+        a1 = layout.place(11, 0)
+        assert (a0.row, a1.row) == (0, 1)
+        assert layout.column_fill(0) == 2
+
+    def test_global_column_split(self):
+        layout = self.make(cols=4)
+        assert layout.split(0) == (0, 0)
+        assert layout.split(5) == (1, 1)
+        assert layout.global_col(1, 1) == 5
+        with pytest.raises(MappingError):
+            layout.split(8)
+
+    def test_column_overflow_raises(self):
+        layout = self.make(rows=2)
+        layout.place(0, 0)
+        layout.place(1, 0)
+        with pytest.raises(MappingError):
+            layout.place(2, 0)
+
+    def test_copies_and_duplicates(self):
+        layout = self.make()
+        layout.place(7, 0)
+        layout.place(7, 1)
+        assert len(layout.copies(7)) == 2
+        assert layout.duplicates == 1
+        assert layout.primary(7).col == 0
+
+    def test_copy_in_column(self):
+        layout = self.make()
+        layout.place(7, 1)
+        assert layout.copy_in_column(7, 1) is not None
+        assert layout.copy_in_column(7, 0) is None
+
+    def test_unplaced_lookup(self):
+        layout = self.make()
+        assert not layout.is_placed(99)
+        with pytest.raises(MappingError):
+            layout.primary(99)
+
+    def test_stats(self):
+        layout = self.make(rows=8, cols=4)
+        layout.place(0, 0)
+        layout.place(1, 0)
+        layout.place(2, 5)  # array 1
+        assert layout.cells_used == 3
+        assert layout.columns_used == 2
+        assert layout.arrays_used == 2
+        assert 0 < layout.utilization() < 1
+
+    def test_placements_snapshot(self):
+        layout = self.make()
+        layout.place(3, 0)
+        snap = layout.placements()
+        assert snap[3][0] == CellAddr(0, 0, 0)

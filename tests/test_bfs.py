@@ -1,0 +1,91 @@
+"""Tests for the bulk-bitwise BFS workload (graph-processing extension)."""
+
+import random
+
+import pytest
+
+from repro.core import CompilerConfig, TargetSpec, compile_dag
+from repro.devices import RERAM
+from repro.dfg import evaluate
+from repro.errors import SherlockError
+from repro.workloads import bfs
+
+
+def random_graph(rng, n, density=0.2):
+    return [[1 if rng.random() < density and i != j else 0
+             for j in range(n)] for i in range(n)]
+
+
+class TestStepSemantics:
+    def test_single_step_matches_reference(self):
+        rng = random.Random(0)
+        n = 8
+        lanes = 6
+        graphs = [random_graph(rng, n) for _ in range(lanes)]
+        frontiers = [{rng.randrange(n)} for _ in range(lanes)]
+        visited = [set(f) for f in frontiers]
+        dag = bfs.bfs_step_dag(n)
+        out = evaluate(dag, bfs.step_inputs(graphs, frontiers, visited), lanes)
+        for lane in range(lanes):
+            expected = bfs.step_reference(graphs[lane], frontiers[lane],
+                                          visited[lane])
+            assert bfs.decode_step(out, lane, n) == expected
+
+    def test_empty_frontier_stays_empty(self):
+        n = 4
+        dag = bfs.bfs_step_dag(n)
+        graphs = [[[1] * n for _ in range(n)]]
+        out = evaluate(dag, bfs.step_inputs(graphs, [set()], [set()]), 1)
+        assert bfs.decode_step(out, 0, n) == (set(), set())
+
+    def test_visited_vertices_not_revisited(self):
+        n = 3
+        graph = [[0, 1, 0], [0, 0, 0], [0, 1, 0]]  # 1 -> 0 and 1 -> 2
+        dag = bfs.bfs_step_dag(n)
+        out = evaluate(dag, bfs.step_inputs([graph], [{1}], [{0, 1}]), 1)
+        next_frontier, new_visited = bfs.decode_step(out, 0, n)
+        assert next_frontier == {2}
+        assert new_visited == {0, 1, 2}
+
+    def test_bad_args(self):
+        with pytest.raises(SherlockError):
+            bfs.bfs_step_dag(1)
+        with pytest.raises(SherlockError):
+            bfs.step_inputs([], [], [])
+
+
+class TestIterativeBfsOnHardware:
+    def test_multi_step_traversal_matches_reference(self):
+        """Iterate the compiled step program until the frontier drains."""
+        rng = random.Random(3)
+        n = 8
+        lanes = 4
+        graphs = [random_graph(rng, n, density=0.25) for _ in range(lanes)]
+        sources = [rng.randrange(n) for _ in range(lanes)]
+        dag = bfs.bfs_step_dag(n)
+        target = TargetSpec.square(64, RERAM, num_arrays=8)
+        program = compile_dag(dag, target, CompilerConfig())
+
+        frontiers = [{s} for s in sources]
+        visited = [{s} for s in sources]
+        for _ in range(n):  # at most n levels
+            inputs = bfs.step_inputs(graphs, frontiers, visited)
+            out = program.execute(inputs, lanes)
+            for lane in range(lanes):
+                frontiers[lane], visited[lane] = bfs.decode_step(out, lane, n)
+            if not any(frontiers):
+                break
+        for lane in range(lanes):
+            expected = set(bfs.bfs_reference(graphs[lane], sources[lane]))
+            assert visited[lane] == expected
+
+    def test_mappers_agree(self):
+        n = 6
+        dag = bfs.bfs_step_dag(n)
+        target = TargetSpec.square(64, RERAM, num_arrays=8)
+        rng = random.Random(5)
+        graphs = [random_graph(rng, n, 0.3)]
+        inputs = bfs.step_inputs(graphs, [{0}], [{0}])
+        naive = compile_dag(dag, target, CompilerConfig(mapper="naive"))
+        opt = compile_dag(dag, target, CompilerConfig(mapper="sherlock"))
+        assert naive.execute(inputs, 1) == opt.execute(inputs, 1)

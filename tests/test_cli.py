@@ -1,0 +1,79 @@
+"""Tests for the ``sherlock`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for command in ("compile", "run", "sweep", "workloads"):
+            args = parser.parse_args([command] + (
+                ["kernel.c"] if command == "compile" else
+                ["--workload", "bitweaving"] if command in ("run", "sweep")
+                else []))
+            assert args.command == command
+
+    def test_run_requires_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "nope"])
+
+
+class TestCommands:
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "bitweaving" in out and "sobel" in out and "aes" in out
+
+    def test_compile_command(self, tmp_path, capsys):
+        source = tmp_path / "kernel.c"
+        source.write_text(
+            "word_t f(word_t a, word_t b) { return (a & b) ^ ~a; }")
+        assert main(["compile", str(source), "--size", "128", "--emit"]) == 0
+        captured = capsys.readouterr()
+        assert "read [" in captured.out
+        assert "write [" in captured.out
+
+    def test_compile_missing_function(self, tmp_path):
+        source = tmp_path / "kernel.c"
+        source.write_text("word_t f(word_t a) { return a & a; }")
+        assert main(["compile", str(source), "--function", "nope"]) == 1
+
+    def test_run_command_verifies(self, capsys):
+        assert main(["run", "--workload", "bitweaving", "--size", "256",
+                     "--lanes", "4", "--mapper", "naive"]) == 0
+        out = capsys.readouterr().out
+        assert "functional check passed" in out
+
+    def test_run_stt_mram(self, capsys):
+        assert main(["run", "--workload", "bitweaving", "--size", "256",
+                     "--lanes", "4", "--tech", "stt-mram"]) == 0
+        assert "stt-mram" in capsys.readouterr().out
+
+    def test_sweep_command(self, capsys):
+        assert main(["sweep", "--workload", "bitweaving", "--size", "256",
+                     "--mra", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "P_app" in out and "latency_us" in out
+
+    def test_compile_save_and_inspect(self, tmp_path, capsys):
+        source = tmp_path / "kernel.c"
+        source.write_text(
+            "word_t f(word_t a, word_t b) { return (a | b) ^ (a & b); }")
+        saved = tmp_path / "program.json"
+        assert main(["compile", str(source), "--size", "128",
+                     "-o", str(saved)]) == 0
+        assert saved.exists()
+        assert main(["inspect", str(saved), "--verify", "--lanes", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "re-verification passed" in out
+
+    def test_unknown_tech_is_reported(self, capsys):
+        code = main(["run", "--workload", "bitweaving", "--tech", "dram"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,168 @@
+"""Unit tests for the code generator's internals."""
+
+import pytest
+
+from repro.arch import Layout, ReadInst, ShiftInst, TargetSpec, WriteInst
+from repro.devices import RERAM
+from repro.dfg import DFGBuilder, OpType
+from repro.errors import MappingError
+from repro.mapping.base import MappingStats
+from repro.mapping.codegen import CodeGenerator
+
+
+def make_target(rows=16, cols=8, num_arrays=2, **kwargs):
+    kwargs.setdefault("max_activated_rows", 4)
+    return TargetSpec(RERAM, rows=rows, cols=cols, data_width=32,
+                      num_arrays=num_arrays, **kwargs)
+
+
+def make_gen(dag, target=None, pad_budget=None):
+    target = target or make_target()
+    layout = Layout(target)
+    stats = MappingStats("test")
+    return CodeGenerator(dag, target, layout, stats, pad_budget=pad_budget), layout
+
+
+def two_op_dag():
+    b = DFGBuilder()
+    x, y, z = b.inputs("x", "y", "z")
+    b.output("o", (x & y) ^ z)
+    return b.build()
+
+
+class TestPerOpGeneration:
+    def test_same_column_needs_no_moves(self):
+        dag = two_op_dag()
+        gen, layout = make_gen(dag)
+        gen.run_per_op(lambda op_id: 0)
+        assert gen.stats.gather_moves == 0
+        # 2 ops -> 2 CIM reads + 2 result writes
+        reads = [i for i in gen.instructions if isinstance(i, ReadInst)]
+        writes = [i for i in gen.instructions if isinstance(i, WriteInst)]
+        assert len(reads) == 2 and len(writes) == 2
+
+    def test_cross_column_emits_move_sequence(self):
+        dag = two_op_dag()
+        gen, layout = make_gen(dag)
+        order = iter([0, 1])  # AND in column 0, XOR in column 1
+        homes = {}
+
+        def home_for(op_id):
+            if op_id not in homes:
+                homes[op_id] = next(order)
+            return homes[op_id]
+
+        gen.run_per_op(home_for)
+        assert gen.stats.gather_moves >= 1
+        assert any(isinstance(i, ShiftInst) for i in gen.instructions)
+
+    def test_arity_above_mra_rejected(self):
+        b = DFGBuilder()
+        ws = b.inputs(*"abcdef")
+        b.output("o", b.and_(*ws))
+        gen, _ = make_gen(b.build())
+        with pytest.raises(MappingError, match="activates at most"):
+            gen.run_per_op(lambda op_id: 0)
+
+    def test_duplicate_operand_rejected(self):
+        from repro.dfg import DataFlowGraph
+
+        dag = DataFlowGraph()
+        a = dag.add_input("a")
+        b_ = dag.add_input("b")
+        t = dag.add_op(OpType.XOR, [a, b_])
+        dag.mark_output(t, "o")
+        # force a duplicate via the low-level mutator
+        op_id = dag.operand(t).producer
+        dag.replace_op(op_id, operands=[a, a])
+        gen, _ = make_gen(dag)
+        with pytest.raises(MappingError, match="repeats an operand"):
+            gen.run_per_op(lambda op_id: 0)
+
+
+class TestMergedGeneration:
+    def test_non_selective_target_rejected(self):
+        dag = two_op_dag()
+        gen, _ = make_gen(dag, make_target(selective_columns=False))
+        with pytest.raises(MappingError, match="selective-column"):
+            gen.run_merged({op.node_id: 0 for op in dag.op_nodes()})
+
+    def test_parallel_ops_merge_into_one_read(self):
+        b = DFGBuilder()
+        ws = b.inputs("a", "b", "c", "d")
+        b.output("o1", ws[0] & ws[1])
+        b.output("o2", ws[2] ^ ws[3])
+        dag = b.build()
+        gen, _ = make_gen(dag, pad_budget={0: 16, 1: 16})
+        column_of = {}
+        for i, node in enumerate(sorted(dag.op_nodes(), key=lambda n: n.node_id)):
+            column_of[node.node_id] = i
+        gen.run_merged(column_of)
+        cim = [i for i in gen.instructions
+               if isinstance(i, ReadInst) and i.ops]
+        assert len(cim) == 1
+        assert set(cim[0].ops) == {OpType.AND, OpType.XOR}
+        writes = [i for i in gen.instructions if isinstance(i, WriteInst)]
+        assert len(writes) == 1 and len(writes[0].cols) == 2
+
+    def test_same_column_ops_serialize(self):
+        b = DFGBuilder()
+        ws = b.inputs("a", "b", "c", "d")
+        b.output("o1", ws[0] & ws[1])
+        b.output("o2", ws[2] & ws[3])
+        dag = b.build()
+        gen, _ = make_gen(dag)
+        gen.run_merged({op.node_id: 0 for op in dag.op_nodes()})
+        cim = [i for i in gen.instructions
+               if isinstance(i, ReadInst) and i.ops]
+        assert len(cim) == 2  # column conflict forbids merging
+
+    def test_pad_budget_zero_still_correct(self):
+        dag = two_op_dag()
+        gen, layout = make_gen(dag, pad_budget={})
+        gen.run_merged({op.node_id: 0 for op in dag.op_nodes()})
+        assert gen.instructions
+
+    def test_aligned_place_pads_within_budget(self):
+        dag = two_op_dag()
+        gen, layout = make_gen(dag, pad_budget={0: 8, 1: 8})
+        layout.place(990, 0)  # column 0 one ahead
+        placed = gen._aligned_place([(101, 0), (102, 1)])
+        assert placed[(101, 0)].row == placed[(102, 1)].row == 1
+        assert gen._pad_used.get(1, 0) == 1
+
+    def test_aligned_place_falls_back_without_budget(self):
+        dag = two_op_dag()
+        gen, layout = make_gen(dag, pad_budget={})
+        layout.place(990, 0)
+        placed = gen._aligned_place([(101, 0), (102, 1)])
+        assert placed[(101, 0)].row == 1
+        assert placed[(102, 1)].row == 0  # no padding allowed
+
+
+class TestLayoutRegions:
+    def test_top_and_bottom_meet(self):
+        target = make_target(rows=4)
+        layout = Layout(target)
+        layout.place(1, 0)
+        layout.place_top(2, 0)
+        layout.place_top(3, 0)
+        layout.place(4, 0)
+        with pytest.raises(MappingError):
+            layout.place(5, 0)
+        with pytest.raises(MappingError):
+            layout.place_top(6, 0)
+        assert layout.cells_used == 4
+
+    def test_top_rows_descend(self):
+        layout = Layout(make_target(rows=8))
+        a = layout.place_top(1, 0)
+        b = layout.place_top(2, 0)
+        assert (a.row, b.row) == (7, 6)
+
+    def test_place_at_respects_top_region(self):
+        layout = Layout(make_target(rows=8))
+        layout.place_top(1, 0)
+        with pytest.raises(MappingError):
+            layout.place_at(2, 0, 7)
+        assert layout.place_at(2, 0, 6).row == 6

@@ -1,0 +1,197 @@
+"""Integration tests for the end-to-end compiler pipeline."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    TABLE2_CONFIGS,
+    CompilerConfig,
+    ProgramReport,
+    SherlockCompiler,
+    TargetSpec,
+    compile_dag,
+    format_table,
+    render_reports,
+)
+from repro.devices import RERAM, STT_MRAM
+from repro.dfg import DFGBuilder, OpType
+from repro.errors import SherlockError
+from repro.frontend import c_to_dfg
+from repro.workloads import bitweaving
+
+
+def target(tech=RERAM, size=64, **kwargs):
+    kwargs.setdefault("num_arrays", 8)
+    kwargs.setdefault("max_activated_rows", 4)
+    return TargetSpec.square(size, tech, **kwargs)
+
+
+@pytest.fixture
+def scan_dag():
+    return bitweaving.between_dag(bits=8)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = CompilerConfig()
+        assert config.mapper == "sherlock"
+        assert config.mra == 2
+
+    def test_invalid_mapper(self):
+        with pytest.raises(SherlockError):
+            CompilerConfig(mapper="magic")
+
+    def test_invalid_mra(self):
+        with pytest.raises(SherlockError):
+            CompilerConfig(mra=1)
+        with pytest.raises(SherlockError):
+            CompilerConfig(mra_fraction=-0.5)
+
+    def test_with_override(self):
+        config = CompilerConfig().with_(mra=4)
+        assert config.mra == 4
+
+    def test_table2_matrix(self):
+        assert len(TABLE2_CONFIGS) == 4
+        assert TABLE2_CONFIGS["opt/mra>2"].mra > 2
+
+
+class TestPipeline:
+    def test_compile_and_verify(self, scan_dag):
+        program = compile_dag(scan_dag, target())
+        rng = random.Random(0)
+        column = bitweaving.random_column(rng, 16)
+        inputs = bitweaving.scan_inputs(10, 200, column)
+        assert program.verify(inputs, lanes=16)
+
+    def test_text_matches_fig4_format(self, scan_dag):
+        program = compile_dag(scan_dag, target())
+        text = program.text()
+        assert text.splitlines()
+        assert any(line.startswith("read [") for line in text.splitlines())
+        assert any("[and]" in line or "[xor]" in line or "[nand]" in line
+                   for line in text.splitlines())
+
+    def test_metrics_cached_and_consistent(self, scan_dag):
+        program = compile_dag(scan_dag, target())
+        assert program.metrics is program.metrics
+        assert program.metrics.instruction_count == len(program.instructions)
+
+    def test_mra_transform_applied(self, scan_dag):
+        base = compile_dag(scan_dag, target(), CompilerConfig(mra=2))
+        merged = compile_dag(scan_dag, target(), CompilerConfig(mra=4))
+        assert max(n.arity for n in merged.dag.op_nodes()) > 2
+        assert all(n.arity <= 2 for n in base.dag.op_nodes())
+
+    def test_mra_clamped_to_target(self, scan_dag):
+        t = target(max_activated_rows=2)
+        program = compile_dag(scan_dag, t, CompilerConfig(mra=8))
+        assert all(n.arity <= 2 for n in program.dag.op_nodes())
+
+    def test_nand_lowering_auto_on_stt(self, scan_dag):
+        program = compile_dag(scan_dag, target(STT_MRAM))
+        ops = {n.op.base for n in program.dag.op_nodes()}
+        assert OpType.XOR not in ops and OpType.OR not in ops
+
+    def test_nand_lowering_off_on_reram(self, scan_dag):
+        program = compile_dag(scan_dag, target(RERAM))
+        ops = {n.op.base for n in program.dag.op_nodes()}
+        assert OpType.XOR in ops or OpType.OR in ops
+
+    def test_nand_lowering_forced(self, scan_dag):
+        program = compile_dag(scan_dag, target(RERAM),
+                              CompilerConfig(nand_lowering=True))
+        ops = {n.op.base for n in program.dag.op_nodes()}
+        assert ops <= {OpType.AND, OpType.NOT}
+
+    def test_cse_reduces_ops(self):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("o", (x & y) ^ (y & x))
+        dag = b.build()
+        plain = compile_dag(dag, target(), CompilerConfig(cse=False))
+        deduped = compile_dag(dag, target(), CompilerConfig(cse=True))
+        assert deduped.dag.num_ops < plain.dag.num_ops
+        inputs = {"x": 0b1100, "y": 0b1010}
+        assert plain.verify(inputs, 4) and deduped.verify(inputs, 4)
+
+    def test_source_dag_untouched(self, scan_dag):
+        before = scan_dag.num_ops
+        compile_dag(scan_dag, target(STT_MRAM), CompilerConfig(mra=4))
+        assert scan_dag.num_ops == before
+
+    def test_passthrough_output(self):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("direct", x)  # aliases an input
+        b.output("computed", x & y)
+        dag = b.build()
+        program = compile_dag(dag, target())
+        out = program.execute({"x": 0b1001, "y": 0b1111}, 4)
+        assert out == {"direct": 0b1001, "computed": 0b1001}
+
+    def test_fault_injection_path(self, scan_dag):
+        noisy = STT_MRAM.with_variability(0.4, 0.4)
+        t = target(noisy)
+        program = compile_dag(scan_dag, t, CompilerConfig(nand_lowering=False))
+        rng = random.Random(0)
+        column = bitweaving.random_column(rng, 16)
+        inputs = bitweaving.scan_inputs(10, 200, column)
+        clean = program.execute(inputs, 16)
+        noisy_out = program.execute(inputs, 16, fault_rng=random.Random(7))
+        assert clean != noisy_out  # 40% variability must corrupt something
+
+    def test_verify_reports_mismatch(self, scan_dag, monkeypatch):
+        program = compile_dag(scan_dag, target())
+        rng = random.Random(0)
+        column = bitweaving.random_column(rng, 8)
+        inputs = bitweaving.scan_inputs(10, 200, column)
+        # sabotage one instruction: flip a write row
+        from repro.arch import WriteInst
+
+        for i, inst in enumerate(program.instructions):
+            if isinstance(inst, WriteInst):
+                last = program.instructions[-1]
+                if isinstance(last, WriteInst) and i == len(program.instructions) - 1:
+                    break
+        last = program.instructions[-1]
+        if isinstance(last, WriteInst):
+            program.instructions[-1] = WriteInst(
+                last.array, last.cols, (last.row + 1) % program.target.rows)
+            with pytest.raises(SherlockError):
+                program.verify(inputs, 8)
+
+
+class TestReporting:
+    def test_program_report(self, scan_dag):
+        program = compile_dag(scan_dag, target())
+        report = ProgramReport.from_program(program, "scan")
+        assert report.workload == "scan"
+        assert report.latency_us > 0
+        assert report.technology == "reram"
+        text = render_reports([report])
+        assert "scan" in text and "reram" in text
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 0.000001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.00e-06" in text
+
+    def test_empty_table(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+
+class TestFrontendIntegration:
+    def test_c_to_execution(self):
+        source = """
+        word_t popcount_parity(word_t a, word_t b, word_t c) {
+            return a ^ b ^ c;
+        }
+        """
+        dag = c_to_dfg(source)
+        program = compile_dag(dag, target())
+        out = program.execute({"a": 0b1100, "b": 0b1010, "c": 0b0110}, 4)
+        assert out["return"] == 0b1100 ^ 0b1010 ^ 0b0110

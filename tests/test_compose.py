@@ -1,0 +1,106 @@
+"""Tests for DAG composition (repro.dfg.compose) and Monte-Carlo validation
+of the analytic decision-failure model."""
+
+import random
+
+import pytest
+
+from repro.devices import RERAM, STT_MRAM, composite_state, decision_failure_probability
+from repro.dfg import DFGBuilder, OpType, evaluate, union
+from repro.errors import GraphError
+
+
+def make_and():
+    b = DFGBuilder("and")
+    x, y = b.inputs("x", "y")
+    b.output("o", x & y)
+    return b.build()
+
+
+def make_xor_shared():
+    b = DFGBuilder("xor")
+    x, z = b.inputs("x", "z")
+    b.output("o", x ^ z)
+    return b.build()
+
+
+class TestUnion:
+    def test_outputs_prefixed(self):
+        merged = union([make_and(), make_and()], ["a_", "b_"])
+        assert set(merged.outputs) == {"a_o", "b_o"}
+
+    def test_equally_named_inputs_shared(self):
+        merged = union([make_and(), make_xor_shared()])
+        names = [o.name for o in merged.inputs()]
+        assert sorted(names) == ["x", "y", "z"]  # single 'x'
+
+    def test_semantics_preserved(self):
+        merged = union([make_and(), make_xor_shared()], ["g0_", "g1_"])
+        out = evaluate(merged, {"x": 0b1100, "y": 0b1010, "z": 0b0110}, 4)
+        assert out == {"g0_o": 0b1000, "g1_o": 0b1010}
+
+    def test_default_prefixes(self):
+        merged = union([make_and(), make_and()])
+        assert set(merged.outputs) == {"g0_o", "g1_o"}
+
+    def test_errors(self):
+        with pytest.raises(GraphError):
+            union([])
+        with pytest.raises(GraphError):
+            union([make_and()], ["a_", "b_"])
+
+    def test_ops_accumulate(self):
+        merged = union([make_and()] * 3)
+        assert merged.num_ops == 3
+        merged.validate()
+
+
+class TestMonteCarloValidation:
+    """The analytic P_DF must match direct sampling of the physics.
+
+    Samples per-cell conductances from the same Gaussians the model
+    integrates, applies the equal-z-score threshold, and compares the
+    empirical failure rate against the analytic value.  Run where the
+    probability is large enough to measure (a high-variability device).
+    """
+
+    def _empirical(self, tech, op, k, trials=200_000, seed=9):
+        rng = random.Random(seed)
+        boundaries = {
+            OpType.AND: [(k - 1, k)],
+            OpType.OR: [(0, 1)],
+        }[op]
+        failures = 0
+        for j_left, j_right in boundaries:
+            left = composite_state(tech, k, j_left)
+            right = composite_state(tech, k, j_right)
+            gap = abs(left.mu - right.mu)
+            spread = left.sigma + right.sigma
+            # threshold at the equal-z point between the two states
+            if left.mu > right.mu:
+                thresh = left.mu - gap * left.sigma / spread
+            else:
+                thresh = left.mu + gap * left.sigma / spread
+            for _ in range(trials // 2):
+                g_left = rng.gauss(left.mu, left.sigma)
+                g_right = rng.gauss(right.mu, right.sigma)
+                if left.mu > right.mu:
+                    failures += g_left <= thresh
+                    failures += g_right > thresh
+                else:
+                    failures += g_left >= thresh
+                    failures += g_right < thresh
+        return failures / (trials * len(boundaries))
+
+    @pytest.mark.parametrize("op,k", [(OpType.AND, 2), (OpType.OR, 2),
+                                      (OpType.AND, 4), (OpType.OR, 4)])
+    def test_analytic_matches_sampling(self, op, k):
+        tech = STT_MRAM.with_variability(0.25, 0.25)  # measurable P_DF
+        analytic = decision_failure_probability(tech, op, k)
+        # the analytic value is the *average* of the two per-side errors
+        empirical = self._empirical(tech, op, k)
+        assert empirical == pytest.approx(analytic, rel=0.15)
+
+    def test_reliable_device_rarely_fails_in_simulation(self):
+        p = decision_failure_probability(RERAM, OpType.AND, 2)
+        assert p < 1e-10  # sampling would never see a failure

@@ -1,0 +1,319 @@
+"""Unit tests for the data-flow graph IR."""
+
+import pytest
+
+from repro.dfg import (
+    DataFlowGraph,
+    DFGBuilder,
+    OperandKind,
+    OpType,
+    blevel_order,
+    compute_blevels,
+    critical_path_length,
+    evaluate,
+    to_dot,
+)
+from repro.dfg.graph import input_ids, iter_edges
+from repro.errors import GraphError
+
+
+def make_simple() -> DataFlowGraph:
+    """(a & b) ^ c with the XOR result as output."""
+    dag = DataFlowGraph("simple")
+    a = dag.add_input("a")
+    b = dag.add_input("b")
+    c = dag.add_input("c")
+    t = dag.add_op(OpType.AND, [a, b])
+    r = dag.add_op(OpType.XOR, [t, c])
+    dag.mark_output(r, "r")
+    return dag
+
+
+class TestConstruction:
+    def test_add_input_creates_operand(self):
+        dag = DataFlowGraph()
+        a = dag.add_input("a")
+        node = dag.operand(a)
+        assert node.kind is OperandKind.INPUT
+        assert node.name == "a"
+        assert node.is_source
+
+    def test_duplicate_input_rejected(self):
+        dag = DataFlowGraph()
+        dag.add_input("a")
+        with pytest.raises(GraphError):
+            dag.add_input("a")
+
+    def test_const_values_restricted(self):
+        dag = DataFlowGraph()
+        dag.add_const(0)
+        dag.add_const(1)
+        with pytest.raises(GraphError):
+            dag.add_const(2)
+
+    def test_add_op_returns_result_operand(self):
+        dag = make_simple()
+        assert dag.num_ops == 2
+        # inputs + two results
+        assert dag.num_operands == 5
+
+    def test_op_arity_checked(self):
+        dag = DataFlowGraph()
+        a = dag.add_input("a")
+        with pytest.raises(GraphError):
+            dag.add_op(OpType.AND, [a])
+        with pytest.raises(GraphError):
+            dag.add_op(OpType.NOT, [a, a])
+
+    def test_unknown_operand_rejected(self):
+        dag = DataFlowGraph()
+        a = dag.add_input("a")
+        with pytest.raises(GraphError):
+            dag.add_op(OpType.AND, [a, 999])
+
+    def test_duplicate_output_name_rejected(self):
+        dag = make_simple()
+        out = next(iter(dag.outputs.values()))
+        with pytest.raises(GraphError):
+            dag.mark_output(out, "r")
+
+    def test_validate_passes_on_wellformed(self):
+        make_simple().validate()
+
+
+class TestStructure:
+    def test_pred_succ_ops(self):
+        dag = make_simple()
+        ops = dag.topological_ops()
+        assert len(ops) == 2
+        first, second = ops
+        assert dag.pred_ops(first) == []
+        assert dag.pred_ops(second) == [first]
+        assert dag.succ_ops(first) == [second]
+        assert dag.succ_ops(second) == []
+
+    def test_topological_order_respects_deps(self):
+        dag = DataFlowGraph()
+        a, b = dag.add_input("a"), dag.add_input("b")
+        t1 = dag.add_op(OpType.AND, [a, b])
+        t2 = dag.add_op(OpType.OR, [t1, a])
+        t3 = dag.add_op(OpType.XOR, [t2, t1])
+        dag.mark_output(t3, "o")
+        order = dag.topological_ops()
+        pos = {op_id: i for i, op_id in enumerate(order)}
+        for op_id in order:
+            for pred in dag.pred_ops(op_id):
+                assert pos[pred] < pos[op_id]
+
+    def test_consumers_tracking(self):
+        dag = DataFlowGraph()
+        a, b = dag.add_input("a"), dag.add_input("b")
+        t = dag.add_op(OpType.AND, [a, b])
+        dag.add_op(OpType.OR, [t, a])
+        dag.add_op(OpType.XOR, [t, b])
+        assert len(dag.consumers(t)) == 2
+        assert len(dag.consumers(a)) == 2
+
+    def test_live_nodes_excludes_dead(self):
+        dag = make_simple()
+        a = input_ids(dag)["a"]
+        b = input_ids(dag)["b"]
+        dag.add_op(OpType.OR, [a, b])  # dead op
+        live_operands, live_ops = dag.live_nodes()
+        assert len(live_ops) == 2
+
+    def test_iter_edges_count(self):
+        dag = make_simple()
+        # AND: 2 in + 1 out, XOR: 2 in + 1 out
+        assert len(list(iter_edges(dag))) == 6
+
+    def test_copy_is_independent(self):
+        dag = make_simple()
+        clone = dag.copy()
+        a, b = clone.add_input("x"), clone.add_input("y")
+        clone.add_op(OpType.AND, [a, b])
+        assert clone.num_ops == dag.num_ops + 1
+        dag.validate()
+        clone.validate()
+
+    def test_op_histogram(self):
+        dag = make_simple()
+        hist = dag.op_histogram()
+        assert hist[OpType.AND] == 1
+        assert hist[OpType.XOR] == 1
+
+
+class TestMutation:
+    def test_replace_op_updates_consumers(self):
+        dag = DataFlowGraph()
+        a, b, c = dag.add_input("a"), dag.add_input("b"), dag.add_input("c")
+        t = dag.add_op(OpType.AND, [a, b])
+        dag.mark_output(t, "o")
+        producer = dag.operand(t).producer
+        dag.replace_op(producer, operands=[a, b, c])
+        assert dag.op(producer).arity == 3
+        assert producer in dag.consumers(c)
+        dag.validate()
+
+    def test_delete_op_with_consumer_rejected(self):
+        dag = make_simple()
+        first = dag.topological_ops()[0]
+        with pytest.raises(GraphError):
+            dag.delete_op(first)
+
+    def test_delete_op_removes_result(self):
+        dag = DataFlowGraph()
+        a, b = dag.add_input("a"), dag.add_input("b")
+        t = dag.add_op(OpType.AND, [a, b])
+        op_id = dag.operand(t).producer
+        dag.delete_op(op_id)
+        assert dag.num_ops == 0
+        with pytest.raises(GraphError):
+            dag.operand(t)
+
+    def test_delete_output_op_rejected(self):
+        dag = DataFlowGraph()
+        a, b = dag.add_input("a"), dag.add_input("b")
+        t = dag.add_op(OpType.AND, [a, b])
+        dag.mark_output(t, "o")
+        with pytest.raises(GraphError):
+            dag.delete_op(dag.operand(t).producer)
+
+
+class TestBLevel:
+    def test_single_chain(self):
+        dag = DataFlowGraph()
+        a, b = dag.add_input("a"), dag.add_input("b")
+        t1 = dag.add_op(OpType.AND, [a, b])
+        t2 = dag.add_op(OpType.OR, [t1, b])
+        t3 = dag.add_op(OpType.XOR, [t2, a])
+        dag.mark_output(t3, "o")
+        levels = compute_blevels(dag)
+        order = dag.topological_ops()
+        assert [levels[o] for o in order] == [3, 2, 1]
+        assert critical_path_length(dag) == 3
+
+    def test_blevel_order_is_topological(self):
+        dag = DataFlowGraph()
+        a, b, c, d = (dag.add_input(n) for n in "abcd")
+        t1 = dag.add_op(OpType.AND, [a, b])
+        t2 = dag.add_op(OpType.OR, [c, d])
+        t3 = dag.add_op(OpType.XOR, [t1, t2])
+        dag.mark_output(t3, "o")
+        order = blevel_order(dag)
+        pos = {op_id: i for i, op_id in enumerate(order)}
+        for op_id in order:
+            for pred in dag.pred_ops(op_id):
+                assert pos[pred] < pos[op_id]
+
+    def test_exit_node_has_blevel_one(self):
+        dag = make_simple()
+        levels = compute_blevels(dag)
+        assert min(levels.values()) == 1
+
+
+class TestEvaluate:
+    def test_and_xor(self):
+        dag = make_simple()
+        out = evaluate(dag, {"a": 0b1100, "b": 0b1010, "c": 0b1111}, lanes=4)
+        assert out["r"] == (0b1100 & 0b1010) ^ 0b1111
+
+    def test_not_masks_to_lanes(self):
+        b = DFGBuilder()
+        a = b.input("a")
+        b.output("o", ~a)
+        out = evaluate(b.build(), {"a": 0b0101}, lanes=4)
+        assert out["o"] == 0b1010
+
+    def test_const_broadcast(self):
+        b = DFGBuilder()
+        a = b.input("a")
+        one = b.const(1)
+        b.output("o", a ^ one)
+        out = evaluate(b.build(), {"a": 0b0011}, lanes=4)
+        assert out["o"] == 0b1100
+
+    def test_missing_input_rejected(self):
+        dag = make_simple()
+        with pytest.raises(GraphError):
+            evaluate(dag, {"a": 0, "b": 0}, lanes=4)
+
+    def test_unknown_input_rejected(self):
+        dag = make_simple()
+        with pytest.raises(GraphError):
+            evaluate(dag, {"a": 0, "b": 0, "c": 0, "zz": 1}, lanes=4)
+
+    def test_oversized_input_rejected(self):
+        dag = make_simple()
+        with pytest.raises(GraphError):
+            evaluate(dag, {"a": 16, "b": 0, "c": 0}, lanes=4)
+
+    @pytest.mark.parametrize("op,expected", [
+        (OpType.AND, 0b1000),
+        (OpType.OR, 0b1110),
+        (OpType.XOR, 0b0110),
+        (OpType.NAND, 0b0111),
+        (OpType.NOR, 0b0001),
+        (OpType.XNOR, 0b1001),
+    ])
+    def test_all_binary_ops(self, op, expected):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("o", b.op(op, [x, y]))
+        out = evaluate(b.build(), {"x": 0b1100, "y": 0b1010}, lanes=4)
+        assert out["o"] == expected
+
+    @pytest.mark.parametrize("op,expected", [
+        (OpType.AND, 0b1000 & 0b0110),
+        (OpType.OR, 0b1100 | 0b1010 | 0b0110),
+        (OpType.XOR, 0b1100 ^ 0b1010 ^ 0b0110),
+    ])
+    def test_multi_operand_ops(self, op, expected):
+        b = DFGBuilder()
+        x, y, z = b.inputs("x", "y", "z")
+        b.output("o", b.op(op, [x, y, z]))
+        out = evaluate(b.build(), {"x": 0b1100, "y": 0b1010, "z": 0b0110}, lanes=4)
+        assert out["o"] == expected
+
+
+class TestBuilder:
+    def test_operator_overloads(self):
+        b = DFGBuilder("maj")
+        x, y, z = b.inputs("x", "y", "z")
+        b.output("maj", (x & y) | (x & z) | (y & z))
+        dag = b.build()
+        out = evaluate(dag, {"x": 0b1100, "y": 0b1010, "z": 0b0110}, lanes=4)
+        assert out["maj"] == 0b1110
+
+    def test_build_requires_output(self):
+        b = DFGBuilder()
+        b.input("a")
+        with pytest.raises(GraphError):
+            b.build()
+
+    def test_cross_builder_rejected(self):
+        b1, b2 = DFGBuilder(), DFGBuilder()
+        a = b1.input("a")
+        c = b2.input("c")
+        with pytest.raises(GraphError):
+            b1.and_(a, c)
+
+    def test_named_helpers(self):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("a", b.nand(x, y))
+        b.output("b", b.nor(x, y))
+        b.output("c", b.xnor(x, y))
+        b.output("d", b.not_(x))
+        out = evaluate(b.build(), {"x": 0b1100, "y": 0b1010}, lanes=4)
+        assert out == {"a": 0b0111, "b": 0b0001, "c": 0b1001, "d": 0b0011}
+
+
+class TestDot:
+    def test_dot_contains_all_nodes(self):
+        dag = make_simple()
+        dot = to_dot(dag)
+        assert dot.count("shape=box") == 2
+        assert dot.count("shape=ellipse") == 5
+        assert "digraph" in dot
+        assert "b=2" in dot  # b-level annotation of the AND

@@ -1,0 +1,268 @@
+"""Unit tests for the DAG transformations of Sec. 3.3.3."""
+
+import pytest
+
+from repro.dfg import (
+    DataFlowGraph,
+    DFGBuilder,
+    OpType,
+    common_subexpression_elimination,
+    eliminate_dead_nodes,
+    evaluate,
+    nand_lower,
+    split_multi_operand,
+    substitute_nodes,
+)
+from repro.errors import GraphError
+
+
+def xor_chain(n: int) -> DataFlowGraph:
+    """x0 ^ x1 ^ ... ^ x(n-1) as a left-leaning chain of binary XORs."""
+    b = DFGBuilder("chain")
+    wires = b.inputs(*[f"x{i}" for i in range(n)])
+    acc = wires[0]
+    for w in wires[1:]:
+        acc = acc ^ w
+    b.output("o", acc)
+    return b.build()
+
+
+def random_eval_equal(before: DataFlowGraph, after: DataFlowGraph, lanes: int = 16) -> bool:
+    """Compare both graphs on a few deterministic pseudo-random inputs."""
+    import random
+
+    rng = random.Random(1234)
+    names = sorted(o.name for o in before.inputs())
+    for _ in range(8):
+        inputs = {n: rng.getrandbits(lanes) for n in names}
+        if evaluate(before, inputs, lanes) != evaluate(after, inputs, lanes):
+            return False
+    return True
+
+
+class TestSubstituteNodes:
+    def test_chain_fuses_to_single_node(self):
+        dag = xor_chain(4)
+        report = substitute_nodes(dag, max_operands=8)
+        assert dag.num_ops == 1
+        node = next(dag.op_nodes())
+        assert node.arity == 4
+        assert report.merges_applied == 2
+        assert report.ops_before == 3
+        assert report.ops_after == 1
+
+    def test_semantics_preserved(self):
+        dag = xor_chain(6)
+        reference = dag.copy()
+        substitute_nodes(dag, max_operands=4)
+        assert random_eval_equal(reference, dag)
+
+    def test_respects_max_operands(self):
+        dag = xor_chain(8)
+        substitute_nodes(dag, max_operands=3)
+        for node in dag.op_nodes():
+            assert node.arity <= 3
+
+    def test_zero_budget_blocks_all_merges(self):
+        dag = xor_chain(5)
+        report = substitute_nodes(dag, max_operands=8, allowed_fraction=0.0)
+        assert report.merges_applied == 0
+        assert dag.num_ops == 4
+
+    def test_partial_budget(self):
+        dag = xor_chain(9)  # 8 binary ops
+        substitute_nodes(dag, max_operands=4, allowed_fraction=0.5)
+        multi = sum(1 for n in dag.op_nodes() if n.arity > 2)
+        assert 0 < multi / dag.num_ops <= 0.5
+
+    def test_mixed_types_not_fused(self):
+        b = DFGBuilder()
+        x, y, z = b.inputs("x", "y", "z")
+        b.output("o", (x & y) | z)
+        dag = b.build()
+        report = substitute_nodes(dag, max_operands=8)
+        assert report.merges_applied == 0
+
+    def test_shared_result_not_fused(self):
+        b = DFGBuilder()
+        x, y, z = b.inputs("x", "y", "z")
+        t = x ^ y
+        b.output("a", t ^ z)
+        b.output("b", t)  # t has another use: cannot be fused away
+        dag = b.build()
+        report = substitute_nodes(dag, max_operands=8)
+        assert report.merges_applied == 0
+
+    def test_fanout_two_not_fused(self):
+        b = DFGBuilder()
+        x, y, z = b.inputs("x", "y", "z")
+        t = x ^ y
+        b.output("a", t ^ z)
+        b.output("b", t ^ x)
+        dag = b.build()
+        substitute_nodes(dag, max_operands=8)
+        assert dag.num_ops == 3
+
+    def test_non_associative_untouched(self):
+        b = DFGBuilder()
+        x, y, z = b.inputs("x", "y", "z")
+        b.output("o", b.nand(b.nand(x, y), z))
+        dag = b.build()
+        report = substitute_nodes(dag, max_operands=8)
+        assert report.merges_applied == 0
+
+    def test_invalid_args_rejected(self):
+        dag = xor_chain(3)
+        with pytest.raises(GraphError):
+            substitute_nodes(dag, max_operands=1)
+        with pytest.raises(GraphError):
+            substitute_nodes(dag, max_operands=4, allowed_fraction=1.5)
+
+
+class TestSplitMultiOperand:
+    def test_split_restores_binary(self):
+        dag = xor_chain(8)
+        substitute_nodes(dag, max_operands=8)
+        reference = dag.copy()
+        split_multi_operand(dag, max_operands=2)
+        for node in dag.op_nodes():
+            assert node.arity == 2
+        assert random_eval_equal(reference, dag)
+
+    def test_split_to_intermediate_arity(self):
+        dag = xor_chain(9)
+        substitute_nodes(dag, max_operands=16)
+        split_multi_operand(dag, max_operands=3)
+        for node in dag.op_nodes():
+            assert node.arity <= 3
+        dag.validate()
+
+    def test_inverted_op_split_keeps_semantics(self):
+        b = DFGBuilder()
+        ws = b.inputs("a", "b", "c", "d")
+        b.output("o", b.nand(*ws))
+        dag = b.build()
+        reference = dag.copy()
+        split_multi_operand(dag, max_operands=2)
+        assert random_eval_equal(reference, dag)
+        # top must stay NAND, inner nodes are AND
+        hist = dag.op_histogram()
+        assert hist[OpType.NAND] == 1
+        assert hist[OpType.AND] == 2
+
+
+class TestNandLower:
+    @pytest.mark.parametrize("make", [
+        lambda b, x, y: x ^ y,
+        lambda b, x, y: x | y,
+        lambda b, x, y: b.xnor(x, y),
+        lambda b, x, y: b.nor(x, y),
+    ])
+    def test_binary_lowering_semantics(self, make):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("o", make(b, x, y))
+        dag = b.build()
+        reference = dag.copy()
+        nand_lower(dag)
+        assert random_eval_equal(reference, dag)
+        for node in dag.op_nodes():
+            assert node.op in (OpType.NAND, OpType.AND, OpType.NOT)
+
+    def test_multi_operand_xor_lowered(self):
+        dag = xor_chain(5)
+        substitute_nodes(dag, max_operands=8)
+        reference = dag.copy()
+        nand_lower(dag)
+        assert random_eval_equal(reference, dag)
+        for node in dag.op_nodes():
+            assert node.op.base is not OpType.XOR
+            assert node.op.base is not OpType.OR
+
+    def test_multi_operand_or_lowered_flat(self):
+        b = DFGBuilder()
+        ws = b.inputs("a", "b", "c")
+        b.output("o", b.or_(*ws))
+        dag = b.build()
+        reference = dag.copy()
+        nand_lower(dag)
+        assert random_eval_equal(reference, dag)
+        top = [n for n in dag.op_nodes() if n.op is OpType.NAND]
+        assert any(n.arity == 3 for n in top)
+
+    def test_and_untouched(self):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("o", x & y)
+        dag = b.build()
+        assert nand_lower(dag) == 0
+        assert next(dag.op_nodes()).op is OpType.AND
+
+
+class TestDeadNodeElimination:
+    def test_removes_dead_chain(self):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        live = x & y
+        dead = x ^ y
+        dead2 = dead | y  # noqa: F841  (dead on purpose)
+        b.output("o", live)
+        dag = b.build()
+        removed = eliminate_dead_nodes(dag)
+        assert removed >= 2
+        assert dag.num_ops == 1
+
+    def test_keeps_declared_inputs(self):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("o", x & x)
+        b.input("unused")
+        dag = DataFlowGraph()
+        dag = b._dag  # builder graph, pre-validate (y unused)
+        eliminate_dead_nodes(dag)
+        names = {o.name for o in dag.inputs()}
+        assert "unused" in names and "y" in names
+
+    def test_noop_on_live_graph(self):
+        dag = xor_chain(4)
+        assert eliminate_dead_nodes(dag) == 0
+
+
+class TestCSE:
+    def test_duplicate_ops_merged(self):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        t1 = x & y
+        t2 = x & y
+        b.output("o", t1 ^ t2)
+        dag = b.build()
+        reference = dag.copy()
+        removed = common_subexpression_elimination(dag)
+        assert removed == 1
+        assert random_eval_equal(reference, dag)
+
+    def test_commutative_matching(self):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("o", (x & y) ^ (y & x))
+        dag = b.build()
+        assert common_subexpression_elimination(dag) == 1
+
+    def test_cascading_cse(self):
+        b = DFGBuilder()
+        x, y, z = b.inputs("x", "y", "z")
+        t1 = (x & y) | z
+        t2 = (y & x) | z
+        b.output("o", t1 ^ t2)
+        dag = b.build()
+        reference = dag.copy()
+        removed = common_subexpression_elimination(dag)
+        assert removed == 2
+        assert random_eval_equal(reference, dag)
+
+    def test_different_ops_kept(self):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("o", (x & y) ^ (x | y))
+        dag = b.build()
+        assert common_subexpression_elimination(dag) == 0

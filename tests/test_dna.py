@@ -1,0 +1,98 @@
+"""Tests for the DNA k-mer matching workload."""
+
+import random
+
+import pytest
+
+from repro.core import CompilerConfig, TargetSpec, compile_dag
+from repro.devices import RERAM, STT_MRAM
+from repro.dfg import evaluate
+from repro.errors import SherlockError
+from repro.workloads import dna
+
+
+def random_dna(rng, length):
+    return "".join(rng.choice("ACGT") for _ in range(length))
+
+
+class TestEncoding:
+    def test_roundtrip_codes(self):
+        assert dna.encode_sequence("ACGT") == [0, 1, 2, 3]
+        assert dna.encode_sequence("acgt") == [0, 1, 2, 3]
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(SherlockError):
+            dna.encode_sequence("ACGU")
+
+    def test_find_all(self):
+        assert dna.find_all("ACGTACGT", "ACG") == [0, 4]
+        assert dna.find_all("AAAA", "AA") == [0, 1, 2]
+
+
+class TestMatchDag:
+    def test_matches_reference_on_random_text(self):
+        rng = random.Random(0)
+        text = random_dna(rng, 64)
+        pattern = text[10:18]  # guarantee at least one hit
+        positions = list(range(0, 56, 4)) + [10]
+        dag = dna.kmer_match_dag(8)
+        inputs = dna.match_inputs(text, pattern, positions)
+        out = evaluate(dag, inputs, len(positions))
+        assert out["hit"] == dna.match_reference(text, pattern, positions)
+        assert out["hit"] != 0  # position 10 must hit
+
+    def test_no_false_positives(self):
+        text = "ACGT" * 8
+        dag = dna.kmer_match_dag(4)
+        positions = list(range(0, 28))
+        inputs = dna.match_inputs(text, "TTTT", positions)
+        out = evaluate(dag, inputs, len(positions))
+        assert out["hit"] == 0
+
+    def test_out_of_range_position_rejected(self):
+        with pytest.raises(SherlockError):
+            dna.match_inputs("ACGT", "ACG", [2])
+
+    def test_dag_shape(self):
+        dag = dna.kmer_match_dag(5)
+        # 2*5 XNORs + 9 AND chain
+        assert dag.num_ops == 10 + 9
+
+
+class TestOnHardware:
+    def test_full_scan_on_cim(self):
+        """Scan a reference text for a k-mer, lane per candidate position."""
+        rng = random.Random(7)
+        text = random_dna(rng, 100)
+        pattern = text[37:45]
+        k = len(pattern)
+        dag = dna.kmer_match_dag(k)
+        target = TargetSpec.square(64, RERAM, num_arrays=8)
+        program = compile_dag(dag, target)
+        lanes = 32
+        hits = []
+        for start in range(0, len(text) - k + 1, lanes):
+            positions = [min(start + i, len(text) - k) for i in range(lanes)]
+            out = program.execute(dna.match_inputs(text, pattern, positions),
+                                  lanes)
+            for lane, pos in enumerate(positions):
+                if (out["hit"] >> lane) & 1 and (not hits or hits[-1] != pos):
+                    hits.append(pos)
+        assert sorted(set(hits)) == dna.find_all(text, pattern)
+
+    def test_node_substitution_merges_the_and_chain(self):
+        """The deep AND chain is ideal fuel for MRA > 2 merging."""
+        dag = dna.kmer_match_dag(8)
+        target = TargetSpec.square(64, STT_MRAM, num_arrays=8,
+                                   max_activated_rows=8)
+        binary = compile_dag(dag, target, CompilerConfig(mra=2))
+        merged = compile_dag(dag, target, CompilerConfig(mra=8))
+        assert merged.dag.num_ops < binary.dag.num_ops
+        assert max(n.arity for n in merged.dag.op_nodes()) > 2
+        rng = random.Random(1)
+        text = random_dna(rng, 32)
+        inputs = dna.match_inputs(text, text[3:11], [0, 3, 9])
+        assert binary.execute(inputs, 3) == merged.execute(inputs, 3)
+        # merging trades instructions for reliability
+        assert merged.metrics.instruction_count < binary.metrics.instruction_count
+        assert merged.metrics.p_app >= binary.metrics.p_app

@@ -1,0 +1,42 @@
+"""Smoke tests: every shipped example must run end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 600) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "functional check passed" in out
+    assert "read [" in out
+
+
+def test_database_scan():
+    out = run_example("database_scan.py")
+    assert "functionally verified" in out
+    assert "speedup" in out
+
+
+def test_sobel_edge():
+    out = run_example("sobel_edge.py")
+    assert "verified" in out
+    assert "edge magnitude map" in out
+
+
+@pytest.mark.slow
+def test_aes_encrypt_reduced():
+    out = run_example("aes_encrypt.py", "--rounds", "2")
+    assert "[ok]" in out
+    assert "MISMATCH" not in out

@@ -1,0 +1,257 @@
+"""Unit tests for the naive mapper, clustering, and the Sherlock mapper."""
+
+import random
+
+import pytest
+
+from repro.arch import ReadInst, TargetSpec, WriteInst
+from repro.dfg import DataFlowGraph, DFGBuilder, OpType, evaluate
+from repro.errors import MappingError
+from repro.mapping import (
+    SherlockOptions,
+    find_clusters,
+    map_naive,
+    map_sherlock,
+    merge_clusters,
+)
+from repro.sim import ArrayMachine, extract_outputs, preload_sources
+
+
+def small_target(rows=16, cols=8, num_arrays=2, **kwargs):
+    return TargetSpec(
+        __import__("repro.devices", fromlist=["RERAM"]).RERAM,
+        rows=rows, cols=cols, data_width=32, num_arrays=num_arrays,
+        max_activated_rows=4, **kwargs)
+
+
+def tree_dag(leaves=8) -> DataFlowGraph:
+    """Balanced reduction tree of ANDs."""
+    b = DFGBuilder("tree")
+    level = b.inputs(*[f"x{i}" for i in range(leaves)])
+    while len(level) > 1:
+        level = [level[i] & level[i + 1] for i in range(0, len(level), 2)]
+    b.output("root", level[0])
+    return b.build()
+
+
+def chains_dag(n=4, depth=5) -> DataFlowGraph:
+    """Independent XOR chains joined by a final OR tree."""
+    b = DFGBuilder("chains")
+    tops = []
+    for c in range(n):
+        acc = b.input(f"a{c}") ^ b.input(f"b{c}")
+        for d in range(depth):
+            acc = acc ^ b.input(f"i{c}_{d}")
+        tops.append(acc)
+    acc = tops[0]
+    for t in tops[1:]:
+        acc = acc | t
+    b.output("o", acc)
+    return b.build()
+
+
+def run_and_check(result, dag, lanes=32, seed=0):
+    """Execute a mapping result and compare with the DAG reference."""
+    rng = random.Random(seed)
+    inputs = {o.name: rng.getrandbits(lanes) for o in dag.inputs()}
+    machine = ArrayMachine(result.target, lanes)
+    preload_sources(machine, result.layout, dag, inputs)
+    machine.run(result.instructions)
+    outputs = extract_outputs(machine, result.layout, dag)
+    assert outputs == evaluate(dag, inputs, lanes)
+    return outputs
+
+
+class TestNaiveMapper:
+    def test_produces_correct_program(self):
+        dag = tree_dag()
+        run_and_check(map_naive(dag, small_target()), dag)
+
+    def test_every_operand_placed(self):
+        dag = tree_dag()
+        result = map_naive(dag, small_target())
+        for operand in dag.operand_nodes():
+            assert result.layout.is_placed(operand.node_id)
+
+    def test_single_column_fit_needs_no_moves(self):
+        """Small DAG in one column: the paper's best case for Algorithm 1."""
+        b = DFGBuilder()
+        x, y, z = b.inputs("x", "y", "z")
+        b.output("o", (x & y) ^ z)
+        dag = b.build()
+        result = map_naive(dag, small_target(rows=32))
+        assert result.stats.gather_moves == 0
+        assert result.layout.columns_used == 1
+
+    def test_overflow_across_columns_causes_moves(self):
+        dag = chains_dag(n=6, depth=6)
+        result = map_naive(dag, small_target(rows=8, cols=16))
+        assert result.layout.columns_used > 1
+        assert result.stats.gather_moves > 0
+        run_and_check(result, dag)
+
+    def test_capacity_exhaustion_raises(self):
+        dag = chains_dag(n=8, depth=8)
+        with pytest.raises(MappingError):
+            map_naive(dag, small_target(rows=4, cols=2, num_arrays=1))
+
+    def test_stats_populated(self):
+        dag = tree_dag()
+        result = map_naive(dag, small_target())
+        assert result.stats.mapper == "naive"
+        assert result.stats.cells_used >= dag.num_operands
+
+
+class TestClustering:
+    def test_chain_forms_single_cluster(self):
+        b = DFGBuilder()
+        acc = b.input("a") & b.input("b")
+        for i in range(5):
+            acc = acc & b.input(f"x{i}")
+        b.output("o", acc)
+        dag = b.build()
+        clusters = find_clusters(dag, c_max=64)
+        assert len(clusters) == 1
+        assert clusters[0].size == dag.num_ops
+
+    def test_footprint_respected(self):
+        dag = chains_dag(n=6, depth=8)
+        c_max = 10
+        for cluster in find_clusters(dag, c_max):
+            assert cluster.footprint <= c_max
+
+    def test_footprint_counts_results_and_externals(self):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        t = x & y
+        b.output("o", t & x)
+        dag = b.build()
+        (cluster,) = find_clusters(dag, c_max=64)
+        # cells: x, y, t, result = 4
+        assert cluster.footprint == 4
+
+    def test_independent_chains_get_distinct_clusters(self):
+        dag = chains_dag(n=4, depth=4)
+        clusters = find_clusters(dag, c_max=8)
+        assert len(clusters) >= 4
+
+    def test_merge_clusters_reduces_count(self):
+        dag = chains_dag(n=4, depth=3)
+        clusters = find_clusters(dag, c_max=6)
+        merged, merges = merge_clusters(clusters, k=2, c_max=64, dag=dag)
+        assert len(merged) <= max(2, len(clusters) - merges)
+        assert merges > 0
+        total_ops = sum(c.size for c in merged)
+        assert total_ops == dag.num_ops
+
+    def test_merge_stops_when_nothing_fits(self):
+        dag = chains_dag(n=4, depth=4)
+        clusters = find_clusters(dag, c_max=8)
+        merged, _ = merge_clusters(clusters, k=1, c_max=8, dag=dag)
+        for cluster in merged:
+            assert cluster.footprint <= 8
+        assert len(merged) > 1  # k=1 is unreachable under the bound
+
+    def test_all_ops_assigned_exactly_once(self):
+        dag = chains_dag(n=3, depth=5)
+        clusters = find_clusters(dag, c_max=12)
+        seen = [op for c in clusters for op in c.ops]
+        assert sorted(seen) == sorted(n.node_id for n in dag.op_nodes())
+
+
+class TestSherlockMapper:
+    def test_produces_correct_program(self):
+        dag = chains_dag()
+        run_and_check(map_sherlock(dag, small_target()), dag)
+
+    def test_fewer_instructions_than_naive_on_structured_dag(self):
+        dag = chains_dag(n=8, depth=10)
+        target = small_target(rows=16, cols=16)
+        naive = map_naive(dag, target)
+        opt = map_sherlock(dag, target)
+        assert len(opt.instructions) < len(naive.instructions)
+        assert opt.stats.gather_moves <= naive.stats.gather_moves
+        run_and_check(opt, dag)
+        run_and_check(naive, dag)
+
+    def test_merging_reduces_instruction_count(self):
+        dag = chains_dag(n=8, depth=10)
+        target = small_target(rows=16, cols=16)
+        merged = map_sherlock(dag, target)
+        unmerged = map_sherlock(dag, target,
+                                SherlockOptions(merge_instructions=False))
+        assert len(merged.instructions) < len(unmerged.instructions)
+        assert merged.stats.merged_instruction_savings > 0
+        run_and_check(merged, dag)
+        run_and_check(unmerged, dag)
+
+    def test_merged_reads_carry_multiple_columns(self):
+        dag = chains_dag(n=8, depth=10)
+        result = map_sherlock(dag, small_target(rows=16, cols=16))
+        assert any(isinstance(i, ReadInst) and i.ops and len(i.cols) > 1
+                   for i in result.instructions)
+
+    def test_non_selective_target_falls_back_to_per_op(self):
+        dag = chains_dag()
+        target = small_target(selective_columns=False)
+        result = map_sherlock(dag, target)
+        for inst in result.instructions:
+            if isinstance(inst, ReadInst) and inst.ops:
+                assert len(inst.cols) == 1
+        run_and_check(result, dag)
+
+    def test_too_many_clusters_raise(self):
+        dag = chains_dag(n=8, depth=8)
+        with pytest.raises(MappingError):
+            map_sherlock(dag, small_target(rows=4, cols=2, num_arrays=1))
+
+    def test_cluster_stats_reported(self):
+        dag = chains_dag()
+        result = map_sherlock(dag, small_target())
+        assert result.stats.clusters is not None
+        assert result.stats.clusters >= 1
+
+    def test_not_ops_supported(self):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("o", ~(x & y) ^ ~y)
+        dag = b.build()
+        run_and_check(map_sherlock(dag, small_target()), dag)
+        run_and_check(map_naive(dag, small_target()), dag)
+
+    def test_multi_operand_ops_supported(self):
+        b = DFGBuilder()
+        ws = b.inputs("a", "b", "c", "d")
+        b.output("o", b.and_(*ws))
+        dag = b.build()
+        result = map_sherlock(dag, small_target())
+        reads = [i for i in result.instructions
+                 if isinstance(i, ReadInst) and i.ops]
+        assert any(len(r.rows) == 4 for r in reads)
+        run_and_check(result, dag)
+
+    def test_arity_above_target_mra_rejected(self):
+        b = DFGBuilder()
+        ws = b.inputs(*"abcdef")
+        b.output("o", b.and_(*ws))
+        dag = b.build()
+        with pytest.raises(MappingError):
+            map_sherlock(dag, small_target())  # MRA limit is 4
+
+
+class TestDeterminism:
+    def test_same_dag_same_program(self):
+        dag = chains_dag(n=5, depth=6)
+        target = small_target()
+        a = map_sherlock(dag, target)
+        b = map_sherlock(dag, target)
+        assert [i.to_text() for i in a.instructions] == \
+               [i.to_text() for i in b.instructions]
+
+    def test_naive_deterministic(self):
+        dag = chains_dag(n=5, depth=6)
+        target = small_target()
+        a = map_naive(dag, target)
+        b = map_naive(dag, target)
+        assert [i.to_text() for i in a.instructions] == \
+               [i.to_text() for i in b.instructions]

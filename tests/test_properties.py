@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The central property of the whole compiler: *any* well-formed DAG, compiled
+with either mapper under any configuration, executes to exactly the values
+the reference evaluator computes.  Around it, structural invariants of the
+IR, the transforms, and the reliability model.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import TargetSpec
+from repro.core import CompilerConfig, SherlockCompiler
+from repro.devices import (
+    RERAM,
+    STT_MRAM,
+    application_failure_probability,
+    decision_failure_probability,
+)
+from repro.dfg import (
+    DataFlowGraph,
+    OpType,
+    blevel_order,
+    compute_blevels,
+    eliminate_dead_nodes,
+    evaluate,
+    fold_duplicate_operands,
+    nand_lower,
+    split_multi_operand,
+    substitute_nodes,
+)
+
+BINARY_OPS = [OpType.AND, OpType.OR, OpType.XOR,
+              OpType.NAND, OpType.NOR, OpType.XNOR]
+
+
+@st.composite
+def dags(draw, max_ops: int = 40, allow_dup_operands: bool = False):
+    """Random well-formed DAGs (op type/shape chosen by hypothesis)."""
+    num_inputs = draw(st.integers(2, 6))
+    num_ops = draw(st.integers(1, max_ops))
+    dag = DataFlowGraph("hyp")
+    values = [dag.add_input(f"x{i}") for i in range(num_inputs)]
+    values.append(dag.add_const(draw(st.integers(0, 1))))
+    for _ in range(num_ops):
+        op = draw(st.sampled_from(BINARY_OPS + [OpType.NOT]))
+        if op is OpType.NOT:
+            operands = [draw(st.sampled_from(values))]
+        else:
+            arity = draw(st.integers(2, 3))
+            if allow_dup_operands:
+                operands = [draw(st.sampled_from(values)) for _ in range(arity)]
+            else:
+                operands = draw(st.permutations(values))[:arity]
+        values.append(dag.add_op(op, operands))
+    num_outputs = draw(st.integers(1, 3))
+    for i in range(num_outputs):
+        dag.mark_output(values[-(i + 1)], f"o{i}")
+    return dag
+
+
+def random_inputs(dag: DataFlowGraph, seed: int, lanes: int) -> dict[str, int]:
+    rng = random.Random(seed)
+    return {o.name: rng.getrandbits(lanes) for o in dag.inputs()}
+
+
+TARGET = TargetSpec(RERAM, rows=24, cols=12, data_width=48, num_arrays=4,
+                    max_activated_rows=4)
+
+
+class TestCompilerCorrectness:
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(dag=dags(), mapper=st.sampled_from(["naive", "sherlock"]),
+           seed=st.integers(0, 2**32 - 1))
+    def test_compiled_program_matches_reference(self, dag, mapper, seed):
+        program = SherlockCompiler(TARGET, CompilerConfig(mapper=mapper)).compile(dag)
+        inputs = random_inputs(dag, seed, lanes=16)
+        assert program.verify(inputs, lanes=16)
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(dag=dags(allow_dup_operands=True), seed=st.integers(0, 2**32 - 1))
+    def test_duplicate_operands_compile_correctly(self, dag, seed):
+        program = SherlockCompiler(TARGET, CompilerConfig()).compile(dag)
+        inputs = random_inputs(dag, seed, lanes=16)
+        assert program.verify(inputs, lanes=16)
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(dag=dags(), mra=st.integers(2, 4), fraction=st.floats(0.0, 1.0),
+           seed=st.integers(0, 2**32 - 1))
+    def test_mra_configs_compile_correctly(self, dag, mra, fraction, seed):
+        config = CompilerConfig(mra=mra, mra_fraction=fraction)
+        program = SherlockCompiler(TARGET, config).compile(dag)
+        inputs = random_inputs(dag, seed, lanes=16)
+        assert program.verify(inputs, lanes=16)
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(dag=dags(), seed=st.integers(0, 2**32 - 1))
+    def test_stt_mram_nand_lowering_correct(self, dag, seed):
+        target = TargetSpec(STT_MRAM, rows=24, cols=12, data_width=48,
+                            num_arrays=4, max_activated_rows=4)
+        program = SherlockCompiler(target, CompilerConfig()).compile(dag)
+        assert all(n.op.base in (OpType.AND, OpType.NOT)
+                   for n in program.dag.op_nodes())
+        inputs = random_inputs(dag, seed, lanes=16)
+        assert program.verify(inputs, lanes=16)
+
+
+class TestTransformProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(dag=dags(), max_operands=st.integers(2, 6),
+           fraction=st.floats(0.0, 1.0), seed=st.integers(0, 2**31))
+    def test_substitution_preserves_semantics(self, dag, max_operands,
+                                              fraction, seed):
+        reference = dag.copy()
+        original_max = max(n.arity for n in dag.op_nodes())
+        substitute_nodes(dag, max_operands, fraction)
+        dag.validate()
+        for node in dag.op_nodes():
+            # merging never exceeds the bound; pre-existing wider ops stay
+            assert node.arity <= max(max_operands, original_max)
+        inputs = random_inputs(dag, seed, 16)
+        assert evaluate(dag, inputs, 16) == evaluate(reference, inputs, 16)
+
+    @settings(max_examples=50, deadline=None)
+    @given(dag=dags(), seed=st.integers(0, 2**31))
+    def test_nand_lowering_preserves_semantics(self, dag, seed):
+        reference = dag.copy()
+        nand_lower(dag)
+        dag.validate()
+        inputs = random_inputs(dag, seed, 16)
+        assert evaluate(dag, inputs, 16) == evaluate(reference, inputs, 16)
+
+    @settings(max_examples=50, deadline=None)
+    @given(dag=dags(max_ops=20), seed=st.integers(0, 2**31))
+    def test_substitute_then_split_roundtrips_semantics(self, dag, seed):
+        reference = dag.copy()
+        substitute_nodes(dag, 8)
+        split_multi_operand(dag, 2)
+        dag.validate()
+        for node in dag.op_nodes():
+            assert node.arity <= 2
+        inputs = random_inputs(dag, seed, 16)
+        assert evaluate(dag, inputs, 16) == evaluate(reference, inputs, 16)
+
+    @settings(max_examples=50, deadline=None)
+    @given(dag=dags(allow_dup_operands=True), seed=st.integers(0, 2**31))
+    def test_fold_duplicates_preserves_semantics(self, dag, seed):
+        reference = dag.copy()
+        fold_duplicate_operands(dag)
+        dag.validate()
+        for node in dag.op_nodes():
+            assert len(set(node.operands)) == node.arity
+        inputs = random_inputs(dag, seed, 16)
+        assert evaluate(dag, inputs, 16) == evaluate(reference, inputs, 16)
+
+    @settings(max_examples=50, deadline=None)
+    @given(dag=dags(), seed=st.integers(0, 2**31))
+    def test_dce_preserves_outputs(self, dag, seed):
+        reference = dag.copy()
+        eliminate_dead_nodes(dag)
+        dag.validate()
+        inputs = random_inputs(dag, seed, 16)
+        assert evaluate(dag, inputs, 16) == evaluate(reference, inputs, 16)
+
+
+class TestStructuralProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(dag=dags())
+    def test_blevel_is_topological_and_positive(self, dag):
+        levels = compute_blevels(dag)
+        for op_id, level in levels.items():
+            assert level >= 1
+            for pred in dag.pred_ops(op_id):
+                assert levels[pred] > level
+        order = blevel_order(dag)
+        position = {op: i for i, op in enumerate(order)}
+        for op_id in order:
+            for pred in dag.pred_ops(op_id):
+                assert position[pred] < position[op_id]
+
+    @settings(max_examples=50, deadline=None)
+    @given(dag=dags())
+    def test_copy_roundtrip(self, dag):
+        clone = dag.copy()
+        clone.validate()
+        assert clone.num_ops == dag.num_ops
+        assert clone.outputs == dag.outputs
+
+    @settings(max_examples=30, deadline=None)
+    @given(dag=dags(), mapper=st.sampled_from(["naive", "sherlock"]))
+    def test_every_live_operand_is_placed(self, dag, mapper):
+        program = SherlockCompiler(TARGET, CompilerConfig(mapper=mapper)).compile(dag)
+        layout = program.layout
+        for node in program.dag.op_nodes():
+            for oid in node.operands:
+                assert layout.is_placed(oid)
+            assert layout.is_placed(node.result)
+
+
+class TestReliabilityProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(ps=st.lists(st.floats(0.0, 1.0), max_size=20))
+    def test_p_app_bounds(self, ps):
+        p = application_failure_probability(ps)
+        assert 0.0 <= p <= 1.0
+        if ps:
+            assert p >= max(ps) - 1e-12
+
+    @settings(max_examples=100, deadline=None)
+    @given(ps=st.lists(st.floats(0.0, 0.5), min_size=1, max_size=10),
+           extra=st.floats(0.0, 0.5))
+    def test_p_app_monotone_in_ops(self, ps, extra):
+        assert (application_failure_probability(ps + [extra])
+                >= application_failure_probability(ps) - 1e-12)
+
+    @settings(max_examples=60, deadline=None)
+    @given(op=st.sampled_from([OpType.AND, OpType.OR, OpType.XOR]),
+           k=st.integers(2, 7))
+    def test_pdf_monotone_in_k(self, op, k):
+        for tech in (RERAM, STT_MRAM):
+            assert (decision_failure_probability(tech, op, k + 1)
+                    >= decision_failure_probability(tech, op, k))

@@ -1,0 +1,75 @@
+"""Tests for the Fig. 6 reliability sweeps and the Pareto helper."""
+
+import pytest
+
+from repro.arch import TargetSpec
+from repro.devices import RERAM, STT_MRAM
+from repro.reliability import SweepPoint, mra_sweep, pareto_front
+from repro.workloads import bitweaving
+
+
+@pytest.fixture(scope="module")
+def scan_dag():
+    return bitweaving.between_batch_dag(bits=8, segments=4)
+
+
+@pytest.fixture(scope="module")
+def reram_sweep(scan_dag):
+    target = TargetSpec.square(128, RERAM, num_arrays=8, max_activated_rows=4)
+    return mra_sweep(scan_dag, target, "sherlock",
+                     fractions=(0.0, 0.5, 1.0), mra=4)
+
+
+class TestMraSweep:
+    def test_point_fields(self, reram_sweep):
+        for point in reram_sweep:
+            assert point.latency_us > 0
+            assert point.energy_uj > 0
+            assert 0 <= point.p_app <= 1
+            assert 0 <= point.achieved_fraction <= 1
+
+    def test_zero_budget_is_binary(self, reram_sweep):
+        assert reram_sweep[0].achieved_fraction == 0.0
+
+    def test_achieved_fraction_monotone_in_budget(self, reram_sweep):
+        # achieved is trace-relative (CIM column ops) while the budget is
+        # DAG-relative, so the two scales differ; monotonicity must hold
+        achieved = [p.achieved_fraction for p in reram_sweep]
+        assert achieved == sorted(achieved)
+
+    def test_merging_reduces_latency_endpoints(self, reram_sweep):
+        assert reram_sweep[-1].latency_us <= reram_sweep[0].latency_us
+        assert reram_sweep[-1].p_app >= reram_sweep[0].p_app
+
+    def test_naive_curve_monotone_in_papp(self, scan_dag):
+        """Sec. 4.2: the naive probability curve is regular (monotone)."""
+        target = TargetSpec.square(128, RERAM, num_arrays=8,
+                                   max_activated_rows=4)
+        points = mra_sweep(scan_dag, target, "naive",
+                           fractions=(0.0, 0.3, 0.6, 1.0), mra=4)
+        p_apps = [p.p_app for p in points]
+        assert p_apps == sorted(p_apps)
+
+    def test_stt_much_less_reliable(self, scan_dag, reram_sweep):
+        target = TargetSpec.square(128, STT_MRAM, num_arrays=8,
+                                   max_activated_rows=4)
+        stt = mra_sweep(scan_dag, target, "sherlock", fractions=(1.0,), mra=4)
+        assert stt[0].p_app > 100 * reram_sweep[-1].p_app
+
+
+class TestParetoFront:
+    def test_dominated_points_removed(self):
+        points = [
+            SweepPoint(0.0, 0.0, 10.0, 1.0, 1e-9, 100),
+            SweepPoint(0.5, 0.4, 8.0, 1.0, 1e-7, 90),
+            SweepPoint(1.0, 0.9, 9.0, 1.0, 1e-6, 95),  # dominated by #2
+        ]
+        front = pareto_front(points)
+        assert points[2] not in front
+        assert points[0] in front and points[1] in front
+
+    def test_front_sorted_by_latency(self, reram_sweep):
+        front = pareto_front(reram_sweep)
+        latencies = [p.latency_us for p in front]
+        assert latencies == sorted(latencies)
+        assert front  # never empty for a non-empty sweep

@@ -1,0 +1,173 @@
+"""Unit tests for the functional array machine."""
+
+import random
+
+import pytest
+
+from repro.arch import (
+    CellAddr,
+    NotInst,
+    ReadInst,
+    ShiftInst,
+    TargetSpec,
+    TransferInst,
+    WriteInst,
+)
+from repro.devices import RERAM, STT_MRAM
+from repro.dfg import OpType
+from repro.errors import SimulationError
+from repro.sim import ArrayMachine
+
+
+def make_machine(lanes=8, **kwargs):
+    kwargs.setdefault("num_arrays", 2)
+    target = TargetSpec(RERAM, rows=16, cols=8, data_width=32, **kwargs)
+    return ArrayMachine(target, lanes=lanes)
+
+
+class TestCells:
+    def test_poke_peek_roundtrip(self):
+        m = make_machine()
+        m.poke(CellAddr(0, 3, 2), 0b1011)
+        assert m.peek(CellAddr(0, 3, 2)) == 0b1011
+
+    def test_poke_masks_to_lanes(self):
+        m = make_machine(lanes=4)
+        m.poke(CellAddr(0, 0, 0), 0xFF)
+        assert m.peek(CellAddr(0, 0, 0)) == 0xF
+
+    def test_peek_uninitialized_raises(self):
+        m = make_machine()
+        with pytest.raises(SimulationError):
+            m.peek(CellAddr(0, 0, 0))
+
+    def test_out_of_range_raises(self):
+        m = make_machine()
+        with pytest.raises(SimulationError):
+            m.poke(CellAddr(0, 99, 0), 1)
+        with pytest.raises(SimulationError):
+            m.poke(CellAddr(5, 0, 0), 1)
+
+
+class TestReadWrite:
+    def test_plain_read_then_write_copies_cell(self):
+        m = make_machine()
+        m.poke(CellAddr(0, 2, 5), 0b0110)
+        m.run([ReadInst(0, (5,), (2,)), WriteInst(0, (5,), 7)])
+        assert m.peek(CellAddr(0, 7, 5)) == 0b0110
+
+    @pytest.mark.parametrize("op,expected", [
+        (OpType.AND, 0b1000), (OpType.OR, 0b1110), (OpType.XOR, 0b0110),
+        (OpType.NAND, 0b0111), (OpType.NOR, 0b0001), (OpType.XNOR, 0b1001),
+    ])
+    def test_cim_read_computes(self, op, expected):
+        m = make_machine(lanes=4)
+        m.poke(CellAddr(0, 0, 3), 0b1100)
+        m.poke(CellAddr(0, 1, 3), 0b1010)
+        m.run([ReadInst(0, (3,), (0, 1), (op,))])
+        assert m.rowbuf(0)[3] == expected
+
+    def test_cim_read_three_rows(self):
+        m = make_machine(lanes=4)
+        for row, val in [(0, 0b1100), (1, 0b1010), (2, 0b0110)]:
+            m.poke(CellAddr(0, row, 0), val)
+        m.run([ReadInst(0, (0,), (0, 1, 2), (OpType.XOR,))])
+        assert m.rowbuf(0)[0] == 0b1100 ^ 0b1010 ^ 0b0110
+
+    def test_per_column_heterogeneous_ops(self):
+        m = make_machine(lanes=4)
+        for col in (1, 2):
+            m.poke(CellAddr(0, 0, col), 0b1100)
+            m.poke(CellAddr(0, 1, col), 0b1010)
+        m.run([ReadInst(0, (1, 2), (0, 1), (OpType.AND, OpType.XOR))])
+        assert m.rowbuf(0) == {1: 0b1000, 2: 0b0110}
+
+    def test_read_uninitialized_cell_raises(self):
+        m = make_machine()
+        with pytest.raises(SimulationError):
+            m.run([ReadInst(0, (0,), (0,))])
+
+    def test_write_from_empty_rowbuf_raises(self):
+        m = make_machine()
+        with pytest.raises(SimulationError):
+            m.run([WriteInst(0, (0,), 0)])
+
+
+class TestShiftNotTransfer:
+    def test_shift_moves_rowbuf_columns(self):
+        m = make_machine(lanes=4)
+        m.poke(CellAddr(0, 0, 2), 0b0101)
+        m.run([ReadInst(0, (2,), (0,)), ShiftInst(0, 3)])
+        assert m.rowbuf(0) == {5: 0b0101}
+
+    def test_shift_left(self):
+        m = make_machine(lanes=4)
+        m.poke(CellAddr(0, 0, 4), 0b1111)
+        m.run([ReadInst(0, (4,), (0,)), ShiftInst(0, -4)])
+        assert m.rowbuf(0) == {0: 0b1111}
+
+    def test_shift_drops_out_of_range(self):
+        m = make_machine(lanes=4)
+        m.poke(CellAddr(0, 0, 7), 1)
+        m.run([ReadInst(0, (7,), (0,)), ShiftInst(0, 1)])
+        assert m.rowbuf(0) == {}
+
+    def test_not_inverts_selected_columns(self):
+        m = make_machine(lanes=4)
+        m.poke(CellAddr(0, 0, 1), 0b0101)
+        m.run([ReadInst(0, (1,), (0,)), NotInst(0, (1,))])
+        assert m.rowbuf(0)[1] == 0b1010
+
+    def test_not_on_empty_rowbuf_raises(self):
+        m = make_machine()
+        with pytest.raises(SimulationError):
+            m.run([NotInst(0, (0,))])
+
+    def test_transfer_between_arrays(self):
+        m = make_machine(lanes=4)
+        m.poke(CellAddr(0, 0, 3), 0b1001)
+        m.run([ReadInst(0, (3,), (0,)), TransferInst(0, 1, (3,)),
+               WriteInst(1, (3,), 9)])
+        assert m.peek(CellAddr(1, 9, 3)) == 0b1001
+
+    def test_transfer_from_empty_rowbuf_raises(self):
+        m = make_machine()
+        with pytest.raises(SimulationError):
+            m.run([TransferInst(0, 1, (0,))])
+
+
+class TestMoveSequence:
+    def test_full_gather_move(self):
+        """read -> shift -> write relocates a bit to another column/row."""
+        m = make_machine(lanes=4)
+        m.poke(CellAddr(0, 5, 2), 0b1110)
+        m.run([
+            ReadInst(0, (2,), (5,)),
+            ShiftInst(0, 4),
+            WriteInst(0, (6,), 11),
+        ])
+        assert m.peek(CellAddr(0, 11, 6)) == 0b1110
+
+
+class TestFaultInjection:
+    def test_faults_flip_lanes_with_high_probability(self):
+        target = TargetSpec(
+            STT_MRAM.with_variability(0.4, 0.4), rows=16, cols=8,
+            data_width=32, num_arrays=1)
+        m = ArrayMachine(target, lanes=64, fault_rng=random.Random(0))
+        m.poke(CellAddr(0, 0, 0), 0)
+        m.poke(CellAddr(0, 1, 0), 0)
+        for _ in range(50):
+            m.execute(ReadInst(0, (0,), (0, 1), (OpType.XOR,)))
+        assert m.injected_faults > 0
+
+    def test_no_rng_means_deterministic(self):
+        m = make_machine(lanes=4)
+        m.poke(CellAddr(0, 0, 0), 0b1100)
+        m.poke(CellAddr(0, 1, 0), 0b1010)
+        results = set()
+        for _ in range(5):
+            m.execute(ReadInst(0, (0,), (0, 1), (OpType.XOR,)))
+            results.add(m.rowbuf(0)[0])
+        assert results == {0b0110}
+        assert m.injected_faults == 0

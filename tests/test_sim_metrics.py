@@ -1,0 +1,168 @@
+"""Unit tests for trace cost accounting and the CPU baseline model."""
+
+import math
+
+import pytest
+
+from repro.arch import (
+    NotInst,
+    ReadInst,
+    ShiftInst,
+    TargetSpec,
+    TransferInst,
+    WriteInst,
+)
+from repro.devices import RERAM, STT_MRAM, decision_failure_probability
+from repro.dfg import OpType
+from repro.errors import SimulationError
+from repro.sim import analyze_trace, operation_failures, p_app_of
+from repro.sim.cpu import (
+    CpuEvents,
+    CpuSpec,
+    aes_events,
+    bitweaving_events,
+    run_model,
+    sobel_events,
+)
+
+
+def target(tech=RERAM, size=512, **kwargs):
+    kwargs.setdefault("num_arrays", 2)
+    return TargetSpec.square(size, tech, **kwargs)
+
+
+class TestAnalyzeTrace:
+    def test_empty_trace(self):
+        m = analyze_trace([], target())
+        assert m.latency_cycles == 0
+        assert m.energy_pj == 0
+        assert m.p_app == 0.0
+
+    def test_counts_by_kind(self):
+        trace = [
+            ReadInst(0, (0,), (1,)),
+            ReadInst(0, (0, 1), (1, 2), (OpType.AND, OpType.XOR)),
+            WriteInst(0, (0,), 3),
+            ShiftInst(0, 2),
+            NotInst(0, (0,)),
+            TransferInst(0, 1, (0,)),
+        ]
+        m = analyze_trace(trace, target())
+        assert m.instruction_count == 6
+        assert (m.plain_reads, m.cim_reads, m.writes) == (1, 1, 1)
+        assert (m.shifts, m.rowbuf_nots, m.transfers) == (1, 1, 1)
+        assert m.cim_column_ops == 2
+        assert m.mra_histogram == {2: 2}
+        assert m.movement_instructions == 3
+
+    def test_write_latency_dominates_on_reram(self):
+        reads = analyze_trace([ReadInst(0, (0,), (1,))] * 10, target())
+        writes = analyze_trace([WriteInst(0, (0,), 1)] * 10, target())
+        assert writes.latency_cycles > 5 * reads.latency_cycles
+
+    def test_cycles_quantized(self):
+        m = analyze_trace([ShiftInst(0, 1)], target())
+        assert m.latency_cycles == max(1, math.ceil(
+            target().cost_model.shift_latency_ns()))
+
+    def test_energy_scales_with_data_width(self):
+        trace = [WriteInst(0, (0, 1, 2), 1)]
+        small = analyze_trace(trace, target(size=512))
+        big = analyze_trace(trace, target(size=1024))
+        assert big.energy_pj > small.energy_pj  # 4096 vs 2048 lanes
+
+    def test_p_app_matches_failure_model(self):
+        trace = [ReadInst(0, (0,), (1, 2), (OpType.XOR,))] * 3
+        t = target(STT_MRAM)
+        p = decision_failure_probability(STT_MRAM, OpType.XOR, 2)
+        m = analyze_trace(trace, t)
+        assert m.p_app == pytest.approx(1 - (1 - p) ** 3, rel=1e-9)
+        assert p_app_of(trace, t) == pytest.approx(m.p_app, rel=1e-9)
+
+    def test_operation_failures_in_order(self):
+        trace = [
+            ReadInst(0, (0, 1), (1, 2), (OpType.AND, OpType.XOR)),
+            ReadInst(0, (0,), (1, 2, 3), (OpType.OR,)),
+        ]
+        t = target(STT_MRAM, max_activated_rows=4)
+        failures = operation_failures(trace, t)
+        assert len(failures) == 3
+        assert failures[0] == decision_failure_probability(STT_MRAM, OpType.AND, 2)
+        assert failures[2] == decision_failure_probability(STT_MRAM, OpType.OR, 3)
+
+    def test_plain_read_failures_optional(self):
+        trace = [ReadInst(0, (0,), (1,))]
+        t = target(STT_MRAM)
+        assert analyze_trace(trace, t).p_app == 0.0
+        assert analyze_trace(trace, t, count_plain_read_failures=True).p_app > 0
+
+    def test_scaled(self):
+        trace = [ReadInst(0, (0,), (1, 2), (OpType.AND,)), WriteInst(0, (0,), 3)]
+        m = analyze_trace(trace, target())
+        m10 = m.scaled(10)
+        assert m10.latency_cycles == 10 * m.latency_cycles
+        assert m10.energy_pj == pytest.approx(10 * m.energy_pj)
+        assert m10.instruction_count == 20
+        assert m10.p_app == pytest.approx(1 - (1 - m.p_app) ** 10, rel=1e-6)
+        with pytest.raises(SimulationError):
+            m.scaled(0)
+
+    def test_edp_units(self):
+        m = analyze_trace([WriteInst(0, (0,), 1)], target())
+        assert m.edp == pytest.approx(
+            (m.energy_pj * 1e-12) * (m.latency_ns * 1e-9))
+
+    def test_summary_keys(self):
+        m = analyze_trace([ShiftInst(0, 1)], target())
+        summary = m.summary()
+        assert {"latency_us", "energy_nj", "edp_js", "p_app"} <= set(summary)
+
+
+class TestCpuModel:
+    def test_events_compose(self):
+        a = CpuEvents(1, 2, 3)
+        b = CpuEvents(10, 20, 30)
+        assert (a + b) == CpuEvents(11, 22, 33)
+        assert a.scaled(3) == CpuEvents(3, 6, 9)
+
+    def test_latency_monotone_in_events(self):
+        base = run_model(CpuEvents(1000, 500, 100))
+        more = run_model(CpuEvents(2000, 1000, 200))
+        assert more.latency_ns > base.latency_ns
+        assert more.energy_pj > base.energy_pj
+
+    def test_dram_dominates_streaming(self):
+        spec = CpuSpec()
+        cached = run_model(CpuEvents(0, 1000, 0),
+                           CpuSpec(l1_hit_rate=1.0, l2_hit_rate=0.0))
+        streaming = run_model(CpuEvents(0, 1000, 0), spec)
+        assert streaming.latency_ns > 3 * cached.latency_ns
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(SimulationError):
+            CpuSpec(l1_hit_rate=0.9, l2_hit_rate=0.5)
+        with pytest.raises(SimulationError):
+            CpuSpec(clock_ghz=0)
+
+    def test_workload_event_scaling(self):
+        small = bitweaving_events(64, 8, 1)
+        big = bitweaving_events(64, 8, 32)
+        assert big.alu_ops == 32 * small.alu_ops
+        assert sobel_events(100).loads == 900
+        assert aes_events(2).loads > aes_events(1).loads
+
+    def test_edp_property(self):
+        m = run_model(CpuEvents(100, 50, 10))
+        assert m.edp == pytest.approx(
+            (m.energy_pj * 1e-12) * (m.latency_ns * 1e-9))
+
+    def test_cim_beats_cpu_on_bitweaving(self):
+        """Sanity anchor for Fig. 7: CIM EDP well below CPU EDP."""
+        from repro.core import CompilerConfig, SherlockCompiler
+        from repro.workloads import bitweaving
+
+        dag = bitweaving.between_batch_dag(segments=4)
+        t = target(size=512)
+        program = SherlockCompiler(t, CompilerConfig()).compile(dag)
+        cpu = run_model(bitweaving_events(t.data_width, 8, 4))
+        assert program.metrics.edp < cpu.edp

@@ -1,0 +1,350 @@
+"""Unit tests for the workload generators and their reference semantics."""
+
+import random
+
+import pytest
+
+from repro.dfg import evaluate
+from repro.errors import SherlockError
+from repro.workloads import WORKLOADS, aes, bitweaving, get_workload, sobel
+from repro.workloads.bitslice import (
+    absolute,
+    constant_slices,
+    equals,
+    less_than,
+    negate,
+    ripple_add,
+    shift_left,
+    subtract,
+)
+from repro.dfg.builder import DFGBuilder
+from repro.workloads.synthetic import synthetic_dag
+
+
+def eval_slices(builder, slice_wires, inputs, lanes, outputs_prefix="o"):
+    """Helper: mark slices as outputs, evaluate, decode per-lane ints."""
+    dag = None
+    for i, w in enumerate(slice_wires):
+        builder.output(f"{outputs_prefix}[{i}]", w)
+    dag = builder.build()
+    out = evaluate(dag, inputs, lanes)
+    values = []
+    for lane in range(lanes):
+        v = 0
+        for i in range(len(slice_wires)):
+            v |= ((out[f"{outputs_prefix}[{i}]"] >> lane) & 1) << i
+        values.append(v)
+    return values
+
+
+def make_slice_inputs(name, values, bits):
+    return {f"{name}[{i}]": sum(((v >> i) & 1) << lane
+                                for lane, v in enumerate(values))
+            for i in range(bits)}
+
+
+class TestBitslice:
+    LANES = 16
+
+    def _rand(self, bits, seed):
+        rng = random.Random(seed)
+        return [rng.randrange(1 << bits) for _ in range(self.LANES)]
+
+    def _wire_inputs(self, b, name, bits):
+        return [b.input(f"{name}[{i}]") for i in range(bits)]
+
+    def test_ripple_add(self):
+        b = DFGBuilder()
+        xs = self._wire_inputs(b, "x", 6)
+        ys = self._wire_inputs(b, "y", 6)
+        x_vals, y_vals = self._rand(6, 1), self._rand(6, 2)
+        result = ripple_add(b, xs, ys)
+        inputs = {**make_slice_inputs("x", x_vals, 6),
+                  **make_slice_inputs("y", y_vals, 6)}
+        got = eval_slices(b, result, inputs, self.LANES)
+        assert got == [x + y for x, y in zip(x_vals, y_vals)]
+
+    def test_ripple_add_mixed_widths(self):
+        b = DFGBuilder()
+        xs = self._wire_inputs(b, "x", 3)
+        ys = self._wire_inputs(b, "y", 7)
+        x_vals, y_vals = self._rand(3, 3), self._rand(7, 4)
+        result = ripple_add(b, xs, ys)
+        inputs = {**make_slice_inputs("x", x_vals, 3),
+                  **make_slice_inputs("y", y_vals, 7)}
+        got = eval_slices(b, result, inputs, self.LANES)
+        assert got == [x + y for x, y in zip(x_vals, y_vals)]
+
+    def test_ripple_add_modular_width(self):
+        b = DFGBuilder()
+        xs = self._wire_inputs(b, "x", 4)
+        ys = self._wire_inputs(b, "y", 4)
+        x_vals, y_vals = self._rand(4, 5), self._rand(4, 6)
+        result = ripple_add(b, xs, ys, width=4)
+        inputs = {**make_slice_inputs("x", x_vals, 4),
+                  **make_slice_inputs("y", y_vals, 4)}
+        got = eval_slices(b, result, inputs, self.LANES)
+        assert got == [(x + y) % 16 for x, y in zip(x_vals, y_vals)]
+
+    def test_shift_left(self):
+        b = DFGBuilder()
+        xs = self._wire_inputs(b, "x", 4)
+        x_vals = self._rand(4, 7)
+        result = shift_left(b, xs, 2)
+        got = eval_slices(b, result, make_slice_inputs("x", x_vals, 4),
+                          self.LANES)
+        assert got == [x << 2 for x in x_vals]
+
+    def test_negate_twos_complement(self):
+        b = DFGBuilder()
+        xs = self._wire_inputs(b, "x", 5)
+        x_vals = self._rand(5, 8)
+        result = negate(b, xs)
+        got = eval_slices(b, result, make_slice_inputs("x", x_vals, 5),
+                          self.LANES)
+        assert got == [(-x) % 32 for x in x_vals]
+
+    def test_subtract_sign(self):
+        b = DFGBuilder()
+        xs = self._wire_inputs(b, "x", 5)
+        ys = self._wire_inputs(b, "y", 5)
+        x_vals, y_vals = self._rand(5, 9), self._rand(5, 10)
+        result = subtract(b, xs, ys)
+        width = len(result)
+        inputs = {**make_slice_inputs("x", x_vals, 5),
+                  **make_slice_inputs("y", y_vals, 5)}
+        got = eval_slices(b, result, inputs, self.LANES)
+        assert got == [(x - y) % (1 << width) for x, y in zip(x_vals, y_vals)]
+
+    def test_absolute(self):
+        b = DFGBuilder()
+        xs = self._wire_inputs(b, "x", 4)
+        ys = self._wire_inputs(b, "y", 4)
+        x_vals, y_vals = self._rand(4, 11), self._rand(4, 12)
+        result = absolute(b, subtract(b, xs, ys))
+        inputs = {**make_slice_inputs("x", x_vals, 4),
+                  **make_slice_inputs("y", y_vals, 4)}
+        got = eval_slices(b, result, inputs, self.LANES)
+        assert got == [abs(x - y) for x, y in zip(x_vals, y_vals)]
+
+    def test_equals_and_less_than(self):
+        b = DFGBuilder()
+        xs = self._wire_inputs(b, "x", 4)
+        ys = self._wire_inputs(b, "y", 4)
+        x_vals, y_vals = self._rand(4, 13), self._rand(4, 14)
+        eq = equals(b, xs, ys)
+        lt = less_than(b, xs, ys)
+        b.output("eq", eq)
+        b.output("lt", lt)
+        dag = b.build()
+        inputs = {**make_slice_inputs("x", x_vals, 4),
+                  **make_slice_inputs("y", y_vals, 4)}
+        out = evaluate(dag, inputs, self.LANES)
+        for lane in range(self.LANES):
+            assert ((out["eq"] >> lane) & 1) == (x_vals[lane] == y_vals[lane])
+            assert ((out["lt"] >> lane) & 1) == (x_vals[lane] < y_vals[lane])
+
+    def test_constant_slices(self):
+        b = DFGBuilder()
+        xs = self._wire_inputs(b, "x", 4)
+        c = constant_slices(b, 5, 4)
+        result = ripple_add(b, xs, c, width=4)
+        x_vals = self._rand(4, 15)
+        got = eval_slices(b, result, make_slice_inputs("x", x_vals, 4),
+                          self.LANES)
+        assert got == [(x + 5) % 16 for x in x_vals]
+
+
+class TestBitweaving:
+    def test_slices_roundtrip(self):
+        values = [0b1010, 0b0001, 0b1111]
+        slices = bitweaving.to_slices(values, 4)
+        # MSB first: slice 0 holds bit 3
+        for lane, v in enumerate(values):
+            rebuilt = 0
+            for i in range(4):
+                rebuilt |= ((slices[i] >> lane) & 1) << (3 - i)
+            assert rebuilt == v
+
+    def test_between_reference(self):
+        assert bitweaving.between_reference(2, 5, [1, 3, 4, 5, 6]) == 0b00110
+
+    def test_scan_inputs_reject_oversized(self):
+        with pytest.raises(SherlockError):
+            bitweaving.scan_inputs(300, 10, [1], bits=8)
+
+    def test_batch_dag_semantics(self):
+        rng = random.Random(0)
+        dag = bitweaving.between_batch_dag(bits=4, segments=3)
+        segs = [[rng.randrange(16) for _ in range(10)] for _ in range(3)]
+        inputs = bitweaving.batch_scan_inputs(3, 12, segs, bits=4)
+        out = evaluate(dag, inputs, lanes=10)
+        for j, column in enumerate(segs):
+            assert out[f"s{j}_return"] == bitweaving.between_reference(
+                3, 12, column)
+
+    def test_scan_iterations(self):
+        assert bitweaving.scan_iterations(1000, 256) == 4
+        assert bitweaving.scan_iterations(1, 256) == 1
+        with pytest.raises(SherlockError):
+            bitweaving.scan_iterations(0, 256)
+
+    def test_iteration_dag_shape(self):
+        dag = bitweaving.iteration_dag()
+        assert dag.num_ops > 5
+        assert len(dag.outputs) == 5
+
+
+class TestSobel:
+    def test_reference(self):
+        flat = [[10, 10, 10], [10, 10, 10], [10, 10, 10]]
+        assert sobel.sobel_reference(flat) == 0
+        edge = [[0, 0, 255], [0, 0, 255], [0, 0, 255]]
+        assert sobel.sobel_reference(edge) == 4 * 255
+
+    def test_dag_matches_reference(self):
+        rng = random.Random(3)
+        lanes = 12
+        nbs = [[[rng.randrange(256) for _ in range(3)] for _ in range(3)]
+               for _ in range(lanes)]
+        dag = sobel.sobel_dag()
+        out = evaluate(dag, sobel.neighbourhood_inputs(nbs), lanes)
+        got = sobel.decode_magnitudes(out, lanes)
+        assert got == [sobel.sobel_reference(nb) for nb in nbs]
+
+    def test_tile_dag_matches_reference(self):
+        rng = random.Random(4)
+        lanes = 3
+        tile = 2
+        windows = [[[rng.randrange(256) for _ in range(tile + 2)]
+                    for _ in range(tile + 2)] for _ in range(lanes)]
+        dag = sobel.sobel_tile_dag(tile)
+        out = evaluate(dag, sobel.tile_inputs(windows, tile), lanes)
+        grids = sobel.decode_tile_magnitudes(out, lanes, tile)
+        for lane in range(lanes):
+            for r in range(tile):
+                for c in range(tile):
+                    nb = [[windows[lane][r + dr][c + dc] for dc in range(3)]
+                          for dr in range(3)]
+                    assert grids[lane][r][c] == sobel.sobel_reference(nb)
+
+    def test_tile_shares_inputs(self):
+        """Adjacent tile positions reuse window pixels (one input node)."""
+        dag = sobel.sobel_tile_dag(tile=2)
+        names = [o.name for o in dag.inputs()]
+        assert len(names) == len(set(names))
+        assert len(names) == (2 + 2) ** 2 * 8
+
+    def test_image_helpers(self):
+        image = [[r * 10 + c for c in range(5)] for r in range(4)]
+        nbs = sobel.image_neighbourhoods(image)
+        assert len(nbs) == 2 * 3
+        assert nbs[0][1][1] == image[1][1]
+        with pytest.raises(SherlockError):
+            sobel.image_neighbourhoods([[1, 2], [3, 4]])
+        assert sobel.image_iterations(512, 512, 2048) == (510 * 510 + 2047) // 2048
+
+
+class TestAes:
+    def test_fips_reference(self):
+        assert aes.encrypt_reference(aes.FIPS_PLAINTEXT, aes.FIPS_KEY) == \
+            aes.FIPS_CIPHERTEXT
+
+    def test_sbox_known_values(self):
+        table = aes.sbox_table()
+        assert table[0x00] == 0x63
+        assert table[0x01] == 0x7C
+        assert table[0x53] == 0xED
+        assert table[0xFF] == 0x16
+
+    def test_sbox_is_a_permutation(self):
+        assert sorted(aes.sbox_table()) == list(range(256))
+
+    def test_gf_mul_int(self):
+        assert aes.gf_mul_int(0x57, 0x13) == 0xFE  # FIPS-197 example
+        assert aes.gf_mul_int(0, 0xAB) == 0
+        assert aes.gf_mul_int(1, 0xAB) == 0xAB
+
+    def test_sbox_circuit_exhaustive(self):
+        from repro.dfg import DFGBuilder
+
+        b = DFGBuilder("sbox")
+        x = [b.input(f"x[{i}]") for i in range(8)]
+        for i, w in enumerate(aes.sbox_circuit(b, x)):
+            b.output(f"y[{i}]", w)
+        dag = b.build()
+        inputs = {f"x[{i}]": sum(((v >> i) & 1) << v for v in range(256))
+                  for i in range(8)}
+        out = evaluate(dag, inputs, 256)
+        table = aes.sbox_table()
+        for v in range(256):
+            got = sum(((out[f"y[{i}]"] >> v) & 1) << i for i in range(8))
+            assert got == table[v]
+
+    def test_key_expansion_first_round(self):
+        # FIPS-197 A.1: w[4..7] of the 000102...0f key schedule
+        rks = aes.expand_key(aes.FIPS_KEY)
+        assert rks[1][:4] == [0xD6, 0xAA, 0x74, 0xFD]
+
+    def test_reduced_round_dag_matches_reference(self):
+        dag = aes.aes_dag(rounds=1)
+        blocks = [bytes(range(16)), b"\x00" * 16]
+        inputs = aes.block_inputs(blocks, aes.FIPS_KEY, rounds=1)
+        out = evaluate(dag, inputs, len(blocks))
+        got = aes.decode_blocks(out, len(blocks))
+        assert got == [aes.encrypt_reference(blk, aes.FIPS_KEY, rounds=1)
+                       for blk in blocks]
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(SherlockError):
+            aes.aes_dag(rounds=0)
+        with pytest.raises(SherlockError):
+            aes.expand_key(b"short")
+        with pytest.raises(SherlockError):
+            aes.encrypt_reference(b"short", aes.FIPS_KEY)
+
+
+class TestSynthetic:
+    def test_deterministic(self):
+        a = synthetic_dag(num_ops=50, seed=3)
+        b = synthetic_dag(num_ops=50, seed=3)
+        assert [n.op for n in a.op_nodes()] == [n.op for n in b.op_nodes()]
+
+    def test_size(self):
+        dag = synthetic_dag(num_ops=120, num_inputs=16)
+        assert dag.num_ops == 120
+        dag.validate()
+
+    def test_no_duplicate_operands(self):
+        dag = synthetic_dag(num_ops=300, seed=9)
+        for node in dag.op_nodes():
+            assert len(set(node.operands)) == node.arity
+
+    def test_bad_args(self):
+        with pytest.raises(SherlockError):
+            synthetic_dag(num_ops=0)
+        with pytest.raises(SherlockError):
+            synthetic_dag(locality=2.0)
+
+
+class TestRegistry:
+    def test_registry_contents(self):
+        assert set(WORKLOADS) == {"bitweaving", "sobel", "aes", "bfs"}
+        with pytest.raises(SherlockError):
+            get_workload("nope")
+
+    @pytest.mark.parametrize("name", ["bitweaving", "sobel", "bfs"])
+    def test_workload_reference_check(self, name):
+        workload = get_workload(name)
+        dag = workload.build_dag()
+        rng = random.Random(1)
+        lanes = 4
+        inputs = workload.make_inputs(rng, lanes)
+        outputs = evaluate(dag, inputs, lanes)
+        workload.check(inputs, outputs, lanes)  # must not raise
+
+    def test_cpu_events_positive(self):
+        for workload in WORKLOADS.values():
+            events = workload.cpu_events(2048)
+            assert events.alu_ops > 0 and events.loads > 0
+            assert workload.dataset_iterations(2048) >= 1
