@@ -17,7 +17,7 @@ import random
 import pytest
 
 from repro.arch.target import TargetSpec
-from repro.core.compiler import CompiledProgram, SherlockCompiler
+from repro.core.compiler import SherlockCompiler
 from repro.core.config import CompilerConfig
 from repro.devices import get_technology
 from repro.workloads import get_workload

@@ -8,8 +8,6 @@ content behind the figure's overlap regions.
 
 from __future__ import annotations
 
-import pytest
-
 from conftest import save_result
 from repro.core.report import format_table
 from repro.devices import (

@@ -92,7 +92,9 @@ def test_benchmark_sweep_point(benchmark):
     target = bench_target(512, "stt-mram", mra=4)
 
     def one_point():
-        return mra_sweep(dag, target, "sherlock", fractions=(0.5,), mra=4)
+        # cache=False: this benchmark times real compilation, not the memo
+        return mra_sweep(dag, target, "sherlock", fractions=(0.5,), mra=4,
+                         cache=False)
 
     points = benchmark(one_point)
     assert len(points) == 1

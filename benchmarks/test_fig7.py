@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import AES_ROUNDS, bench_dag, compile_config, save_result
+from conftest import AES_ROUNDS, compile_config, save_result
 from repro.core.report import format_table
 from repro.sim.cpu import run_model
 from repro.workloads import get_workload

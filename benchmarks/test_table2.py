@@ -157,7 +157,9 @@ def test_benchmark_compile_bitweaving(benchmark):
     target = bench_target(512, "reram")
 
     def compile_once():
-        return SherlockCompiler(target, CompilerConfig()).compile(dag)
+        # cache=False: this benchmark times real compilation, not the memo
+        return SherlockCompiler(target, CompilerConfig(),
+                                cache=False).compile(dag)
 
     program = benchmark(compile_once)
     assert program.metrics.instruction_count > 0

@@ -9,6 +9,15 @@ if [ -n "$QUICK" ]; then
     export SHERLOCK_BENCH_AES_ROUNDS=2
 fi
 
+echo "== lint (ruff) =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests benchmarks examples
+elif python -c "import ruff" >/dev/null 2>&1; then
+    python -m ruff check src tests benchmarks examples
+else
+    echo "ruff not installed (pip install -e .[lint]); skipping lint"
+fi
+
 echo "== unit / integration / property tests =="
 python -m pytest tests/ 2>&1 | tee test_output.txt
 

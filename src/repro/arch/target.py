@@ -17,7 +17,7 @@ it, instruction merging across clusters is impossible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from functools import cached_property
 
 from repro.devices.arraymodel import ArrayCostModel

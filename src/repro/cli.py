@@ -17,7 +17,13 @@ import sys
 from repro.arch.target import TargetSpec
 from repro.core.compiler import SherlockCompiler
 from repro.core.config import CompilerConfig
-from repro.core.report import ProgramReport, format_table, render_reports
+from repro.core.passes import get_pass
+from repro.core.report import (
+    PassReport,
+    ProgramReport,
+    format_table,
+    render_reports,
+)
 from repro.devices import get_technology
 from repro.errors import SherlockError
 from repro.frontend import c_to_dfg
@@ -38,6 +44,20 @@ def _add_target_args(parser: argparse.ArgumentParser) -> None:
                         choices=("sherlock", "naive"))
 
 
+def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pipeline", default=None,
+                        help="comma-separated pass list overriding the "
+                             "default pipeline (must end in a map-* pass)")
+    parser.add_argument("--print-passes", action="store_true",
+                        help="print the resolved pass pipeline before "
+                             "compiling")
+    parser.add_argument("--timings", action="store_true",
+                        help="print the per-pass timing/IR-delta table")
+    parser.add_argument("--dump-ir", metavar="DIR", default=None,
+                        help="write one DOT+JSON IR snapshot per pass "
+                             "into DIR")
+
+
 def _target_of(args: argparse.Namespace) -> TargetSpec:
     return TargetSpec.square(
         args.size, get_technology(args.tech), num_arrays=args.arrays,
@@ -45,13 +65,33 @@ def _target_of(args: argparse.Namespace) -> TargetSpec:
 
 
 def _config_of(args: argparse.Namespace) -> CompilerConfig:
-    return CompilerConfig(mapper=args.mapper, mra=max(2, args.mra))
+    return CompilerConfig(mapper=args.mapper, mra=max(2, args.mra),
+                          pipeline=getattr(args, "pipeline", None))
+
+
+def _compiler_of(args: argparse.Namespace) -> SherlockCompiler:
+    config = _config_of(args)
+    compiler = SherlockCompiler(_target_of(args), config,
+                                dump_ir_dir=getattr(args, "dump_ir", None))
+    if getattr(args, "print_passes", False):
+        rows = [[i, name, "terminal" if get_pass(name).terminal else "",
+                 get_pass(name).description]
+                for i, name in enumerate(config.effective_pipeline(), 1)]
+        print(format_table(["#", "pass", "kind", "description"], rows),
+              file=sys.stderr)
+    return compiler
+
+
+def _report_passes(args: argparse.Namespace, program) -> None:
+    if getattr(args, "timings", False):
+        print(PassReport.from_program(program).render(), file=sys.stderr)
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
     with open(args.source) as handle:
         dag = c_to_dfg(handle.read(), args.function)
-    program = SherlockCompiler(_target_of(args), _config_of(args)).compile(dag)
+    program = _compiler_of(args).compile(dag)
+    _report_passes(args, program)
     if args.emit:
         print(program.text())
     if args.output:
@@ -67,7 +107,6 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 def _cmd_inspect(args: argparse.Namespace) -> int:
     """Reload a saved program, report it, optionally re-verify it."""
     from repro.core.serialize import load_program
-    from repro.dfg.evaluate import evaluate
     import random as _random
 
     program = load_program(args.program)
@@ -83,9 +122,8 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
-    target = _target_of(args)
-    program = SherlockCompiler(target, _config_of(args)).compile(
-        workload.build_dag())
+    program = _compiler_of(args).compile(workload.build_dag())
+    _report_passes(args, program)
     rng = random.Random(args.seed)
     lanes = args.lanes
     inputs = workload.make_inputs(rng, lanes)
@@ -129,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", "-o", default=None,
                    help="save the compiled program as JSON")
     _add_target_args(p)
+    _add_pipeline_args(p)
     p.set_defaults(func=_cmd_compile)
 
     p = sub.add_parser("inspect",
@@ -145,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lanes", type=int, default=16)
     p.add_argument("--seed", type=int, default=0)
     _add_target_args(p)
+    _add_pipeline_args(p)
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("sweep", help="latency/reliability MRA sweep (Fig. 6)")

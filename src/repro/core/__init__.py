@@ -12,26 +12,58 @@ Typical use::
 """
 
 from repro.arch.target import TargetSpec
-from repro.core.compiler import CompiledProgram, SherlockCompiler, compile_dag
+from repro.core.compiler import (
+    CompiledProgram,
+    SherlockCompiler,
+    clear_compile_cache,
+    compile_cache_info,
+    compile_dag,
+)
 from repro.core.config import TABLE2_CONFIGS, CompilerConfig
+from repro.core.passes import (
+    PASS_REGISTRY,
+    CompilationContext,
+    FunctionPass,
+    Pass,
+    PassEvent,
+    PassManager,
+    default_pipeline,
+    parse_pipeline,
+    register_pass,
+)
 from repro.core.serialize import load_program, save_program
 from repro.core.report import (
+    PASS_REPORT_HEADERS,
     PROGRAM_REPORT_HEADERS,
+    PassReport,
     ProgramReport,
     format_table,
     render_reports,
 )
 
 __all__ = [
+    "CompilationContext",
     "CompiledProgram",
     "CompilerConfig",
+    "FunctionPass",
+    "PASS_REGISTRY",
+    "PASS_REPORT_HEADERS",
     "PROGRAM_REPORT_HEADERS",
+    "Pass",
+    "PassEvent",
+    "PassManager",
+    "PassReport",
     "ProgramReport",
     "SherlockCompiler",
     "TABLE2_CONFIGS",
     "TargetSpec",
+    "clear_compile_cache",
+    "compile_cache_info",
     "compile_dag",
+    "default_pipeline",
     "load_program",
+    "parse_pipeline",
+    "register_pass",
     "save_program",
     "format_table",
     "render_reports",

@@ -1,10 +1,16 @@
 """The Sherlock compiler driver: DAG in, scheduled CIM program out (Fig. 1).
 
-Pipeline::
+Pipeline (run by the :mod:`repro.core.passes` pass manager)::
 
-    DAG -> normalize -> [CSE] -> MRA node substitution / binary split
-        -> [NAND lowering] -> arity clamp -> map (naive | sherlock)
+    DAG -> fold-duplicates -> cse -> mra-substitute -> nand-lower
+        -> arity-clamp -> validate -> map-(naive | sherlock)
         -> CompiledProgram (layout + instructions + metrics + execution)
+
+The pass list is configurable (``CompilerConfig.pipeline``); every pass is
+timed and its IR statistics recorded on the resulting program
+(``CompiledProgram.pass_events``).  A process-level compile cache keyed by
+(DAG structural hash, target, config) lets repeated sweeps skip redundant
+recompiles.
 
 A :class:`CompiledProgram` can be functionally executed against arbitrary
 inputs (and verified against the source DAG), priced into the Table 2
@@ -13,31 +19,39 @@ latency/energy metrics, and inspected as Fig. 4-style text.
 
 from __future__ import annotations
 
+import pathlib
 import random
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from functools import cached_property
 
 from repro.arch.isa import Instruction, program_text
 from repro.arch.target import TargetSpec
-from repro.dfg.graph import DataFlowGraph
-from repro.dfg.transforms import (
-    common_subexpression_elimination,
-    fold_duplicate_operands,
-    nand_lower,
-    split_multi_operand,
-    substitute_nodes,
-)
 from repro.core.config import CompilerConfig
+from repro.core.passes import (
+    NAND_LOWERING_WINDOW,
+    CompilationContext,
+    PassEvent,
+    PassManager,
+    get_pass,
+    wants_nand_lowering,
+)
 from repro.dfg.evaluate import evaluate
-from repro.errors import MappingError, SherlockError
+from repro.dfg.graph import DataFlowGraph
+from repro.dfg.stats import structural_hash
+from repro.errors import SherlockError
 from repro.mapping.base import MappingResult
-from repro.mapping.naive import map_naive
-from repro.mapping.optimized import SherlockOptions, map_sherlock
 from repro.sim.executor import ArrayMachine, extract_outputs, preload_sources
 from repro.sim.metrics import TraceMetrics, analyze_trace
 
-#: technologies whose HRS/LRS window is too small for direct XOR/OR sensing
-NAND_LOWERING_WINDOW = 5.0
+__all__ = [
+    "NAND_LOWERING_WINDOW",
+    "CompiledProgram",
+    "SherlockCompiler",
+    "clear_compile_cache",
+    "compile_cache_info",
+    "compile_dag",
+]
 
 
 @dataclass
@@ -49,6 +63,8 @@ class CompiledProgram:
     target: TargetSpec
     config: CompilerConfig
     mapping: MappingResult
+    #: structured per-pass log of the pipeline that produced this program
+    pass_events: list[PassEvent] = field(default_factory=list)
 
     @property
     def instructions(self) -> list[Instruction]:
@@ -89,70 +105,176 @@ class CompiledProgram:
         return True
 
 
+# ----------------------------------------------------------------------
+# process-level compile cache
+# ----------------------------------------------------------------------
+class CompileCache:
+    """LRU memo of compiled programs keyed by (DAG hash, target, config).
+
+    Sweeps and benchmarks recompile structurally identical DAGs with
+    repeated configurations; the cache turns those recompiles into a
+    dictionary lookup.  Oversized programs (above ``max_instructions``)
+    are never retained — a full AES program holds hundreds of thousands
+    of instruction objects and caching dozens of them would exhaust
+    memory (see ``benchmarks/conftest.py``).
+    """
+
+    def __init__(self, maxsize: int = 32,
+                 max_instructions: int = 20_000) -> None:
+        self.maxsize = maxsize
+        self.max_instructions = max_instructions
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple, CompiledProgram] = OrderedDict()
+
+    def key(self, dag: DataFlowGraph, target: TargetSpec,
+            config: CompilerConfig) -> tuple:
+        """The cache key of one compilation request."""
+        return (structural_hash(dag), target, config)
+
+    def get(self, key: tuple) -> CompiledProgram | None:
+        """Look up a prior compilation; counts a hit or miss."""
+        program = self._entries.get(key)
+        if program is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return program
+
+    def put(self, key: tuple, program: CompiledProgram) -> None:
+        """Retain a compilation result, evicting the least recently used.
+
+        The entry gets a private copy of the instruction list (instruction
+        objects are frozen), so callers editing the program they were
+        handed cannot poison later cache hits.
+        """
+        if len(program.mapping.instructions) > self.max_instructions:
+            return
+        self._entries[key] = _reissue(program, program.source_dag,
+                                      program.config)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> dict[str, int]:
+        """Current size and hit/miss counters."""
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses, "maxsize": self.maxsize}
+
+
+#: the process-wide cache consulted by every caching :class:`SherlockCompiler`
+_COMPILE_CACHE = CompileCache()
+
+
+def compile_cache_info() -> dict[str, int]:
+    """Size and hit/miss counters of the process-level compile cache."""
+    return _COMPILE_CACHE.info()
+
+
+def clear_compile_cache() -> None:
+    """Empty the process-level compile cache (tests, memory pressure)."""
+    _COMPILE_CACHE.clear()
+
+
+def _reissue(cached: CompiledProgram, source_dag: DataFlowGraph,
+             config: CompilerConfig) -> CompiledProgram:
+    """A fresh program view over a cached compilation.
+
+    The immutable pieces (transformed DAG, layout, stats, instruction
+    objects) are shared; the instruction *list* is copied so a caller
+    editing its program cannot corrupt the cache.
+    """
+    mapping = cached.mapping
+    return CompiledProgram(
+        source_dag=source_dag, dag=cached.dag, target=cached.target,
+        config=config,
+        mapping=MappingResult(dag=mapping.dag, target=mapping.target,
+                              layout=mapping.layout,
+                              instructions=list(mapping.instructions),
+                              stats=mapping.stats),
+        pass_events=list(cached.pass_events))
+
+
+# ----------------------------------------------------------------------
+# the driver
+# ----------------------------------------------------------------------
 class SherlockCompiler:
-    """End-to-end compiler for one target and configuration."""
+    """End-to-end compiler for one target and configuration.
+
+    Instrumentation knobs (keyword-only) control the pass manager:
+    ``validate_passes`` re-checks the DAG invariants after every pass,
+    ``dump_ir_dir`` writes a DOT+JSON IR snapshot per pass, and ``cache``
+    consults/feeds the process-level compile cache.
+    """
 
     def __init__(self, target: TargetSpec,
-                 config: CompilerConfig | None = None) -> None:
+                 config: CompilerConfig | None = None, *,
+                 validate_passes: bool = False,
+                 dump_ir_dir: str | pathlib.Path | None = None,
+                 cache: bool = True) -> None:
         self.target = target
         self.config = config or CompilerConfig()
+        self.validate_passes = validate_passes
+        self.dump_ir_dir = dump_ir_dir
+        self.cache = cache
 
     # ------------------------------------------------------------------
     def _wants_nand_lowering(self) -> bool:
-        if self.config.nand_lowering is not None:
-            return self.config.nand_lowering
-        return self.target.technology.hrs_lrs_ratio < NAND_LOWERING_WINDOW
+        return wants_nand_lowering(self.target, self.config)
+
+    def pass_manager(self, terminal: bool = True) -> PassManager:
+        """The pass manager for this configuration.
+
+        ``terminal=False`` drops the final mapping pass, leaving the pure
+        DAG-rewrite prefix (what :meth:`transform` runs).
+        """
+        names = list(self.config.effective_pipeline())
+        if not terminal:
+            names = [n for n in names if not get_pass(n).terminal]
+        return PassManager(names, validate_each=self.validate_passes,
+                           dump_ir_dir=self.dump_ir_dir)
+
+    def _context(self, dag: DataFlowGraph) -> CompilationContext:
+        work = dag.copy(name=f"{dag.name}.{self.config.mapper}")
+        return CompilationContext(source_dag=dag, dag=work,
+                                  target=self.target, config=self.config)
 
     def transform(self, dag: DataFlowGraph) -> DataFlowGraph:
         """Apply the configured DAG rewrites; the input is left untouched."""
-        work = dag.copy(name=f"{dag.name}.{self.config.mapper}")
-        fold_duplicate_operands(work)
-        if self.config.cse:
-            common_subexpression_elimination(work)
-            # merging equal subexpressions can leave XOR(t, t) etc. behind
-            fold_duplicate_operands(work)
-        effective_mra = min(self.config.mra, self.target.max_activated_rows)
-        if effective_mra > 2:
-            substitute_nodes(work, effective_mra, self.config.mra_fraction)
-            # fusing XOR(t, x) into t = XOR(x, y) re-mentions x: fold again
-            fold_duplicate_operands(work)
-        if self._wants_nand_lowering():
-            nand_lower(work)
-            fold_duplicate_operands(work)
-        split_multi_operand(work, self.target.max_activated_rows)
-        work.validate()
-        return work
+        ctx = self.pass_manager(terminal=False).run(self._context(dag))
+        return ctx.dag
 
     def compile(self, dag: DataFlowGraph) -> CompiledProgram:
         """Transform, map, and schedule a DAG for the target."""
-        work = self.transform(dag)
-        if self.config.mapper == "naive":
-            mapping = map_naive(work, self.target)
-        else:
-            options = SherlockOptions(
-                alpha=self.config.alpha, beta=self.config.beta,
-                merge_instructions=self.config.merge_instructions)
-            mapping = map_sherlock(work, self.target, options)
-        self._place_passthrough_outputs(work, mapping)
-        return CompiledProgram(source_dag=dag, dag=work, target=self.target,
-                               config=self.config, mapping=mapping)
-
-    def _place_passthrough_outputs(self, dag: DataFlowGraph,
-                                   mapping: MappingResult) -> None:
-        """Outputs that alias an input/const still need a home cell."""
-        layout = mapping.layout
-        for oid in dag.outputs.values():
-            if layout.is_placed(oid):
-                continue
-            for gcol in range(layout.num_global_cols):
-                if layout.column_free(gcol) > 0:
-                    layout.place(oid, gcol)
-                    break
-            else:
-                raise MappingError("no free cell left for a program output")
+        key = None
+        if self.cache:
+            key = _COMPILE_CACHE.key(dag, self.target, self.config)
+            cached = _COMPILE_CACHE.get(key)
+            if cached is not None:
+                return _reissue(cached, dag, self.config)
+        ctx = self.pass_manager().run(self._context(dag))
+        if ctx.mapping is None:
+            raise SherlockError(
+                f"pipeline {self.config.effective_pipeline()} produced no "
+                "mapping; it must end with a terminal map-* pass")
+        program = CompiledProgram(
+            source_dag=dag, dag=ctx.dag, target=self.target,
+            config=self.config, mapping=ctx.mapping,
+            pass_events=ctx.events)
+        if key is not None:
+            _COMPILE_CACHE.put(key, program)
+        return program
 
 
 def compile_dag(dag: DataFlowGraph, target: TargetSpec,
-                config: CompilerConfig | None = None) -> CompiledProgram:
+                config: CompilerConfig | None = None, *,
+                cache: bool = True) -> CompiledProgram:
     """One-call convenience wrapper around :class:`SherlockCompiler`."""
-    return SherlockCompiler(target, config).compile(dag)
+    return SherlockCompiler(target, config, cache=cache).compile(dag)

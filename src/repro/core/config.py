@@ -19,6 +19,12 @@ class CompilerConfig:
     ``mra_fraction`` budgets the share of multi-operand ops — the x-axis of
     Fig. 6.  ``nand_lowering=None`` lets the compiler decide from the
     technology window (STT-MRAM's unreliable XOR/OR get lowered, Sec. 4.2).
+
+    ``pipeline`` overrides the default pass list with a comma-separated
+    spec such as ``"cse,mra-substitute,nand-lower,arity-clamp,validate,
+    map-sherlock"`` (see :mod:`repro.core.passes`).  The spec must end in
+    exactly one terminal mapping pass; when given, ``mapper`` is derived
+    from that terminal pass so reports stay consistent.
     """
 
     mapper: str = "sherlock"
@@ -31,8 +37,19 @@ class CompilerConfig:
     beta: float = 0.05
     #: merge compatible instructions across clusters (sherlock mapper only)
     merge_instructions: bool = True
+    #: pass-list spec overriding the default pipeline (None = default)
+    pipeline: str | None = None
 
     def __post_init__(self) -> None:
+        if self.pipeline is not None:
+            from repro.core.passes import get_pass, parse_pipeline
+
+            names = parse_pipeline(self.pipeline)
+            terminal = next(n for n in names if get_pass(n).terminal)
+            # the terminal pass is authoritative for the mapper field
+            derived = terminal.removeprefix("map-")
+            if derived in VALID_MAPPERS:
+                object.__setattr__(self, "mapper", derived)
         if self.mapper not in VALID_MAPPERS:
             raise SherlockError(
                 f"unknown mapper {self.mapper!r}; choose from {VALID_MAPPERS}")
@@ -41,6 +58,12 @@ class CompilerConfig:
         if not 0.0 <= self.mra_fraction <= 1.0:
             raise SherlockError(
                 f"mra_fraction must be in [0, 1], got {self.mra_fraction}")
+
+    def effective_pipeline(self) -> tuple[str, ...]:
+        """The resolved pass-name list this configuration compiles with."""
+        from repro.core.passes import default_pipeline, parse_pipeline
+
+        return parse_pipeline(self.pipeline or default_pipeline(self.mapper))
 
     def with_(self, **kwargs) -> "CompilerConfig":
         """A modified copy (convenience for sweeps)."""

@@ -6,6 +6,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.core.compiler import CompiledProgram
+from repro.core.passes import PassEvent
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -84,3 +85,50 @@ PROGRAM_REPORT_HEADERS = [
 def render_reports(reports: Sequence[ProgramReport]) -> str:
     """Render program reports as one monospace table."""
     return format_table(PROGRAM_REPORT_HEADERS, [r.row() for r in reports])
+
+
+PASS_REPORT_HEADERS = ["pass", "ms", "ops", "d_ops", "d_nodes", "notes"]
+
+
+@dataclass(frozen=True)
+class PassReport:
+    """Per-pass pipeline instrumentation of one compilation (``--timings``)."""
+
+    events: tuple[PassEvent, ...]
+
+    @classmethod
+    def from_program(cls, program: CompiledProgram) -> "PassReport":
+        """Wrap the pass events the pipeline recorded on a program."""
+        return cls(events=tuple(program.pass_events))
+
+    @property
+    def total_ms(self) -> float:
+        """Wall time of the whole pipeline in milliseconds."""
+        return sum(e.wall_s for e in self.events) * 1e3
+
+    @staticmethod
+    def _format_notes(event: PassEvent) -> str:
+        """One compact cell summarizing the pass's own notes."""
+        if event.skipped:
+            return f"skipped ({event.notes['skipped']})"
+        return " ".join(f"{k}={v}" for k, v in event.notes.items())
+
+    def rows(self) -> list[list[object]]:
+        """Table rows matching :data:`PASS_REPORT_HEADERS`."""
+        out: list[list[object]] = []
+        for event in self.events:
+            out.append([
+                event.name,
+                event.wall_s * 1e3,
+                f"{event.before.ops}->{event.after.ops}",
+                event.op_delta,
+                event.node_delta,
+                self._format_notes(event),
+            ])
+        return out
+
+    def render(self) -> str:
+        """The per-pass table plus a total-time footer line."""
+        table = format_table(PASS_REPORT_HEADERS, self.rows())
+        return f"{table}\ntotal {self.total_ms:,.3f} ms over " \
+               f"{len(self.events)} passes"

@@ -7,6 +7,7 @@ from repro.dfg.dot import to_dot
 from repro.dfg.evaluate import evaluate, evaluate_all
 from repro.dfg.graph import DataFlowGraph, OperandKind, OperandNode, OpNode
 from repro.dfg.ops import OpType, apply_op
+from repro.dfg.stats import GraphStats, graph_stats, structural_hash
 from repro.dfg.transforms import (
     SubstitutionReport,
     common_subexpression_elimination,
@@ -20,6 +21,9 @@ from repro.dfg.transforms import (
 __all__ = [
     "DataFlowGraph",
     "DFGBuilder",
+    "GraphStats",
+    "graph_stats",
+    "structural_hash",
     "OperandKind",
     "OperandNode",
     "OpNode",

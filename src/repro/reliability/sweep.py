@@ -35,17 +35,22 @@ DEFAULT_FRACTIONS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0)
 
 def mra_sweep(dag: DataFlowGraph, target: TargetSpec, mapper: str = "sherlock",
               fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
-              mra: int | None = None) -> list[SweepPoint]:
+              mra: int | None = None, cache: bool = True) -> list[SweepPoint]:
     """Compile the DAG at each multi-operand budget and collect metrics.
 
     ``mra`` defaults to the target's multi-row-activation limit; fraction
     0.0 reproduces the binary-DAG baseline (leftmost Fig. 6 points).
+
+    With ``cache`` (the default) each point consults the process-level
+    compile cache, so re-sweeping the same DAG — repeated fractions,
+    refinement runs, multi-sweep studies — skips the redundant
+    recompiles; pass ``cache=False`` when timing raw compilation.
     """
     mra = mra or target.max_activated_rows
     points = []
     for fraction in fractions:
         config = CompilerConfig(mapper=mapper, mra=mra, mra_fraction=fraction)
-        program = SherlockCompiler(target, config).compile(dag)
+        program = SherlockCompiler(target, config, cache=cache).compile(dag)
         metrics = program.metrics
         multi = sum(count for k, count in metrics.mra_histogram.items() if k > 2)
         total = max(1, metrics.cim_column_ops)

@@ -7,10 +7,12 @@ hot columns; this module quantifies that and projects how many kernel
 executions the array sustains before the hottest cell wears out — a
 first-order lifetime bound for the accelerator.
 
-Wear can be measured two ways: from a functional run (the
-:class:`repro.sim.executor.ArrayMachine` counts actual writes) or statically
-from the instruction trace (each write instruction programs one cell per
-selected column).
+Wear can be measured two ways: from a functional run — the
+:class:`repro.sim.executor.ArrayMachine` accumulates per-cell write counts
+in its ``write_counts`` dictionary ((array, row, col) -> writes received),
+which feeds :func:`wear_from_counts` directly — or statically from the
+instruction trace (each write instruction programs one cell per selected
+column, see :func:`static_write_counts`).
 """
 
 from __future__ import annotations

@@ -48,7 +48,8 @@ class ArrayMachine:
         self.injected_faults = 0
         self._cells: dict[tuple[int, int, int], int] = {}  # (array,row,col) -> lanes
         self._rowbuf: dict[int, dict[int, int]] = {}  # array -> col -> lanes
-        #: program cycles per cell, for endurance/wear analysis
+        #: number of writes each (array, row, col) cell received during the
+        #: run — the wear input of :func:`repro.sim.endurance.wear_from_counts`
         self.write_counts: dict[tuple[int, int, int], int] = {}
 
     # ------------------------------------------------------------------

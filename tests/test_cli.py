@@ -77,3 +77,45 @@ class TestCommands:
         code = main(["run", "--workload", "bitweaving", "--tech", "dram"])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_compile_print_passes_and_timings(self, tmp_path, capsys):
+        source = tmp_path / "kernel.c"
+        source.write_text(
+            "word_t f(word_t a, word_t b) { return (a & b) ^ ~a; }")
+        assert main(["compile", str(source), "--size", "128",
+                     "--print-passes", "--timings"]) == 0
+        err = capsys.readouterr().err
+        assert "map-sherlock" in err and "terminal" in err  # --print-passes
+        assert "d_ops" in err and "total" in err  # --timings table
+
+    def test_compile_dump_ir(self, tmp_path, capsys):
+        source = tmp_path / "kernel.c"
+        source.write_text(
+            "word_t f(word_t a, word_t b) { return a ^ b; }")
+        dump = tmp_path / "ir"
+        assert main(["compile", str(source), "--size", "128",
+                     "--dump-ir", str(dump)]) == 0
+        dots = list(dump.glob("*.dot"))
+        jsons = list(dump.glob("*.json"))
+        assert len(dots) == len(jsons) == 8  # input + 7 passes
+
+    def test_compile_custom_pipeline(self, tmp_path, capsys):
+        source = tmp_path / "kernel.c"
+        source.write_text(
+            "word_t f(word_t a, word_t b) { return a & b; }")
+        assert main(["compile", str(source), "--size", "128", "--pipeline",
+                     "fold-duplicates,validate,map-naive"]) == 0
+        assert "naive" in capsys.readouterr().err
+
+    def test_bad_pipeline_is_reported(self, tmp_path, capsys):
+        source = tmp_path / "kernel.c"
+        source.write_text("word_t f(word_t a) { return ~a; }")
+        assert main(["compile", str(source), "--pipeline", "bogus"]) == 1
+        assert "unknown pass" in capsys.readouterr().err
+
+    def test_run_timings(self, capsys):
+        assert main(["run", "--workload", "bitweaving", "--size", "256",
+                     "--lanes", "4", "--timings"]) == 0
+        captured = capsys.readouterr()
+        assert "functional check passed" in captured.out
+        assert "map-sherlock" in captured.err

@@ -8,7 +8,6 @@ from repro.core import (
     TABLE2_CONFIGS,
     CompilerConfig,
     ProgramReport,
-    SherlockCompiler,
     TargetSpec,
     compile_dag,
     format_table,

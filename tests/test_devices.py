@@ -11,7 +11,6 @@ from repro.devices import (
     ArrayCostModel,
     Technology,
     application_failure_probability,
-    boundary_error,
     composite_state,
     decision_failure_probability,
     get_technology,

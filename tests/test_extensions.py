@@ -14,7 +14,6 @@ from repro.arch import (
     WriteInst,
     parse_instruction,
     parse_program,
-    program_text,
 )
 from repro.core import CompilerConfig, compile_dag, load_program, save_program
 from repro.devices import PCM, RERAM, STT_MRAM

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dfg import OpType, evaluate
+from repro.dfg import evaluate
 from repro.errors import FrontendError
 from repro.frontend import c_to_dfg, parse, tokenize
 from repro.frontend import ast_nodes as ast

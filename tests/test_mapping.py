@@ -4,8 +4,8 @@ import random
 
 import pytest
 
-from repro.arch import ReadInst, TargetSpec, WriteInst
-from repro.dfg import DataFlowGraph, DFGBuilder, OpType, evaluate
+from repro.arch import ReadInst, TargetSpec
+from repro.dfg import DataFlowGraph, DFGBuilder, evaluate
 from repro.errors import MappingError
 from repro.mapping import (
     SherlockOptions,

@@ -1,0 +1,287 @@
+"""Tests for the pass-manager pipeline, pipeline specs, and compile cache."""
+
+import dataclasses
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.core import (
+    CompilerConfig,
+    FunctionPass,
+    PASS_REGISTRY,
+    PassReport,
+    SherlockCompiler,
+    TargetSpec,
+    clear_compile_cache,
+    compile_cache_info,
+    compile_dag,
+    default_pipeline,
+    parse_pipeline,
+)
+from repro.core.passes import CompilationContext, get_pass, register_pass
+from repro.devices import RERAM, STT_MRAM
+from repro.dfg import DFGBuilder, graph_stats, structural_hash
+from repro.errors import MappingError, SherlockError
+from repro.reliability import mra_sweep
+from repro.workloads import bitweaving
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def target(tech=RERAM, size=64, **kwargs):
+    kwargs.setdefault("num_arrays", 8)
+    kwargs.setdefault("max_activated_rows", 4)
+    return TargetSpec.square(size, tech, **kwargs)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+@pytest.fixture
+def scan_dag():
+    return bitweaving.between_dag(bits=8)
+
+
+class TestGoldenCodegen:
+    """The pass pipeline must reproduce the pre-refactor codegen exactly."""
+
+    @pytest.mark.parametrize("mapper", ["sherlock", "naive"])
+    def test_bitweaving_text_is_byte_identical(self, scan_dag, mapper):
+        golden = (GOLDEN_DIR / f"bitweaving_{mapper}_mra4.txt").read_text()
+        program = SherlockCompiler(
+            target(), CompilerConfig(mapper=mapper, mra=4),
+            cache=False).compile(scan_dag)
+        assert program.text() + "\n" == golden
+
+
+class TestPipelineSpec:
+    def test_default_pipeline_names(self):
+        names = parse_pipeline(default_pipeline("sherlock"))
+        assert names == ("fold-duplicates", "cse", "mra-substitute",
+                         "nand-lower", "arity-clamp", "validate",
+                         "map-sherlock")
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(SherlockError, match="unknown pass 'frobnicate'"):
+            parse_pipeline("frobnicate,map-sherlock")
+
+    def test_duplicate_terminal_rejected(self):
+        with pytest.raises(SherlockError, match="more than one terminal"):
+            parse_pipeline("map-naive,map-sherlock")
+
+    def test_terminal_must_be_last(self):
+        with pytest.raises(SherlockError, match="must be last"):
+            parse_pipeline("map-sherlock,validate")
+
+    def test_missing_terminal_rejected(self):
+        with pytest.raises(SherlockError, match="no terminal"):
+            parse_pipeline("cse,validate")
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(SherlockError, match="empty pass name"):
+            parse_pipeline("cse,,map-naive")
+
+    def test_config_roundtrip_through_dict(self):
+        spec = "cse,mra-substitute,arity-clamp,validate,map-naive"
+        config = CompilerConfig(pipeline=spec, cse=True, mra=4)
+        rebuilt = CompilerConfig(**dataclasses.asdict(config))
+        assert rebuilt == config
+        assert rebuilt.pipeline == spec
+        assert rebuilt.effective_pipeline() == parse_pipeline(spec)
+
+    def test_pipeline_derives_mapper(self):
+        config = CompilerConfig(pipeline="validate,map-naive")
+        assert config.mapper == "naive"
+
+    def test_invalid_spec_rejected_at_config_time(self):
+        with pytest.raises(SherlockError):
+            CompilerConfig(pipeline="cse,nonsense,map-naive")
+        with pytest.raises(SherlockError):
+            CompilerConfig(pipeline="cse,validate")
+
+    def test_custom_pipeline_compiles_and_verifies(self, scan_dag):
+        config = CompilerConfig(
+            pipeline="fold-duplicates,arity-clamp,validate,map-naive")
+        program = compile_dag(scan_dag, target(), config)
+        inputs = bitweaving.scan_inputs(10, 200, [3] * 8)
+        assert program.verify(inputs, lanes=8)
+
+
+class TestPassManagerInstrumentation:
+    def test_events_cover_every_pass(self, scan_dag):
+        program = compile_dag(scan_dag, target(), cache=False)
+        names = [e.name for e in program.pass_events]
+        assert tuple(names) == parse_pipeline(default_pipeline("sherlock"))
+        assert all(e.wall_s >= 0 for e in program.pass_events)
+
+    def test_skip_notes_recorded(self, scan_dag):
+        program = compile_dag(scan_dag, target(), cache=False)
+        by_name = {e.name: e for e in program.pass_events}
+        assert by_name["cse"].skipped  # cse defaults off
+        terminal = by_name["map-sherlock"]
+        assert not terminal.skipped
+        assert terminal.notes["instructions"] == len(program.instructions)
+
+    def test_stats_deltas_track_substitution(self, scan_dag):
+        program = compile_dag(scan_dag, target(),
+                              CompilerConfig(mra=4), cache=False)
+        event = next(e for e in program.pass_events
+                     if e.name == "mra-substitute")
+        assert event.op_delta < 0  # merges removed op nodes
+        assert event.before.ops - event.after.ops == event.notes["merges"]
+
+    def test_pass_report_renders_table(self, scan_dag):
+        program = compile_dag(scan_dag, target(), cache=False)
+        text = PassReport.from_program(program).render()
+        assert "mra-substitute" in text and "d_ops" in text
+        assert "total" in text
+
+    def test_dump_ir_writes_snapshot_per_pass(self, scan_dag, tmp_path):
+        compiler = SherlockCompiler(target(), dump_ir_dir=tmp_path,
+                                    cache=False)
+        compiler.compile(scan_dag)
+        dots = sorted(p.name for p in tmp_path.glob("*.dot"))
+        # the input snapshot plus one per pass
+        assert len(dots) == len(default_pipeline("sherlock").split(",")) + 1
+        assert dots[0] == "00-input.dot"
+        assert dots[-1] == "07-map-sherlock.dot"
+        data = json.loads((tmp_path / "05-arity-clamp.json").read_text())
+        assert {"operands", "ops", "outputs"} <= set(data)
+
+    def test_validate_passes_mode(self, scan_dag):
+        compiler = SherlockCompiler(target(), validate_passes=True,
+                                    cache=False)
+        program = compiler.compile(scan_dag)
+        assert program.instructions
+
+    def test_transform_matches_compile_dag(self, scan_dag):
+        compiler = SherlockCompiler(target(), CompilerConfig(mra=4),
+                                    cache=False)
+        transformed = compiler.transform(scan_dag)
+        program = compiler.compile(scan_dag)
+        assert structural_hash(transformed) == structural_hash(program.dag)
+
+    def test_custom_registered_pass_runs(self, scan_dag):
+        seen = []
+
+        def spy(ctx: CompilationContext):
+            seen.append(graph_stats(ctx.dag).ops)
+            return {"noted": True}
+
+        name = "test-spy"
+        register_pass(FunctionPass(name=name, description="test spy", fn=spy))
+        try:
+            config = CompilerConfig(pipeline=f"{name},validate,map-naive")
+            program = compile_dag(scan_dag, target(), config, cache=False)
+            assert seen and program.pass_events[0].notes == {"noted": True}
+        finally:
+            del PASS_REGISTRY[name]
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(SherlockError, match="already registered"):
+            register_pass(FunctionPass(name="validate", description="dup",
+                                       fn=lambda ctx: None))
+
+    def test_get_pass_lists_known_names(self):
+        with pytest.raises(SherlockError, match="registered passes"):
+            get_pass("nope")
+
+
+class TestNandLoweringPass:
+    def test_auto_on_stt_mram(self, scan_dag):
+        program = compile_dag(scan_dag, target(STT_MRAM), cache=False)
+        event = next(e for e in program.pass_events if e.name == "nand-lower")
+        assert not event.skipped and event.notes["rewritten"] > 0
+
+    def test_skipped_on_reram(self, scan_dag):
+        program = compile_dag(scan_dag, target(RERAM), cache=False)
+        event = next(e for e in program.pass_events if e.name == "nand-lower")
+        assert event.skipped
+
+
+class TestStructuralHash:
+    def test_name_irrelevant(self, scan_dag):
+        renamed = scan_dag.copy(name="other")
+        assert structural_hash(renamed) == structural_hash(scan_dag)
+
+    def test_structure_relevant(self):
+        b = DFGBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("o", x & y)
+        and_dag = b.build()
+        b2 = DFGBuilder()
+        x, y = b2.inputs("x", "y")
+        b2.output("o", x | y)
+        or_dag = b2.build()
+        assert structural_hash(and_dag) != structural_hash(or_dag)
+
+
+class TestCompileCache:
+    def test_hit_on_identical_request(self, scan_dag):
+        first = compile_dag(scan_dag, target())
+        second = compile_dag(scan_dag, target())
+        info = compile_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert second.text() == first.text()
+        assert second.mapping.instructions is not first.mapping.instructions
+
+    def test_different_config_misses(self, scan_dag):
+        compile_dag(scan_dag, target(), CompilerConfig(mra=2))
+        compile_dag(scan_dag, target(), CompilerConfig(mra=4))
+        assert compile_cache_info()["hits"] == 0
+
+    def test_mutating_a_program_cannot_poison_the_cache(self, scan_dag):
+        inputs = bitweaving.scan_inputs(10, 200, [3] * 8)
+        first = compile_dag(scan_dag, target())
+        first.instructions.clear()  # caller breaks their own copy
+        second = compile_dag(scan_dag, target())
+        assert second.verify(inputs, lanes=8)
+
+    def test_cache_can_be_bypassed(self, scan_dag):
+        compile_dag(scan_dag, target(), cache=False)
+        compile_dag(scan_dag, target(), cache=False)
+        info = compile_cache_info()
+        assert info["hits"] == 0 and info["misses"] == 0
+
+    def test_repeated_sweep_is_served_from_cache(self, scan_dag):
+        """Re-sweeping the same DAG hits the cache for every point."""
+        fractions = (0.0, 0.5, 1.0)
+        t = target(max_activated_rows=4)
+        start = time.perf_counter()
+        cold = mra_sweep(scan_dag, t, fractions=fractions)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = mra_sweep(scan_dag, t, fractions=fractions)
+        warm_s = time.perf_counter() - start
+        info = compile_cache_info()
+        assert info["hits"] == len(fractions)
+        assert warm == cold
+        # a cache hit skips clustering/codegen entirely; allow generous
+        # slack so the assertion never flakes on a loaded machine
+        assert warm_s < max(cold_s, 0.001)
+
+
+class TestPassthroughPlacementFailure:
+    def test_error_names_output_and_occupancy(self):
+        b = DFGBuilder()
+        x, y, z = b.inputs("x", "y", "z")
+        b.output("computed", x & y)
+        b.output("homeless", z)  # passthrough: needs its own cell
+        dag = b.build()
+        # 3 rows x 1 col x 1 array = 3 cells: x, y and the AND result fill
+        # the entire machine, leaving no cell for the passthrough output
+        tiny = TargetSpec(technology=RERAM, rows=3, cols=1, data_width=4,
+                          num_arrays=1, column_fill_factor=1.0)
+        with pytest.raises(MappingError) as err:
+            compile_dag(dag, tiny, CompilerConfig(mapper="naive"),
+                        cache=False)
+        message = str(err.value)
+        assert "'homeless'" in message
+        assert "3/3 cells" in message
+        assert "1/1 columns" in message
