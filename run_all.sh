@@ -21,6 +21,14 @@ fi
 echo "== unit / integration / property tests =="
 python -m pytest tests/ 2>&1 | tee test_output.txt
 
+echo "== smoke fault-injection campaign (50 trials, fixed seed) =="
+python -m repro.cli campaign --synthetic 24 --trials 50 --seed 0 \
+    --lanes 8 --tech stt-mram --size 64 --arrays 4 --mra 4 \
+    --variability 0.12
+
+echo "== full fault-injection campaigns (marker-gated tests) =="
+python -m pytest tests/ -m campaign 2>&1 | tee campaign_output.txt
+
 echo "== paper experiments (tables land in benchmarks/results/) =="
 python -m pytest benchmarks/ 2>&1 | tee benchmarks/results/full_run.log
 

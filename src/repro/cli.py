@@ -1,10 +1,11 @@
-"""Command-line interface: ``sherlock compile|run|sweep|workloads``.
+"""Command-line interface: ``sherlock compile|run|sweep|campaign|workloads``.
 
 Examples::
 
     sherlock compile kernel.c --tech reram --size 512 --mapper sherlock
     sherlock run --workload bitweaving --tech stt-mram --size 1024
     sherlock sweep --workload bitweaving --tech reram --size 512
+    sherlock campaign --synthetic 40 --trials 500 --variability 0.35
     sherlock workloads
 """
 
@@ -21,13 +22,14 @@ from repro.core.passes import get_pass
 from repro.core.report import (
     PassReport,
     ProgramReport,
+    RecoveryReport,
     format_table,
     render_reports,
 )
 from repro.devices import get_technology
 from repro.errors import SherlockError
 from repro.frontend import c_to_dfg
-from repro.reliability import mra_sweep
+from repro.reliability import POLICIES, mra_sweep, run_campaign
 from repro.workloads import WORKLOADS, get_workload
 
 
@@ -146,6 +148,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    target = _target_of(args)
+    if args.variability is not None:
+        tech = target.technology.with_variability(args.variability,
+                                                  args.variability)
+        target = target.with_(technology=tech)
+    if args.synthetic is not None:
+        from repro.workloads.synthetic import synthetic_dag
+
+        dag = synthetic_dag(num_ops=args.synthetic, num_inputs=8,
+                            seed=args.seed, name=f"synthetic{args.synthetic}")
+    else:
+        dag = get_workload(args.workload).build_dag()
+    config = _config_of(args)
+    program = SherlockCompiler(target, config).compile(dag)
+    policies = args.policy or sorted(POLICIES)
+    results = [run_campaign(program, trials=args.trials, seed=args.seed,
+                            policy=name, lanes=args.lanes)
+               for name in policies]
+    print(RecoveryReport.from_results(results).render())
+    return 0
+
+
 def _cmd_workloads(_args: argparse.Namespace) -> int:
     rows = [[w.name, w.description] for w in WORKLOADS.values()]
     print(format_table(["name", "description"], rows))
@@ -191,6 +216,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
     _add_target_args(p)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "campaign",
+        help="Monte-Carlo fault-injection campaign with recovery policies")
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--workload", choices=sorted(WORKLOADS),
+                       help="campaign over a registered workload DAG")
+    group.add_argument("--synthetic", type=int, metavar="OPS",
+                       help="campaign over a random synthetic DAG of OPS ops")
+    p.add_argument("--trials", type=int, default=200,
+                   help="Monte-Carlo trials per policy")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (same seed -> same fault sequences)")
+    p.add_argument("--lanes", type=int, default=16,
+                   help="simulated lanes per trial")
+    p.add_argument("--policy", action="append", choices=sorted(POLICIES),
+                   help="recovery policy to campaign (repeatable; "
+                        "default: all)")
+    p.add_argument("--variability", type=float, default=None,
+                   help="override the technology's relative resistance "
+                        "spread (e.g. 0.35) to stress the fault model")
+    _add_target_args(p)
+    p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("workloads", help="list available workloads")
     p.set_defaults(func=_cmd_workloads)

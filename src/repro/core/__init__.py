@@ -35,8 +35,10 @@ from repro.core.serialize import load_program, save_program
 from repro.core.report import (
     PASS_REPORT_HEADERS,
     PROGRAM_REPORT_HEADERS,
+    RECOVERY_REPORT_HEADERS,
     PassReport,
     ProgramReport,
+    RecoveryReport,
     format_table,
     render_reports,
 )
@@ -54,6 +56,8 @@ __all__ = [
     "PassManager",
     "PassReport",
     "ProgramReport",
+    "RECOVERY_REPORT_HEADERS",
+    "RecoveryReport",
     "SherlockCompiler",
     "TABLE2_CONFIGS",
     "TargetSpec",

@@ -84,9 +84,17 @@ class CompiledProgram:
         return program_text(self.instructions)
 
     def execute(self, inputs: dict[str, int], lanes: int = 64,
-                fault_rng: random.Random | None = None) -> dict[str, int]:
-        """Functionally execute the program on lane-bitmask inputs."""
-        machine = ArrayMachine(self.target, lanes, fault_rng)
+                fault_rng: random.Random | None = None,
+                observer=None) -> dict[str, int]:
+        """Functionally execute the program on lane-bitmask inputs.
+
+        Compiled programs run with ``strict_shift`` on: a schedule that
+        shifts live row-buffer data off the array edge is a codegen bug and
+        raises instead of silently corrupting an output.  ``observer`` is an
+        optional :class:`repro.sim.executor.SenseObserver` (recovery hook).
+        """
+        machine = ArrayMachine(self.target, lanes, fault_rng,
+                               strict_shift=True, observer=observer)
         preload_sources(machine, self.layout, self.dag, inputs)
         machine.run(self.instructions)
         return extract_outputs(machine, self.layout, self.dag)

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 
 from repro.core.compiler import CompiledProgram
 from repro.core.passes import PassEvent
+from repro.reliability.campaign import CampaignResult
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -132,3 +133,73 @@ class PassReport:
         table = format_table(PASS_REPORT_HEADERS, self.rows())
         return f"{table}\ntotal {self.total_ms:,.3f} ms over " \
                f"{len(self.events)} passes"
+
+
+RECOVERY_REPORT_HEADERS = [
+    "policy", "trials", "decision_rate", "output_rate", "ci95_lo", "ci95_hi",
+    "analytic_P_app", "lat_ovh_%", "en_ovh_%", "actions",
+]
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Campaign outcomes across recovery policies (the detect→recover table).
+
+    One row per campaign: empirical decision- and output-failure rates with
+    the Wilson 95% interval on the output rate, the analytic prediction,
+    the priced recovery overhead relative to the base schedule, and a
+    compact summary of the recovery actions the policy actually took.
+    """
+
+    results: tuple[CampaignResult, ...]
+
+    @classmethod
+    def from_results(cls, results: Sequence[CampaignResult]) -> "RecoveryReport":
+        """Wrap campaign results (typically one per policy, same seeds)."""
+        return cls(results=tuple(results))
+
+    @staticmethod
+    def _actions(result: CampaignResult) -> str:
+        """One compact cell summarizing what the policy did."""
+        stats = result.stats
+        parts = []
+        if stats.votes:
+            parts.append(f"votes={stats.votes}")
+        if stats.disagreements:
+            parts.append(f"disagree={stats.disagreements}")
+        if stats.degraded_ops:
+            parts.append(f"degraded={stats.degraded_ops}")
+        if stats.rollbacks:
+            parts.append(f"rollbacks={stats.rollbacks}")
+        if stats.retries_exhausted:
+            parts.append(f"exhausted={stats.retries_exhausted}")
+        return " ".join(parts) or "-"
+
+    def rows(self) -> list[list[object]]:
+        """Table rows matching :data:`RECOVERY_REPORT_HEADERS`."""
+        out: list[list[object]] = []
+        for result in self.results:
+            lo, hi = result.output_wilson
+            out.append([
+                result.policy,
+                result.trials,
+                result.decision_failure_rate,
+                result.output_failure_rate,
+                lo,
+                hi,
+                result.analytic_p_app,
+                result.latency_overhead_frac * 100.0,
+                result.energy_overhead_frac * 100.0,
+                self._actions(result),
+            ])
+        return out
+
+    def render(self) -> str:
+        """The campaign table plus a program/seed identification footer."""
+        table = format_table(RECOVERY_REPORT_HEADERS, self.rows())
+        if not self.results:
+            return table
+        first = self.results[0]
+        return (f"{table}\nprogram {first.program_name}: "
+                f"{first.trials} trials x {first.lanes} lanes, "
+                f"seed {first.seed}")

@@ -1,6 +1,33 @@
-"""Application-level reliability analysis (Sec. 4.2, Fig. 6)."""
+"""Application-level reliability: analysis, campaigns, and recovery.
+
+Three layers, matching Sec. 4.2 of the paper and its runtime consequences:
+the analytic MRA/latency trade-off sweep (:mod:`repro.reliability.sweep`),
+Monte-Carlo fault-injection campaigns that validate the analytic model
+against executed programs (:mod:`repro.reliability.campaign`), and the
+detect-and-recover execution policies that act on detected failures
+(:mod:`repro.reliability.recovery`).
+"""
 
 from repro.devices.failure import application_failure_probability
+from repro.reliability.campaign import (
+    CampaignResult,
+    analytic_failure_probability,
+    run_campaign,
+    sense_failure_probabilities,
+    wilson_interval,
+)
+from repro.reliability.recovery import (
+    POLICIES,
+    CheckpointReplay,
+    DegradeMra,
+    NoRecovery,
+    RecoveryOutcome,
+    RecoveryPolicy,
+    RecoveryStats,
+    RereadVote,
+    execute_with_recovery,
+    get_policy,
+)
 from repro.reliability.sweep import (
     DEFAULT_FRACTIONS,
     SweepPoint,
@@ -10,8 +37,23 @@ from repro.reliability.sweep import (
 
 __all__ = [
     "DEFAULT_FRACTIONS",
+    "POLICIES",
+    "CampaignResult",
+    "CheckpointReplay",
+    "DegradeMra",
+    "NoRecovery",
+    "RecoveryOutcome",
+    "RecoveryPolicy",
+    "RecoveryStats",
+    "RereadVote",
     "SweepPoint",
+    "analytic_failure_probability",
     "application_failure_probability",
+    "execute_with_recovery",
+    "get_policy",
     "mra_sweep",
     "pareto_front",
+    "run_campaign",
+    "sense_failure_probabilities",
+    "wilson_interval",
 ]

@@ -1,0 +1,264 @@
+"""Monte-Carlo fault-injection campaigns over compiled programs.
+
+The analytic reliability model (:mod:`repro.devices.failure`) predicts how
+often sensing decisions fail; this module *measures* it.  A campaign runs a
+compiled program for N seeded trials on fault-injecting
+:class:`repro.sim.executor.ArrayMachine` instances, compares every trial's
+outputs against the reference DAG evaluation (:func:`repro.dfg.evaluate`),
+and reports the empirical failure rate with a Wilson 95% confidence
+interval next to the analytic prediction — the model-validation experiment
+the paper implies but never runs.
+
+Two failure notions are tracked, because they differ systematically:
+
+* **decision failure** — at least one lane flip was injected anywhere in
+  the run.  This is what the analytic model predicts
+  (:func:`analytic_failure_probability`, the per-column ``P_DF`` values
+  compounded over every sensed column and every simulated lane).
+* **output failure** — the program's outputs differ from the reference.
+  Always at most the decision rate: many flips are logically masked
+  (e.g. a flipped lane entering an AND with a 0, or landing in a value
+  that is never consumed again).
+
+Campaigns also drive the recovery policies of
+:mod:`repro.reliability.recovery`: each trial runs under a fresh policy
+instance, and the aggregated :class:`~repro.reliability.recovery.RecoveryStats`
+plus priced overhead land in the :class:`CampaignResult`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.arch.isa import ReadInst
+from repro.dfg.evaluate import evaluate
+from repro.dfg.ops import OpType
+from repro.errors import SimulationError
+from repro.reliability.recovery import RecoveryStats, get_policy
+from repro.sim.metrics import cached_p_df
+
+__all__ = [
+    "CampaignResult",
+    "analytic_failure_probability",
+    "run_campaign",
+    "sense_failure_probabilities",
+    "wilson_interval",
+]
+
+# 2**32-scale odd constants (Fibonacci / Murmur-style) decorrelate the
+# per-trial streams derived from one campaign seed
+_MIX_A = 0x9E3779B1
+_MIX_B = 0x85EBCA77
+
+
+def _trial_rng(seed: int, trial: int, salt: int) -> random.Random:
+    """An independent, reproducible RNG stream for one trial."""
+    return random.Random((seed * _MIX_A + trial * _MIX_B + salt)
+                         & 0xFFFFFFFFFFFFFFFF)
+
+
+def wilson_interval(failures: int, trials: int,
+                    z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion (default 95%).
+
+    Unlike the normal approximation, the Wilson interval stays inside
+    ``[0, 1]`` and behaves at the extremes (0 or ``trials`` failures) —
+    exactly where reliability campaigns live.
+    """
+    if trials < 1:
+        raise SimulationError(f"trial count must be positive, got {trials}")
+    if not 0 <= failures <= trials:
+        raise SimulationError(
+            f"failure count {failures} outside [0, {trials}]")
+    phat = failures / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (phat + z2 / (2 * trials)) / denom
+    half = z * math.sqrt(phat * (1 - phat) / trials
+                         + z2 / (4 * trials * trials)) / denom
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+def sense_failure_probabilities(program) -> list[float]:
+    """Per-column decision-failure probability of every sense in the trace.
+
+    This mirrors exactly what the executor's fault injector applies: one
+    Bernoulli(``P_DF``) draw per lane per sensed column, including plain
+    single-row reads (sensed at the tiny ``P_DF(NOT, 1)``), not only CIM
+    column ops.
+    """
+    tech = program.target.technology
+    probabilities: list[float] = []
+    for inst in program.instructions:
+        if not isinstance(inst, ReadInst):
+            continue
+        if inst.ops is None:
+            p = cached_p_df(tech, OpType.NOT, 1)
+            probabilities.extend([p] * len(inst.cols))
+        else:
+            k = len(inst.rows)
+            probabilities.extend(cached_p_df(tech, op, k) for op in inst.ops)
+    return probabilities
+
+
+def analytic_failure_probability(program, lanes: int = 64) -> float:
+    """P(at least one lane flip in one run) at the simulated lane count.
+
+    Each lane of each sensed column is an independent sensing decision, so
+    the no-failure probability is ``prod(1 - p_i) ** lanes`` — the Sec. 4.2
+    ``P_app`` composition evaluated at the machine's lane count (the paper
+    quotes it per column op; a campaign observes all lanes at once).
+    """
+    log_ok = 0.0
+    for p in sense_failure_probabilities(program):
+        if p >= 1.0:
+            return 1.0
+        log_ok += math.log1p(-p)
+    return -math.expm1(lanes * log_ok)
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Aggregate outcome of one fault-injection campaign."""
+
+    program_name: str
+    policy: str
+    trials: int
+    lanes: int
+    seed: int
+    #: trials in which at least one lane flip was injected
+    decision_failures: int
+    #: trials whose final outputs differed from the reference evaluation
+    output_failures: int
+    #: model prediction for the decision-failure rate (lane-compounded)
+    analytic_p_app: float
+    #: total lane flips injected across all trials
+    injected_faults: int
+    #: recovery work aggregated over all trials
+    stats: RecoveryStats
+    #: single-run latency of the base schedule, for overhead ratios
+    base_latency_cycles: int
+    #: single-run energy of the base schedule, for overhead ratios
+    base_energy_pj: float
+
+    @property
+    def decision_failure_rate(self) -> float:
+        """Fraction of trials with at least one injected flip."""
+        return self.decision_failures / self.trials
+
+    @property
+    def output_failure_rate(self) -> float:
+        """Fraction of trials ending with wrong outputs."""
+        return self.output_failures / self.trials
+
+    @property
+    def decision_wilson(self) -> tuple[float, float]:
+        """95% Wilson interval around the decision-failure rate."""
+        return wilson_interval(self.decision_failures, self.trials)
+
+    @property
+    def output_wilson(self) -> tuple[float, float]:
+        """95% Wilson interval around the output-failure rate."""
+        return wilson_interval(self.output_failures, self.trials)
+
+    @property
+    def analytic_within_interval(self) -> bool:
+        """Whether the analytic prediction sits in the decision interval."""
+        lo, hi = self.decision_wilson
+        return lo <= self.analytic_p_app <= hi
+
+    @property
+    def mean_overhead_latency_cycles(self) -> float:
+        """Average per-trial recovery latency overhead, in cycles."""
+        return self.stats.overhead_latency_cycles / self.trials
+
+    @property
+    def mean_overhead_energy_pj(self) -> float:
+        """Average per-trial recovery energy overhead, in picojoules."""
+        return self.stats.overhead_energy_pj / self.trials
+
+    @property
+    def latency_overhead_frac(self) -> float:
+        """Mean recovery latency overhead relative to the base schedule."""
+        if self.base_latency_cycles == 0:
+            return 0.0
+        return self.mean_overhead_latency_cycles / self.base_latency_cycles
+
+    @property
+    def energy_overhead_frac(self) -> float:
+        """Mean recovery energy overhead relative to the base schedule."""
+        if self.base_energy_pj == 0:
+            return 0.0
+        return self.mean_overhead_energy_pj / self.base_energy_pj
+
+    def summary(self) -> dict[str, float]:
+        """Flat dictionary for table printing."""
+        dec_lo, dec_hi = self.decision_wilson
+        out_lo, out_hi = self.output_wilson
+        return {
+            "trials": self.trials,
+            "decision_rate": self.decision_failure_rate,
+            "decision_ci95_lo": dec_lo,
+            "decision_ci95_hi": dec_hi,
+            "analytic_p_app": self.analytic_p_app,
+            "output_rate": self.output_failure_rate,
+            "output_ci95_lo": out_lo,
+            "output_ci95_hi": out_hi,
+            "overhead_latency_frac": self.latency_overhead_frac,
+            "overhead_energy_frac": self.energy_overhead_frac,
+        }
+
+
+def run_campaign(program, trials: int = 1000, seed: int = 0,
+                 policy: str = "none", lanes: int = 64,
+                 policy_kwargs: dict | None = None,
+                 inputs: dict[str, int] | None = None) -> CampaignResult:
+    """Run a seeded Monte-Carlo fault-injection campaign.
+
+    Every trial gets decorrelated input and fault RNG streams derived from
+    ``seed``, fresh random lane-bitmask inputs (unless fixed ``inputs`` are
+    given), and a fresh instance of the named recovery policy; the same
+    ``(seed, trials)`` pair replays bit-identically, so policies can be
+    compared on the *same* fault sequences.
+    """
+    if trials < 1:
+        raise SimulationError(f"trial count must be positive, got {trials}")
+    kwargs = dict(policy_kwargs or {})
+    get_policy(policy, **kwargs)  # fail fast on bad name / kwargs
+    input_names = [operand.name for operand in program.source_dag.inputs()]
+    aggregate = RecoveryStats()
+    decision_failures = 0
+    output_failures = 0
+    injected = 0
+    for trial in range(trials):
+        fault_rng = _trial_rng(seed, trial, 2)
+        if inputs is None:
+            input_rng = _trial_rng(seed, trial, 1)
+            trial_inputs = {name: input_rng.getrandbits(lanes)
+                            for name in input_names}
+        else:
+            trial_inputs = inputs
+        expected = evaluate(program.source_dag, trial_inputs, lanes)
+        trial_policy = get_policy(policy, **kwargs)
+        outputs = trial_policy.execute(program, trial_inputs, lanes,
+                                       fault_rng, expected=expected)
+        faults = (trial_policy.machine.injected_faults
+                  if trial_policy.machine is not None else 0)
+        injected += faults
+        if faults:
+            decision_failures += 1
+        if outputs != expected:
+            output_failures += 1
+        aggregate.merge(trial_policy.stats)
+    metrics = program.metrics
+    return CampaignResult(
+        program_name=program.source_dag.name,
+        policy=policy, trials=trials, lanes=lanes, seed=seed,
+        decision_failures=decision_failures,
+        output_failures=output_failures,
+        analytic_p_app=analytic_failure_probability(program, lanes),
+        injected_faults=injected, stats=aggregate,
+        base_latency_cycles=metrics.latency_cycles,
+        base_energy_pj=metrics.energy_pj)

@@ -1,0 +1,398 @@
+"""Detect-and-recover execution of compiled programs under injected faults.
+
+The analytic model (:mod:`repro.devices.failure`) says how often a sensing
+decision fails; this module is what a controller can *do* about it.  Three
+pluggable policies close the detect → retry → degrade loop:
+
+* ``reread-vote`` — re-sense every CIM read so each column is sensed an odd
+  number of times (default 3) and take a per-lane majority vote.  Decision
+  failures are independent across senses, so the per-lane failure
+  probability drops from ``p`` to roughly ``3p²``.
+* ``checkpoint-replay`` — snapshot the machine every K instructions; at the
+  end of the run compare the outputs against a shadow check (the reference
+  DAG evaluation, modeling a cheap controller-side recomputation).  On a
+  mismatch, roll back and replay with a bounded retry budget, escalating to
+  an older checkpoint on every retry so corruption that predates the last
+  snapshot is eventually replayed too.
+* ``degrade-mra`` — detect a suspect multi-row read by double-sensing;
+  after R disagreeing retries, re-execute the op as a chain of MRA = 2
+  reads (the paper's own reliability knob, Sec. 4.2, applied dynamically):
+  ``k − 1`` two-row senses at the far smaller ``P_DF(op, 2)`` plus ``k − 2``
+  intermediate write-backs.
+
+Every recovery action is priced with the :mod:`repro.sim.metrics` cost
+helpers and accumulated in :class:`RecoveryStats`, so the latency/energy
+overhead of reliability lands in the same units as the base schedule
+(``TraceMetrics.with_recovery``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, fields
+
+from repro.dfg.evaluate import evaluate
+from repro.dfg.ops import OpType, apply_op
+from repro.errors import SimulationError
+from repro.sim.executor import ArrayMachine, extract_outputs, preload_sources
+from repro.sim.metrics import (
+    TraceMetrics,
+    analyze_trace,
+    read_cost,
+    rowbuf_not_cost,
+    write_cost,
+)
+
+__all__ = [
+    "POLICIES",
+    "CheckpointReplay",
+    "DegradeMra",
+    "NoRecovery",
+    "RecoveryOutcome",
+    "RecoveryPolicy",
+    "RecoveryStats",
+    "RereadVote",
+    "execute_with_recovery",
+    "get_policy",
+]
+
+
+@dataclass
+class RecoveryStats:
+    """Everything a recovery policy did during one (or many) runs."""
+
+    #: re-sense reads issued beyond the scheduled one
+    extra_senses: int = 0
+    #: majority votes taken (one per voted CIM column sense)
+    votes: int = 0
+    #: sense disagreements detected (vote splits / double-sense mismatches)
+    disagreements: int = 0
+    #: CIM ops dynamically degraded to an MRA = 2 chain
+    degraded_ops: int = 0
+    #: two-row reads issued by degraded chains
+    degraded_reads: int = 0
+    #: intermediate write-backs issued by degraded chains
+    degraded_writes: int = 0
+    #: machine snapshots taken
+    checkpoints: int = 0
+    #: rollbacks to a checkpoint after a failed shadow check
+    rollbacks: int = 0
+    #: instructions re-executed during replays
+    replayed_instructions: int = 0
+    #: recoveries abandoned with the retry budget exhausted
+    retries_exhausted: int = 0
+    #: priced overhead of all of the above, in controller cycles
+    overhead_latency_cycles: int = 0
+    #: priced overhead of all of the above, in picojoules
+    overhead_energy_pj: float = 0.0
+
+    def charge(self, cycles: int, energy_pj: float) -> None:
+        """Add priced recovery work to the overhead accumulators."""
+        self.overhead_latency_cycles += cycles
+        self.overhead_energy_pj += energy_pj
+
+    def merge(self, other: "RecoveryStats") -> None:
+        """Fold another stats record into this one (campaign aggregation)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+
+class RecoveryPolicy:
+    """Base policy: how to run a compiled program under faults.
+
+    The default implementation is fault-oblivious plain execution; policies
+    override :meth:`execute` (run-level recovery) or act as a
+    :class:`repro.sim.executor.SenseObserver` (sense-level recovery) via
+    :class:`_SensePolicy`.  A policy instance accumulates one
+    :class:`RecoveryStats`; use a fresh instance per measured run.
+    """
+
+    name = "none"
+
+    def __init__(self) -> None:
+        self.stats = RecoveryStats()
+        #: the machine of the most recent :meth:`execute` (fault accounting)
+        self.machine: ArrayMachine | None = None
+
+    def _make_machine(self, program, lanes: int,
+                      fault_rng: random.Random | None,
+                      observer=None) -> ArrayMachine:
+        """Build (and retain) the strict-mode machine for one run."""
+        self.machine = ArrayMachine(program.target, lanes, fault_rng,
+                                    strict_shift=True, observer=observer)
+        return self.machine
+
+    def execute(self, program, inputs: dict[str, int], lanes: int = 64,
+                fault_rng: random.Random | None = None,
+                expected: dict[str, int] | None = None) -> dict[str, int]:
+        """Run the program and return its outputs (possibly recovered)."""
+        machine = self._make_machine(program, lanes, fault_rng)
+        preload_sources(machine, program.layout, program.dag, inputs)
+        machine.run(program.instructions)
+        return extract_outputs(machine, program.layout, program.dag)
+
+
+class NoRecovery(RecoveryPolicy):
+    """Fault-oblivious execution — the baseline every policy is judged against."""
+
+
+class _SensePolicy(RecoveryPolicy):
+    """A policy that intercepts every sensed CIM column value."""
+
+    def execute(self, program, inputs: dict[str, int], lanes: int = 64,
+                fault_rng: random.Random | None = None,
+                expected: dict[str, int] | None = None) -> dict[str, int]:
+        """Run the program with this policy hooked into every sense."""
+        machine = self._make_machine(program, lanes, fault_rng, observer=self)
+        preload_sources(machine, program.layout, program.dag, inputs)
+        machine.run(program.instructions)
+        return extract_outputs(machine, program.layout, program.dag)
+
+    def on_sense(self, machine: ArrayMachine, op: OpType | None, k: int,
+                 values: list[int], result: int, resense) -> int:
+        """Decide the row-buffer value for one sensed column."""
+        raise NotImplementedError
+
+
+def _majority(senses: list[int], mask: int) -> int:
+    """Per-lane majority of an odd number of lane bitmasks."""
+    if len(senses) == 3:
+        a, b, c = senses
+        return (a & b) | (a & c) | (b & c)
+    # bit-sliced ripple-carry counter: planes[i] = lanes whose count has
+    # bit i set; then a lane-parallel compare against the majority threshold
+    planes: list[int] = []
+    for s in senses:
+        carry = s
+        for i in range(len(planes)):
+            planes[i], carry = planes[i] ^ carry, planes[i] & carry
+            if not carry:
+                break
+        if carry:
+            planes.append(carry)
+    need = len(senses) // 2 + 1
+    greater = 0
+    equal = mask
+    for i in reversed(range(len(planes))):
+        need_bit = (need >> i) & 1
+        if need_bit:
+            equal &= planes[i]
+        else:
+            greater |= equal & planes[i]
+            equal &= ~planes[i] & mask
+    return greater | equal
+
+
+class RereadVote(_SensePolicy):
+    """Re-sense each CIM read and take a per-lane majority vote."""
+
+    name = "reread-vote"
+
+    def __init__(self, votes: int = 3) -> None:
+        super().__init__()
+        if votes < 3 or votes % 2 == 0:
+            raise SimulationError(f"vote count must be odd and >= 3, got {votes}")
+        self.votes = votes
+
+    def on_sense(self, machine: ArrayMachine, op: OpType | None, k: int,
+                 values: list[int], result: int, resense) -> int:
+        """Majority-vote the column over ``votes`` independent senses."""
+        if op is None:
+            return result  # plain single-row reads are not CIM decisions
+        senses = [result] + [resense() for _ in range(self.votes - 1)]
+        extra = self.votes - 1
+        cycles, energy = read_cost(machine.target, k, 1)
+        self.stats.extra_senses += extra
+        self.stats.charge(extra * cycles, extra * energy)
+        self.stats.votes += 1
+        if any(s != senses[0] for s in senses[1:]):
+            self.stats.disagreements += 1
+        return _majority(senses, machine.mask)
+
+
+class DegradeMra(_SensePolicy):
+    """Double-sense detection with dynamic degradation to MRA = 2 chains."""
+
+    name = "degrade-mra"
+
+    def __init__(self, retries: int = 2) -> None:
+        super().__init__()
+        if retries < 0:
+            raise SimulationError(f"retry budget must be >= 0, got {retries}")
+        self.retries = retries
+
+    def on_sense(self, machine: ArrayMachine, op: OpType | None, k: int,
+                 values: list[int], result: int, resense) -> int:
+        """Accept agreeing senses; degrade a persistently suspect read."""
+        if op is None:
+            return result
+        cycles, energy = read_cost(machine.target, k, 1)
+        second = resense()
+        self.stats.extra_senses += 1
+        self.stats.charge(cycles, energy)
+        if second == result:
+            return result
+        self.stats.disagreements += 1
+        for _ in range(self.retries):
+            a, b = resense(), resense()
+            self.stats.extra_senses += 2
+            self.stats.charge(2 * cycles, 2 * energy)
+            if a == b:
+                return a
+        if k <= 2 or not op.base.is_associative:
+            # nothing lower to degrade to: accept the last sense
+            self.stats.retries_exhausted += 1
+            return second
+        return self._degrade(machine, op, values)
+
+    def _degrade(self, machine: ArrayMachine, op: OpType,
+                 values: list[int]) -> int:
+        """Re-execute the op as ``k − 1`` two-row senses plus write-backs.
+
+        Each chain stage senses two rows, so it fails with the far smaller
+        ``P_DF(base, 2)``; inverted ops finish with a fault-free row-buffer
+        CMOS NOT.  Intermediates are written back to scratch cells between
+        stages (``k − 2`` writes), which is where the overhead lives.
+        """
+        base = op.base
+        k = len(values)
+        acc = values[0]
+        for value in values[1:]:
+            true = apply_op(base, [acc, value], machine.mask)
+            # same fault model as any two-row sense of this op family
+            acc = machine._inject(true, base, 2) if machine.fault_rng else true
+        if op.is_inverted:
+            acc = ~acc & machine.mask
+        read_c, read_e = read_cost(machine.target, 2, 1)
+        write_c, write_e = write_cost(machine.target, 1)
+        chain_cycles = (k - 1) * read_c + (k - 2) * write_c
+        chain_energy = (k - 1) * read_e + (k - 2) * write_e
+        if op.is_inverted:
+            not_c, not_e = rowbuf_not_cost(machine.target, 1)
+            chain_cycles += not_c
+            chain_energy += not_e
+        self.stats.charge(chain_cycles, chain_energy)
+        self.stats.degraded_ops += 1
+        self.stats.degraded_reads += k - 1
+        self.stats.degraded_writes += k - 2
+        return acc
+
+
+class CheckpointReplay(RecoveryPolicy):
+    """Periodic snapshots plus end-of-run shadow check and bounded replay."""
+
+    name = "checkpoint-replay"
+
+    def __init__(self, interval: int = 32, retries: int = 3) -> None:
+        super().__init__()
+        if interval < 1:
+            raise SimulationError(f"checkpoint interval must be >= 1, got {interval}")
+        if retries < 0:
+            raise SimulationError(f"retry budget must be >= 0, got {retries}")
+        self.interval = interval
+        self.retries = retries
+
+    def execute(self, program, inputs: dict[str, int], lanes: int = 64,
+                fault_rng: random.Random | None = None,
+                expected: dict[str, int] | None = None) -> dict[str, int]:
+        """Run with checkpoints; on a failed shadow check, roll back and replay.
+
+        Retry ``r`` rolls back ``2**(r-1)`` checkpoints (exponential
+        escalation, clamped at the preloaded initial state), so corruption
+        arbitrarily far before the last snapshot is replayed within a few
+        attempts.  Replayed instructions are priced at full trace cost; the
+        snapshot itself is modeled as a free controller-side state copy and
+        the shadow check as a host-side recomputation.
+        """
+        if expected is None:
+            expected = evaluate(program.source_dag, inputs, lanes)
+        machine = self._make_machine(program, lanes, fault_rng)
+        preload_sources(machine, program.layout, program.dag, inputs)
+        instructions = program.instructions
+        checkpoints = [(0, machine.snapshot())]
+        self.stats.checkpoints += 1
+        for pc, inst in enumerate(instructions):
+            machine.execute(inst)
+            if (pc + 1) % self.interval == 0 and pc + 1 < len(instructions):
+                checkpoints.append((pc + 1, machine.snapshot()))
+                self.stats.checkpoints += 1
+        outputs = extract_outputs(machine, program.layout, program.dag)
+        attempt = 0
+        while outputs != expected and attempt < self.retries:
+            attempt += 1
+            depth = 1 << (attempt - 1)
+            start_pc, state = checkpoints[max(0, len(checkpoints) - depth)]
+            machine.restore(state)
+            self.stats.rollbacks += 1
+            replay = instructions[start_pc:]
+            for inst in replay:
+                machine.execute(inst)
+            self.stats.replayed_instructions += len(replay)
+            replay_metrics = analyze_trace(replay, program.target)
+            self.stats.charge(replay_metrics.latency_cycles,
+                              replay_metrics.energy_pj)
+            outputs = extract_outputs(machine, program.layout, program.dag)
+        if outputs != expected:
+            self.stats.retries_exhausted += 1
+        return outputs
+
+
+POLICIES: dict[str, type[RecoveryPolicy]] = {
+    NoRecovery.name: NoRecovery,
+    RereadVote.name: RereadVote,
+    CheckpointReplay.name: CheckpointReplay,
+    DegradeMra.name: DegradeMra,
+}
+
+
+def get_policy(name: str, **kwargs) -> RecoveryPolicy:
+    """Instantiate a recovery policy by registry name."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown recovery policy {name!r}; known: {sorted(POLICIES)}"
+        ) from None
+    return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """One recovered execution: outputs, verdict, stats and priced metrics."""
+
+    policy: str
+    outputs: dict[str, int]
+    expected: dict[str, int]
+    stats: RecoveryStats
+    #: the program's metrics with the recovery overhead folded in
+    metrics: TraceMetrics
+
+    @property
+    def failed(self) -> bool:
+        """Whether the run still produced wrong outputs after recovery."""
+        return self.outputs != self.expected
+
+
+def execute_with_recovery(program, inputs: dict[str, int], lanes: int = 64,
+                          fault_rng: random.Random | None = None,
+                          policy: RecoveryPolicy | str | None = None,
+                          ) -> RecoveryOutcome:
+    """Execute a compiled program under one recovery policy and price it.
+
+    ``policy`` may be a policy instance, a registry name, or ``None``
+    (plain execution).  The returned outcome carries the reference outputs
+    (``repro.dfg.evaluate``), the policy's :class:`RecoveryStats`, and the
+    program metrics with the recovery overhead applied.
+    """
+    if policy is None:
+        policy = NoRecovery()
+    elif isinstance(policy, str):
+        policy = get_policy(policy)
+    expected = evaluate(program.source_dag, inputs, lanes)
+    outputs = policy.execute(program, inputs, lanes, fault_rng,
+                             expected=expected)
+    metrics = program.metrics.with_recovery(
+        policy.stats.overhead_latency_cycles, policy.stats.overhead_energy_pj)
+    return RecoveryOutcome(policy=policy.name, outputs=outputs,
+                           expected=expected, stats=policy.stats,
+                           metrics=metrics)

@@ -1,26 +1,42 @@
 """Simulation substrate: functional trace execution and cost accounting."""
 
 from repro.sim.endurance import WearReport, static_write_counts, wear_from_counts, wear_report
-from repro.sim.executor import ArrayMachine, extract_outputs, preload_sources
+from repro.sim.executor import (
+    ArrayMachine,
+    MachineState,
+    SenseObserver,
+    extract_outputs,
+    preload_sources,
+)
 from repro.sim.metrics import (
     TraceMetrics,
     analyze_trace,
+    instruction_cost,
     operation_failures,
     p_app_of,
     parallel_latency_cycles,
+    read_cost,
+    rowbuf_not_cost,
+    write_cost,
 )
 
 __all__ = [
     "ArrayMachine",
+    "MachineState",
+    "SenseObserver",
     "TraceMetrics",
     "analyze_trace",
     "extract_outputs",
+    "instruction_cost",
     "operation_failures",
     "p_app_of",
     "parallel_latency_cycles",
     "preload_sources",
+    "read_cost",
+    "rowbuf_not_cost",
     "static_write_counts",
     "wear_from_counts",
     "wear_report",
+    "write_cost",
     "WearReport",
 ]

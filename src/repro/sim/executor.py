@@ -12,12 +12,27 @@ verifies the same program the cost model prices at 4096 lanes.
 
 Decision failures can be injected: each CIM column-op flips sensed lanes
 with the technology's ``P_DF``, letting tests observe the reliability model
-end to end.
+end to end.  A :class:`SenseObserver` hook (see
+:mod:`repro.reliability.recovery`) can intercept every sensed column value
+to re-sense, vote, or degrade — the detect-and-recover half of the fault
+model.
+
+The machine also tracks which row-buffer columns hold *live* data — the
+columns deposited by the most recent ``read`` into (or ``xfer`` to) each
+array.  Columns surviving from before that are stale garbage a correct
+program never consumes; shifting them off the array edge is harmless and
+happens all the time in real schedules.  Shifting a *live* column off the
+edge, however, silently destroys data the program just sensed, so in
+``strict_shift`` mode (the default for compiled-program execution) it
+raises :class:`SimulationError` instead.
 """
 
 from __future__ import annotations
 
+import math
 import random
+from dataclasses import dataclass
+from typing import Protocol
 
 from repro.arch.isa import (
     Instruction,
@@ -29,25 +44,57 @@ from repro.arch.isa import (
 )
 from repro.arch.layout import CellAddr, Layout
 from repro.arch.target import TargetSpec
-from repro.devices.failure import decision_failure_probability
 from repro.dfg.ops import OpType, apply_op
 from repro.errors import SimulationError
+from repro.sim.metrics import cached_p_df
+
+
+class SenseObserver(Protocol):
+    """Hook interception point for every sensed CIM column value.
+
+    Recovery policies (:mod:`repro.reliability.recovery`) implement this to
+    re-sense, majority-vote, or degrade a read.  ``resense`` redoes the same
+    sensing operation with fresh fault draws; ``values`` are the true cell
+    contents the sense combined (``op is None`` for plain single-row reads).
+    """
+
+    def on_sense(self, machine: "ArrayMachine", op: OpType | None, k: int,
+                 values: list[int], result: int, resense) -> int:
+        """Return the value to deposit in the row buffer for this column."""
+        ...
+
+
+@dataclass
+class MachineState:
+    """A restorable snapshot of one :class:`ArrayMachine` (checkpoint)."""
+
+    cells: dict[tuple[int, int, int], int]
+    rowbuf: dict[int, dict[int, int]]
+    live: dict[int, set[int]]
+    write_counts: dict[tuple[int, int, int], int]
 
 
 class ArrayMachine:
     """Functional model of the CIM arrays plus their row buffers."""
 
     def __init__(self, target: TargetSpec, lanes: int = 64,
-                 fault_rng: random.Random | None = None) -> None:
+                 fault_rng: random.Random | None = None,
+                 strict_shift: bool = False,
+                 observer: SenseObserver | None = None) -> None:
         if lanes < 1:
             raise SimulationError(f"lane count must be positive, got {lanes}")
         self.target = target
         self.lanes = lanes
         self.mask = (1 << lanes) - 1
         self.fault_rng = fault_rng
+        self.strict_shift = strict_shift
+        #: recovery hook consulted after every sensed column (may be None)
+        self.observer = observer
         self.injected_faults = 0
         self._cells: dict[tuple[int, int, int], int] = {}  # (array,row,col) -> lanes
         self._rowbuf: dict[int, dict[int, int]] = {}  # array -> col -> lanes
+        #: per-array set of row-buffer columns holding live (unconsumed) data
+        self._live: dict[int, set[int]] = {}
         #: number of writes each (array, row, col) cell received during the
         #: run — the wear input of :func:`repro.sim.endurance.wear_from_counts`
         self.write_counts: dict[tuple[int, int, int], int] = {}
@@ -82,6 +129,29 @@ class ArrayMachine:
         return dict(self._rowbuf.get(array, {}))
 
     # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MachineState:
+        """Copy the full machine state (cells, row buffers, liveness, wear).
+
+        Fault accounting (``injected_faults``) is *not* part of the snapshot:
+        it is cumulative bookkeeping, so faults injected before a rollback
+        stay counted.
+        """
+        return MachineState(
+            cells=dict(self._cells),
+            rowbuf={a: dict(b) for a, b in self._rowbuf.items()},
+            live={a: set(s) for a, s in self._live.items()},
+            write_counts=dict(self.write_counts))
+
+    def restore(self, state: MachineState) -> None:
+        """Roll the machine back to a :meth:`snapshot`."""
+        self._cells = dict(state.cells)
+        self._rowbuf = {a: dict(b) for a, b in state.rowbuf.items()}
+        self._live = {a: set(s) for a, s in state.live.items()}
+        self.write_counts = dict(state.write_counts)
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def run(self, instructions: list[Instruction]) -> None:
@@ -106,6 +176,7 @@ class ArrayMachine:
 
     def _read(self, inst: ReadInst) -> None:
         buf = self._rowbuf.setdefault(inst.array, {})
+        k = len(inst.rows)
         for idx, col in enumerate(inst.cols):
             values = []
             for row in inst.rows:
@@ -116,30 +187,52 @@ class ArrayMachine:
                     raise SimulationError(
                         f"read of uninitialized cell (array={inst.array}, "
                         f"row={row}, col={col})") from None
-            if inst.ops is None:
-                result = values[0]
-                op_for_fault: OpType | None = None
-            else:
-                result = apply_op(inst.ops[idx], values, self.mask)
-                op_for_fault = inst.ops[idx]
-            if self.fault_rng is not None:
-                result = self._inject(result, op_for_fault, len(inst.rows))
+            op = None if inst.ops is None else inst.ops[idx]
+            true_value = values[0] if op is None else apply_op(op, values, self.mask)
+
+            def sense(op=op, true_value=true_value):
+                """One (possibly faulty) sensing of this column."""
+                if self.fault_rng is None:
+                    return true_value
+                return self._inject(true_value, op, k)
+
+            result = sense()
+            if self.observer is not None:
+                result = self.observer.on_sense(self, op, k, values, result, sense)
             buf[col] = result
+        self._live[inst.array] = set(inst.cols)
 
     def _inject(self, value: int, op: OpType | None, k: int) -> int:
-        """Flip sensed lanes with the per-lane decision-failure probability."""
+        """Flip sensed lanes with the per-lane decision-failure probability.
+
+        Flip positions are drawn with geometric gap sampling — the lane index
+        jumps ahead by a Geometric(p) stride per flip — which is distribution-
+        identical to the per-lane Bernoulli scan but runs in O(expected
+        flips + 1) instead of O(lanes), keeping large-lane Monte-Carlo
+        campaigns fast.
+        """
         tech = self.target.technology
         if op is None:
-            p = decision_failure_probability(tech, OpType.NOT, 1)
+            p = cached_p_df(tech, OpType.NOT, 1)
         else:
-            p = decision_failure_probability(tech, op, k)
+            p = cached_p_df(tech, op, k)
         if p <= 0.0:
             return value
+        if p >= 1.0:
+            self.injected_faults += self.lanes
+            return value ^ self.mask
+        log_keep = math.log1p(-p)
+        lane = 0
         flips = 0
-        for lane in range(self.lanes):
-            if self.fault_rng.random() < p:
-                value ^= 1 << lane
-                flips += 1
+        while True:
+            # u in (0, 1]: the gap to the next flipped lane is Geometric(p)
+            u = 1.0 - self.fault_rng.random()
+            lane += int(math.log(u) / log_keep)
+            if lane >= self.lanes:
+                break
+            value ^= 1 << lane
+            flips += 1
+            lane += 1
         self.injected_faults += flips
         return value
 
@@ -157,12 +250,23 @@ class ArrayMachine:
 
     def _shift(self, inst: ShiftInst) -> None:
         buf = self._rowbuf.get(inst.array, {})
+        live = self._live.get(inst.array, set())
         shifted = {}
+        shifted_live = set()
         for col, value in buf.items():
             new_col = col + inst.amount
             if 0 <= new_col < self.target.cols:
                 shifted[new_col] = value
+                if col in live:
+                    shifted_live.add(new_col)
+            elif self.strict_shift and col in live:
+                raise SimulationError(
+                    f"shift by {inst.amount} moves live row-buffer column "
+                    f"{col} (array {inst.array}) outside [0, "
+                    f"{self.target.cols}); the program would silently lose "
+                    "sensed data")
         self._rowbuf[inst.array] = shifted
+        self._live[inst.array] = shifted_live
 
     def _not(self, inst: NotInst) -> None:
         buf = self._rowbuf.get(inst.array, {})
@@ -181,6 +285,7 @@ class ArrayMachine:
                     f"xfer from empty row-buffer column {col} "
                     f"(array {inst.array})")
             dst[col] = src[col]
+        self._live[inst.dst_array] = set(inst.cols)
 
 
 def preload_sources(machine: ArrayMachine, layout: Layout, dag,
@@ -209,8 +314,20 @@ def preload_sources(machine: ArrayMachine, layout: Layout, dag,
 
 
 def extract_outputs(machine: ArrayMachine, layout: Layout, dag) -> dict[str, int]:
-    """Read the program outputs back from their primary cells."""
+    """Read the program outputs back from their primary cells.
+
+    A missing output is reported by *name* and primary cell address, not as
+    a bare uninitialized-cell error — the difference between "the program
+    never computed ``out3``" and an anonymous address.
+    """
     results = {}
     for name, oid in dag.outputs.items():
-        results[name] = machine.peek(layout.primary(oid))
+        addr = layout.primary(oid)
+        try:
+            results[name] = machine.peek(addr)
+        except SimulationError:
+            raise SimulationError(
+                f"output {name!r} (operand {oid}) was never written to its "
+                f"primary cell (array={addr.array}, row={addr.row}, "
+                f"col={addr.col})") from None
     return results

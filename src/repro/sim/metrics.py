@@ -6,6 +6,13 @@ whole number of controller cycles derived from the array cost model, and its
 energy scales with the selected columns and the lockstep lane count (the
 target's data width).  Reliability aggregates the per-column decision-failure
 probabilities of every CIM read into the paper's ``P_app``.
+
+Recovery policies (:mod:`repro.reliability.recovery`) spend extra reads and
+writes that never appear in the compiled trace — re-senses, degraded
+MRA = 2 chains, checkpoint replays.  They price that work with the
+:func:`read_cost` / :func:`write_cost` / :func:`instruction_cost` helpers
+here and surface it through :meth:`TraceMetrics.with_recovery`, so the
+overhead lands in the same latency/energy units as the base schedule.
 """
 
 from __future__ import annotations
@@ -36,6 +43,53 @@ def cached_p_df(tech: Technology, op: OpType, k: int) -> float:
     return _p_df(tech, op, k)
 
 
+# ----------------------------------------------------------------------
+# per-operation pricing
+# ----------------------------------------------------------------------
+def _cycles(ns: float, clock_ghz: float) -> int:
+    """Quantize a latency to whole controller cycles (at least one)."""
+    return max(1, math.ceil(ns * clock_ghz))
+
+
+def read_cost(target: TargetSpec, k: int, ncols: int = 1) -> tuple[int, float]:
+    """(cycles, pJ) of one read activating ``k`` rows on ``ncols`` columns."""
+    cost = target.cost_model
+    return (_cycles(cost.read_latency_ns(k), target.clock_ghz),
+            cost.read_energy_pj(ncols, k, target.data_width))
+
+
+def write_cost(target: TargetSpec, ncols: int = 1) -> tuple[int, float]:
+    """(cycles, pJ) of one row-buffer write-back on ``ncols`` columns."""
+    cost = target.cost_model
+    return (_cycles(cost.write_latency_ns(), target.clock_ghz),
+            cost.write_energy_pj(ncols, target.data_width))
+
+
+def rowbuf_not_cost(target: TargetSpec, ncols: int = 1) -> tuple[int, float]:
+    """(cycles, pJ) of one row-buffer NOT on ``ncols`` columns."""
+    cost = target.cost_model
+    return (_cycles(cost.rowbuf_op_latency_ns(), target.clock_ghz),
+            cost.rowbuf_op_energy_pj(ncols, target.data_width))
+
+
+def instruction_cost(inst: Instruction, target: TargetSpec) -> tuple[int, float]:
+    """(cycles, pJ) of one instruction — the unit `analyze_trace` sums."""
+    cost = target.cost_model
+    if isinstance(inst, ReadInst):
+        return read_cost(target, len(inst.rows), len(inst.cols))
+    if isinstance(inst, WriteInst):
+        return write_cost(target, len(inst.cols))
+    if isinstance(inst, ShiftInst):
+        return (_cycles(cost.shift_latency_ns(), target.clock_ghz),
+                cost.shift_energy_pj(target.data_width))
+    if isinstance(inst, NotInst):
+        return rowbuf_not_cost(target, len(inst.cols))
+    if isinstance(inst, TransferInst):
+        return (_cycles(cost.transfer_latency_ns(), target.clock_ghz),
+                cost.transfer_energy_pj(len(inst.cols), target.data_width))
+    raise SimulationError(f"unknown instruction {inst!r}")
+
+
 @dataclass
 class TraceMetrics:
     """Everything the evaluation section reports about one program run."""
@@ -51,6 +105,10 @@ class TraceMetrics:
     shifts: int = 0
     rowbuf_nots: int = 0
     transfers: int = 0
+    #: extra cycles spent by a recovery policy (re-senses, replays, chains)
+    recovery_latency_cycles: int = 0
+    #: extra energy spent by a recovery policy, in picojoules
+    recovery_energy_pj: float = 0.0
     #: per-arity count of CIM column ops (arity -> count)
     mra_histogram: dict[int, int] = field(default_factory=dict)
     #: sum of log(1 - P_DF) over all sensing decisions
@@ -60,8 +118,18 @@ class TraceMetrics:
     # derived metrics
     # ------------------------------------------------------------------
     @property
+    def total_latency_cycles(self) -> int:
+        """Base schedule cycles plus any recovery overhead."""
+        return self.latency_cycles + self.recovery_latency_cycles
+
+    @property
+    def total_energy_pj(self) -> float:
+        """Base schedule energy plus any recovery overhead."""
+        return self.energy_pj + self.recovery_energy_pj
+
+    @property
     def latency_ns(self) -> float:
-        return self.latency_cycles * self.target.cycle_ns
+        return self.total_latency_cycles * self.target.cycle_ns
 
     @property
     def latency_us(self) -> float:
@@ -69,11 +137,11 @@ class TraceMetrics:
 
     @property
     def energy_nj(self) -> float:
-        return self.energy_pj * 1e-3
+        return self.total_energy_pj * 1e-3
 
     @property
     def energy_uj(self) -> float:
-        return self.energy_pj * 1e-6
+        return self.total_energy_pj * 1e-6
 
     @property
     def p_app(self) -> float:
@@ -83,7 +151,7 @@ class TraceMetrics:
     @property
     def edp(self) -> float:
         """Energy-delay product in joule-seconds (Fig. 7's metric)."""
-        return (self.energy_pj * 1e-12) * (self.latency_ns * 1e-9)
+        return (self.total_energy_pj * 1e-12) * (self.latency_ns * 1e-9)
 
     @property
     def movement_instructions(self) -> int:
@@ -106,9 +174,37 @@ class TraceMetrics:
             shifts=self.shifts * iterations,
             rowbuf_nots=self.rowbuf_nots * iterations,
             transfers=self.transfers * iterations,
+            recovery_latency_cycles=self.recovery_latency_cycles * iterations,
+            recovery_energy_pj=self.recovery_energy_pj * iterations,
             mra_histogram={k: v * iterations for k, v in self.mra_histogram.items()},
         )
         out._log_ok = self._log_ok * iterations
+        return out
+
+    def with_recovery(self, latency_cycles: int,
+                      energy_pj: float) -> "TraceMetrics":
+        """A copy carrying a recovery policy's priced overhead.
+
+        The overhead adds to the existing recovery fields, so policies can
+        layer (e.g. re-sense votes plus a final replay).
+        """
+        out = TraceMetrics(
+            target=self.target,
+            latency_cycles=self.latency_cycles,
+            energy_pj=self.energy_pj,
+            instruction_count=self.instruction_count,
+            plain_reads=self.plain_reads,
+            cim_reads=self.cim_reads,
+            cim_column_ops=self.cim_column_ops,
+            writes=self.writes,
+            shifts=self.shifts,
+            rowbuf_nots=self.rowbuf_nots,
+            transfers=self.transfers,
+            recovery_latency_cycles=self.recovery_latency_cycles + latency_cycles,
+            recovery_energy_pj=self.recovery_energy_pj + energy_pj,
+            mra_histogram=dict(self.mra_histogram),
+        )
+        out._log_ok = self._log_ok
         return out
 
     def summary(self) -> dict[str, float]:
@@ -122,6 +218,9 @@ class TraceMetrics:
             "cim_reads": self.cim_reads,
             "writes": self.writes,
             "movement": self.movement_instructions,
+            "recovery_latency_us": (self.recovery_latency_cycles
+                                    * self.target.cycle_ns * 1e-3),
+            "recovery_energy_nj": self.recovery_energy_pj * 1e-3,
         }
 
 
@@ -133,21 +232,15 @@ def analyze_trace(instructions: list[Instruction], target: TargetSpec,
     sensing failure of plain reads against ``P_app``; the paper only counts
     CIM operations, which is the default here.
     """
-    cost = target.cost_model
     tech = target.technology
-    lanes = target.data_width
-    clock = target.clock_ghz
     m = TraceMetrics(target=target)
-
-    def cycles(ns: float) -> int:
-        return max(1, math.ceil(ns * clock))
-
     for inst in instructions:
         m.instruction_count += 1
+        cycles, energy = instruction_cost(inst, target)
+        m.latency_cycles += cycles
+        m.energy_pj += energy
         if isinstance(inst, ReadInst):
             k = len(inst.rows)
-            m.latency_cycles += cycles(cost.read_latency_ns(k))
-            m.energy_pj += cost.read_energy_pj(len(inst.cols), k, lanes)
             if inst.ops is None:
                 m.plain_reads += 1
                 if count_plain_read_failures:
@@ -165,22 +258,12 @@ def analyze_trace(instructions: list[Instruction], target: TargetSpec,
                         m._log_ok += math.log1p(-p)
         elif isinstance(inst, WriteInst):
             m.writes += 1
-            m.latency_cycles += cycles(cost.write_latency_ns())
-            m.energy_pj += cost.write_energy_pj(len(inst.cols), lanes)
         elif isinstance(inst, ShiftInst):
             m.shifts += 1
-            m.latency_cycles += cycles(cost.shift_latency_ns())
-            m.energy_pj += cost.shift_energy_pj(lanes)
         elif isinstance(inst, NotInst):
             m.rowbuf_nots += 1
-            m.latency_cycles += cycles(cost.rowbuf_op_latency_ns())
-            m.energy_pj += cost.rowbuf_op_energy_pj(len(inst.cols), lanes)
         elif isinstance(inst, TransferInst):
             m.transfers += 1
-            m.latency_cycles += cycles(cost.transfer_latency_ns())
-            m.energy_pj += cost.transfer_energy_pj(len(inst.cols), lanes)
-        else:
-            raise SimulationError(f"unknown instruction {inst!r}")
     return m
 
 

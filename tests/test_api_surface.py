@@ -54,6 +54,8 @@ MODULES = PACKAGES + [
     "repro.mapping.codegen",
     "repro.mapping.naive",
     "repro.mapping.optimized",
+    "repro.reliability.campaign",
+    "repro.reliability.recovery",
     "repro.reliability.sweep",
     "repro.sim.cpu",
     "repro.sim.endurance",

@@ -1,0 +1,189 @@
+"""Tests for the Monte-Carlo fault-injection campaign engine."""
+
+import pytest
+
+from repro.arch import ReadInst, TargetSpec
+from repro.core.compiler import compile_dag
+from repro.core.config import CompilerConfig
+from repro.core.report import RecoveryReport
+from repro.devices import STT_MRAM
+from repro.errors import SimulationError
+from repro.reliability import (
+    analytic_failure_probability,
+    run_campaign,
+    sense_failure_probabilities,
+    wilson_interval,
+)
+from repro.workloads import get_workload
+from repro.workloads.synthetic import synthetic_dag
+
+
+@pytest.fixture(scope="module")
+def program():
+    """A small synthetic program in a measurable-failure-rate regime."""
+    tech = STT_MRAM.with_variability(0.12, 0.12)
+    target = TargetSpec.square(64, tech, num_arrays=4, max_activated_rows=4)
+    dag = synthetic_dag(num_ops=24, num_inputs=8, seed=3, name="camp")
+    return compile_dag(dag, target,
+                       CompilerConfig(mapper="sherlock", mra=4), cache=False)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(37, 200)
+        assert lo < 37 / 200 < hi
+
+    def test_stays_in_unit_interval_at_extremes(self):
+        assert wilson_interval(0, 50)[0] == 0.0
+        assert wilson_interval(50, 50)[1] == 1.0
+        assert wilson_interval(0, 50)[1] > 0.0  # zero successes != zero rate
+        assert wilson_interval(50, 50)[0] < 1.0
+
+    def test_narrows_with_trials(self):
+        lo1, hi1 = wilson_interval(10, 100)
+        lo2, hi2 = wilson_interval(100, 1000)
+        assert hi2 - lo2 < hi1 - lo1
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(SimulationError):
+            wilson_interval(1, 0)
+        with pytest.raises(SimulationError):
+            wilson_interval(5, 4)
+
+
+class TestAnalyticModel:
+    def test_sense_probabilities_cover_every_sensed_column(self, program):
+        sensed = 0
+        for inst in program.instructions:
+            if isinstance(inst, ReadInst):
+                sensed += len(inst.cols)
+        assert len(sense_failure_probabilities(program)) == sensed
+
+    def test_lane_compounding_monotone(self, program):
+        p8 = analytic_failure_probability(program, 8)
+        p64 = analytic_failure_probability(program, 64)
+        assert 0.0 < p8 < p64 <= 1.0
+
+    def test_exceeds_trace_p_app(self, program):
+        """Lane-compounded P includes plain reads and all lanes."""
+        assert analytic_failure_probability(program, 64) \
+            >= program.metrics.p_app
+
+
+class TestCampaignMechanics:
+    def test_deterministic_for_same_seed(self, program):
+        a = run_campaign(program, trials=50, seed=9, lanes=8)
+        b = run_campaign(program, trials=50, seed=9, lanes=8)
+        assert a == b
+
+    def test_different_seeds_draw_different_faults(self, program):
+        a = run_campaign(program, trials=50, seed=1, lanes=8)
+        b = run_campaign(program, trials=50, seed=2, lanes=8)
+        assert a.injected_faults != b.injected_faults
+
+    def test_output_failures_bounded_by_decision_failures(self, program):
+        result = run_campaign(program, trials=200, seed=0, lanes=8)
+        assert result.output_failures <= result.decision_failures
+        assert 0.0 <= result.analytic_p_app <= 1.0
+
+    def test_fixed_inputs_are_honored(self, program):
+        inputs = {o.name: 0 for o in program.source_dag.inputs()}
+        result = run_campaign(program, trials=30, seed=0, lanes=8,
+                              inputs=inputs)
+        assert result.trials == 30
+
+    def test_bad_policy_fails_fast(self, program):
+        with pytest.raises(SimulationError, match="unknown recovery policy"):
+            run_campaign(program, trials=10, policy="hope")
+
+    def test_bad_trial_count_rejected(self, program):
+        with pytest.raises(SimulationError, match="positive"):
+            run_campaign(program, trials=0)
+
+
+class TestModelValidation:
+    def test_empirical_rate_within_wilson_of_analytic(self, program):
+        """The acceptance-criteria experiment: >= 1000 seeded trials must
+        put the analytic prediction inside the 95% Wilson interval of the
+        empirical decision-failure rate."""
+        result = run_campaign(program, trials=1000, seed=0, policy="none",
+                              lanes=8)
+        lo, hi = result.decision_wilson
+        assert lo <= result.analytic_p_app <= hi
+        assert result.analytic_within_interval
+
+
+class TestPoliciesReduceFailures:
+    @pytest.fixture(scope="class")
+    def results(self, program):
+        """One campaign per policy, all on the same seeded fault streams."""
+        return {name: run_campaign(program, trials=300, seed=7,
+                                   policy=name, lanes=8)
+                for name in ("none", "reread-vote", "checkpoint-replay",
+                             "degrade-mra")}
+
+    def test_baseline_actually_fails(self, results):
+        assert results["none"].output_failures >= 10
+
+    @pytest.mark.parametrize("policy", ["reread-vote", "checkpoint-replay",
+                                        "degrade-mra"])
+    def test_policy_beats_no_recovery(self, results, policy):
+        assert results[policy].output_failures \
+            < results["none"].output_failures
+
+    @pytest.mark.parametrize("policy", ["reread-vote", "checkpoint-replay",
+                                        "degrade-mra"])
+    def test_overhead_is_priced(self, results, policy):
+        result = results[policy]
+        assert result.stats.overhead_latency_cycles > 0
+        assert result.stats.overhead_energy_pj > 0
+        assert result.latency_overhead_frac > 0
+        assert result.energy_overhead_frac > 0
+
+    def test_no_recovery_has_no_overhead(self, results):
+        assert results["none"].stats.overhead_latency_cycles == 0
+        assert results["none"].latency_overhead_frac == 0.0
+
+    def test_recovery_report_renders_all_policies(self, results):
+        report = RecoveryReport.from_results(list(results.values()))
+        text = report.render()
+        for name in results:
+            assert name in text
+        assert "ci95_lo" in text
+        assert "camp" in text  # program footer
+
+    def test_summary_keys(self, results):
+        summary = results["reread-vote"].summary()
+        assert summary["output_rate"] <= summary["decision_rate"]
+        assert summary["overhead_latency_frac"] > 0
+
+
+@pytest.mark.campaign
+class TestFullCampaign:
+    """Large campaign over a real workload; excluded from tier-1 by marker."""
+
+    def test_bitweaving_campaign_model_validation(self):
+        tech = STT_MRAM.with_variability(0.1, 0.1)
+        target = TargetSpec.square(256, tech, num_arrays=16,
+                                   max_activated_rows=4)
+        dag = get_workload("bitweaving").build_dag()
+        program = compile_dag(dag, target,
+                              CompilerConfig(mapper="sherlock", mra=4),
+                              cache=False)
+        result = run_campaign(program, trials=1000, seed=0, lanes=8)
+        lo, hi = result.decision_wilson
+        assert lo <= result.analytic_p_app <= hi
+
+    def test_bitweaving_policies_reduce_failures(self):
+        tech = STT_MRAM.with_variability(0.12, 0.12)
+        target = TargetSpec.square(256, tech, num_arrays=16,
+                                   max_activated_rows=4)
+        dag = get_workload("bitweaving").build_dag()
+        program = compile_dag(dag, target,
+                              CompilerConfig(mapper="sherlock", mra=4),
+                              cache=False)
+        base = run_campaign(program, trials=300, seed=0, lanes=8)
+        for name in ("reread-vote", "checkpoint-replay", "degrade-mra"):
+            recovered = run_campaign(program, trials=300, seed=0,
+                                     policy=name, lanes=8)
+            assert recovered.output_failures <= base.output_failures

@@ -8,12 +8,22 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_subcommands_exist(self):
         parser = build_parser()
-        for command in ("compile", "run", "sweep", "workloads"):
+        for command in ("compile", "run", "sweep", "campaign", "workloads"):
             args = parser.parse_args([command] + (
                 ["kernel.c"] if command == "compile" else
-                ["--workload", "bitweaving"] if command in ("run", "sweep")
+                ["--workload", "bitweaving"]
+                if command in ("run", "sweep", "campaign")
                 else []))
             assert args.command == command
+
+    def test_campaign_requires_a_dag_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+
+    def test_campaign_workload_and_synthetic_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--workload", "bitweaving",
+                                       "--synthetic", "16"])
 
     def test_run_requires_workload(self):
         with pytest.raises(SystemExit):
@@ -119,3 +129,21 @@ class TestCommands:
         captured = capsys.readouterr()
         assert "functional check passed" in captured.out
         assert "map-sherlock" in captured.err
+
+    def test_campaign_synthetic(self, capsys):
+        assert main(["campaign", "--synthetic", "16", "--trials", "25",
+                     "--lanes", "4", "--tech", "stt-mram", "--size", "64",
+                     "--arrays", "4", "--mra", "4", "--variability", "0.12",
+                     "--policy", "none", "--policy", "reread-vote"]) == 0
+        out = capsys.readouterr().out
+        assert "reread-vote" in out
+        assert "analytic_P_app" in out
+        assert "25 trials" in out
+
+    def test_campaign_defaults_to_all_policies(self, capsys):
+        assert main(["campaign", "--synthetic", "12", "--trials", "10",
+                     "--lanes", "4", "--size", "64", "--arrays", "4"]) == 0
+        out = capsys.readouterr().out
+        for name in ("none", "reread-vote", "checkpoint-replay",
+                     "degrade-mra"):
+            assert name in out

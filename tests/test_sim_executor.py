@@ -1,5 +1,6 @@
 """Unit tests for the functional array machine."""
 
+import math
 import random
 
 import pytest
@@ -14,15 +15,17 @@ from repro.arch import (
     WriteInst,
 )
 from repro.devices import RERAM, STT_MRAM
+from repro.devices.failure import decision_failure_probability
 from repro.dfg import OpType
+from repro.dfg.ops import apply_op
 from repro.errors import SimulationError
 from repro.sim import ArrayMachine
 
 
-def make_machine(lanes=8, **kwargs):
+def make_machine(lanes=8, machine_kwargs=None, **kwargs):
     kwargs.setdefault("num_arrays", 2)
     target = TargetSpec(RERAM, rows=16, cols=8, data_width=32, **kwargs)
-    return ArrayMachine(target, lanes=lanes)
+    return ArrayMachine(target, lanes=lanes, **(machine_kwargs or {}))
 
 
 class TestCells:
@@ -112,6 +115,37 @@ class TestShiftNotTransfer:
         m.run([ReadInst(0, (7,), (0,)), ShiftInst(0, 1)])
         assert m.rowbuf(0) == {}
 
+    def test_strict_shift_raises_on_live_column_loss(self):
+        m = make_machine(lanes=4, machine_kwargs={"strict_shift": True})
+        m.poke(CellAddr(0, 0, 7), 1)
+        m.execute(ReadInst(0, (7,), (0,)))
+        with pytest.raises(SimulationError, match="live row-buffer column 7"):
+            m.execute(ShiftInst(0, 1))
+
+    def test_strict_shift_tolerates_stale_columns(self):
+        """Only the most recent read's columns are live; stale ones may drop."""
+        m = make_machine(lanes=4, machine_kwargs={"strict_shift": True})
+        m.poke(CellAddr(0, 0, 7), 0b0011)
+        m.poke(CellAddr(0, 0, 0), 0b0101)
+        m.execute(ReadInst(0, (7,), (0,)))  # col 7 live
+        m.execute(ReadInst(0, (0,), (0,)))  # col 0 live, col 7 now stale
+        m.execute(ShiftInst(0, 1))          # stale col 7 falls off silently
+        assert m.rowbuf(0) == {1: 0b0101}
+
+    def test_strict_shift_tracks_liveness_through_shifts(self):
+        m = make_machine(lanes=4, machine_kwargs={"strict_shift": True})
+        m.poke(CellAddr(0, 0, 5), 1)
+        m.execute(ReadInst(0, (5,), (0,)))
+        m.execute(ShiftInst(0, 2))  # live column now at 7
+        with pytest.raises(SimulationError, match="live row-buffer column 7"):
+            m.execute(ShiftInst(0, 1))
+
+    def test_default_mode_still_drops_silently(self):
+        m = make_machine(lanes=4)
+        m.poke(CellAddr(0, 0, 7), 1)
+        m.run([ReadInst(0, (7,), (0,)), ShiftInst(0, 1)])
+        assert m.rowbuf(0) == {}
+
     def test_not_inverts_selected_columns(self):
         m = make_machine(lanes=4)
         m.poke(CellAddr(0, 0, 1), 0b0101)
@@ -171,3 +205,184 @@ class TestFaultInjection:
             results.add(m.rowbuf(0)[0])
         assert results == {0b0110}
         assert m.injected_faults == 0
+
+    @staticmethod
+    def _faulty_machine(seed, lanes=16):
+        target = TargetSpec(
+            STT_MRAM.with_variability(0.3, 0.3), rows=16, cols=8,
+            data_width=32, num_arrays=2)
+        return ArrayMachine(target, lanes=lanes,
+                            fault_rng=random.Random(seed))
+
+    @staticmethod
+    def _mixed_trace():
+        return [
+            ReadInst(0, (0, 1), (0, 1), (OpType.AND, OpType.XOR)),
+            WriteInst(0, (0,), 5),
+            ReadInst(0, (2,), (0,)),           # plain read
+            ShiftInst(0, 1),
+            NotInst(0, (1,)),
+            ReadInst(0, (0, 1), (0, 1, 2), (OpType.NOR, OpType.OR)),
+            TransferInst(0, 1, (0,)),
+            WriteInst(1, (0,), 3),
+        ]
+
+    def _preload(self, m):
+        for row in range(3):
+            for col in (0, 1, 2):
+                m.poke(CellAddr(0, row, col), (0b1100 >> row) | col)
+
+    def test_seeded_rng_is_reproducible(self):
+        """Same seed -> identical outputs and identical fault accounting."""
+        states = []
+        for _ in range(2):
+            m = self._faulty_machine(seed=1234)
+            self._preload(m)
+            m.run(self._mixed_trace())
+            states.append((m.injected_faults, m.rowbuf(0), m.rowbuf(1),
+                           m.peek(CellAddr(0, 5, 0)), m.peek(CellAddr(1, 3, 0))))
+        assert states[0] == states[1]
+
+    def test_different_seeds_diverge(self):
+        faults = set()
+        for seed in range(8):
+            m = self._faulty_machine(seed)
+            self._preload(m)
+            for _ in range(20):
+                m.run(self._mixed_trace())
+            faults.add(m.injected_faults)
+        assert len(faults) > 1
+
+    def test_injected_faults_accounting_across_mixed_trace(self):
+        """injected_faults equals the observed flips, sense by sense."""
+        observed = []
+
+        class Counter:
+            def on_sense(self, machine, op, k, values, result, resense):
+                true = (values[0] if op is None
+                        else apply_op(op, values, machine.mask))
+                observed.append((result ^ true).bit_count())
+                return result
+
+        target = TargetSpec(
+            STT_MRAM.with_variability(0.3, 0.3), rows=16, cols=8,
+            data_width=32, num_arrays=2)
+        m = ArrayMachine(target, lanes=16, fault_rng=random.Random(99),
+                         observer=Counter())
+        self._preload(m)
+        for _ in range(25):
+            m.run(self._mixed_trace())
+        assert m.injected_faults == sum(observed)
+        assert m.injected_faults > 0
+        # 5 sensed columns per trace iteration (2 + 1 plain + 2)
+        assert len(observed) == 25 * 5
+
+    def test_flip_rate_matches_p_df(self):
+        """Empirical flip rate agrees with the analytic P_DF (5-sigma)."""
+        tech = STT_MRAM.with_variability(0.3, 0.3)
+        p = decision_failure_probability(tech, OpType.XOR, 2)
+        assert 0.001 < p < 0.5  # the test needs a measurable rate
+        target = TargetSpec(tech, rows=16, cols=8, data_width=32,
+                            num_arrays=1)
+        lanes, repeats = 64, 1500
+        m = ArrayMachine(target, lanes=lanes, fault_rng=random.Random(7))
+        m.poke(CellAddr(0, 0, 0), 0)
+        m.poke(CellAddr(0, 1, 0), 0)
+        for _ in range(repeats):
+            m.execute(ReadInst(0, (0,), (0, 1), (OpType.XOR,)))
+        n = lanes * repeats
+        empirical = m.injected_faults / n
+        sigma = math.sqrt(p * (1 - p) / n)
+        assert abs(empirical - p) < 5 * sigma
+
+    def test_p_one_flips_every_lane(self, monkeypatch):
+        """Degenerate P_DF >= 1 must flip all lanes, not loop forever."""
+        import repro.sim.executor as executor_mod
+
+        monkeypatch.setattr(executor_mod, "cached_p_df",
+                            lambda tech, op, k: 1.0)
+        m = make_machine(lanes=8, machine_kwargs={
+            "fault_rng": random.Random(0)})
+        m.poke(CellAddr(0, 0, 0), 0)
+        m.poke(CellAddr(0, 1, 0), 0)
+        m.execute(ReadInst(0, (0,), (0, 1), (OpType.XOR,)))
+        assert m.rowbuf(0)[0] == m.mask
+        assert m.injected_faults == 8
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_restores_cells_rowbuf_and_liveness(self):
+        m = make_machine(lanes=4, machine_kwargs={"strict_shift": True})
+        m.poke(CellAddr(0, 0, 2), 0b1010)
+        m.execute(ReadInst(0, (2,), (0,)))
+        state = m.snapshot()
+        m.execute(ShiftInst(0, 2))
+        m.execute(WriteInst(0, (4,), 9))
+        m.restore(state)
+        assert m.rowbuf(0) == {2: 0b1010}
+        with pytest.raises(SimulationError):
+            m.peek(CellAddr(0, 9, 4))
+        # liveness was restored too: shifting col 2 off the edge raises
+        with pytest.raises(SimulationError):
+            m.execute(ShiftInst(0, 6))
+
+    def test_restore_does_not_reset_fault_accounting(self):
+        target = TargetSpec(
+            STT_MRAM.with_variability(0.4, 0.4), rows=16, cols=8,
+            data_width=32, num_arrays=1)
+        m = ArrayMachine(target, lanes=64, fault_rng=random.Random(0))
+        m.poke(CellAddr(0, 0, 0), 0)
+        m.poke(CellAddr(0, 1, 0), 0)
+        state = m.snapshot()
+        for _ in range(30):
+            m.execute(ReadInst(0, (0,), (0, 1), (OpType.XOR,)))
+        before = m.injected_faults
+        assert before > 0
+        m.restore(state)
+        assert m.injected_faults == before
+
+
+class TestSenseObserver:
+    def test_observer_sees_plain_and_cim_senses(self):
+        calls = []
+
+        class Spy:
+            def on_sense(self, machine, op, k, values, result, resense):
+                calls.append((op, k, tuple(values), result))
+                return result
+
+        m = make_machine(lanes=4, machine_kwargs={"observer": Spy()})
+        m.poke(CellAddr(0, 0, 0), 0b1100)
+        m.poke(CellAddr(0, 1, 0), 0b1010)
+        m.run([ReadInst(0, (0,), (0, 1), (OpType.AND,)),
+               ReadInst(0, (0,), (0,))])
+        assert calls == [(OpType.AND, 2, (0b1100, 0b1010), 0b1000),
+                         (None, 1, (0b1100,), 0b1100)]
+
+    def test_observer_return_value_lands_in_rowbuf(self):
+        class Override:
+            def on_sense(self, machine, op, k, values, result, resense):
+                return 0b0001
+
+        m = make_machine(lanes=4, machine_kwargs={"observer": Override()})
+        m.poke(CellAddr(0, 0, 3), 0b1111)
+        m.execute(ReadInst(0, (3,), (0,)))
+        assert m.rowbuf(0)[3] == 0b0001
+
+    def test_resense_redraws_faults(self):
+        seen = []
+
+        class Resenser:
+            def on_sense(self, machine, op, k, values, result, resense):
+                seen.append([resense() for _ in range(20)])
+                return result
+
+        target = TargetSpec(
+            STT_MRAM.with_variability(0.4, 0.4), rows=16, cols=8,
+            data_width=32, num_arrays=1)
+        m = ArrayMachine(target, lanes=64, fault_rng=random.Random(3),
+                         observer=Resenser())
+        m.poke(CellAddr(0, 0, 0), 0)
+        m.poke(CellAddr(0, 1, 0), 0)
+        m.execute(ReadInst(0, (0,), (0, 1), (OpType.XOR,)))
+        assert len(set(seen[0])) > 1  # fresh draws differ
