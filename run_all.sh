@@ -18,6 +18,15 @@ else
     echo "ruff not installed (pip install -e .[lint]); skipping lint"
 fi
 
+echo "== docstring coverage (D100-D104 on src/) =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check --select D100,D101,D102,D103,D104 src
+elif python -c "import ruff" >/dev/null 2>&1; then
+    python -m ruff check --select D100,D101,D102,D103,D104 src
+else
+    echo "ruff not installed; gate enforced by tests/test_docstrings.py"
+fi
+
 echo "== unit / integration / property tests =="
 python -m pytest tests/ 2>&1 | tee test_output.txt
 
@@ -34,6 +43,14 @@ python -m pytest benchmarks/ 2>&1 | tee benchmarks/results/full_run.log
 
 echo "== benchmark timings =="
 python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+echo "== perf probes (writes BENCH_sherlock.json; compares when one exists) =="
+if [ -f BENCH_sherlock.json ]; then
+    python -m repro.cli bench --output BENCH_sherlock.json \
+        --compare BENCH_sherlock.json
+else
+    python -m repro.cli bench --output BENCH_sherlock.json
+fi
 
 echo "== examples =="
 for example in examples/*.py; do

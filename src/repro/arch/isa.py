@@ -70,6 +70,7 @@ class ReadInst(Instruction):
 
     @property
     def is_cim(self) -> bool:
+        """Whether this read computes column logic (vs a plain row read)."""
         return self.ops is not None
 
     def to_text(self) -> str:
@@ -82,6 +83,8 @@ class ReadInst(Instruction):
 
 @dataclass(frozen=True)
 class WriteInst(Instruction):
+    """Write the row buffer's columns back into one row of the array."""
+
     cols: tuple[int, ...]
     row: int
 

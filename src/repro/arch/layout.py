@@ -40,6 +40,7 @@ class Layout:
     # ------------------------------------------------------------------
     @property
     def num_global_cols(self) -> int:
+        """Total column capacity across every array of the target."""
         return self.target.num_arrays * self.target.cols
 
     def split(self, gcol: int) -> tuple[int, int]:
@@ -167,6 +168,7 @@ class Layout:
     # ------------------------------------------------------------------
     @property
     def cells_used(self) -> int:
+        """Number of cells occupied by placed operands and copies."""
         return sum(self._fill.values()) + sum(self._top_fill.values())
 
     @property
@@ -181,10 +183,12 @@ class Layout:
 
     @property
     def columns_used(self) -> int:
+        """Number of distinct global columns holding at least one cell."""
         return len(self._touched_cols())
 
     @property
     def arrays_used(self) -> int:
+        """Number of distinct arrays holding at least one placed cell."""
         return len({gcol // self.target.cols for gcol in self._touched_cols()})
 
     def utilization(self) -> float:

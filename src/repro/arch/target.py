@@ -72,10 +72,12 @@ class TargetSpec:
 
     @cached_property
     def cost_model(self) -> ArrayCostModel:
+        """The NVSim-style per-array cost model for this geometry."""
         return ArrayCostModel(self.technology, self.rows, self.cols)
 
     @property
     def cells_per_array(self) -> int:
+        """Cells in one array (rows x cols)."""
         return self.rows * self.cols
 
     @property
@@ -90,6 +92,7 @@ class TargetSpec:
 
     @property
     def cycle_ns(self) -> float:
+        """Controller clock period in nanoseconds."""
         return 1.0 / self.clock_ghz
 
     def with_(self, **kwargs) -> "TargetSpec":

@@ -1,0 +1,55 @@
+"""Timed benchmark probes, reports, and the regression gate.
+
+The perf observability layer: ``@benchmark``-registered probes measure
+the system's hot paths (compile cold/warm, execute, campaign throughput
+serial vs parallel), ``sherlock bench`` runs them median-of-k and writes
+a schema-versioned ``BENCH_sherlock.json``, and :func:`compare_reports`
+turns two such files into a pass/fail regression verdict.
+
+Importing this package registers the built-in probes
+(:mod:`repro.bench.probes`).
+"""
+
+from repro.bench.registry import (
+    BENCHMARKS,
+    Probe,
+    ProbeResult,
+    Timer,
+    benchmark,
+    get_probe,
+    run_benchmarks,
+    select_probes,
+)
+from repro.bench import probes  # noqa: F401  (registers the built-in probes)
+from repro.bench.report import (
+    SCHEMA,
+    BenchReport,
+    Comparison,
+    ProbeDelta,
+    collect_report,
+    compare_reports,
+    git_revision,
+    load_report,
+    machine_info,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "SCHEMA",
+    "BenchReport",
+    "Comparison",
+    "Probe",
+    "ProbeDelta",
+    "ProbeResult",
+    "Timer",
+    "benchmark",
+    "collect_report",
+    "compare_reports",
+    "get_probe",
+    "git_revision",
+    "load_report",
+    "machine_info",
+    "probes",
+    "run_benchmarks",
+    "select_probes",
+]

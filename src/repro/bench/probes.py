@@ -1,0 +1,172 @@
+"""The built-in benchmark probes over the standard workloads.
+
+Six probes cover the three hot paths the roadmap optimizes against:
+
+* ``compile.cold`` / ``compile.warm`` — the full pass pipeline on the
+  bitweaving DAG with the process compile cache cleared vs primed,
+* ``execute.bitweaving`` — functional array-machine execution of the
+  compiled program,
+* ``evaluate.reference`` — the reference DAG evaluation every campaign
+  trial and shadow check pays for,
+* ``campaign.serial`` / ``campaign.parallel`` — fault-injection campaign
+  throughput in trials/second, single-process vs the sharded
+  process-pool mode (same master seed, so both run identical trials).
+
+Probe workloads are deliberately small (sub-second per repeat) so
+``sherlock bench`` stays cheap enough to run on every change; they are
+*relative* numbers for regression tracking, not absolute hardware claims.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+from repro.arch.target import TargetSpec
+from repro.bench.registry import Timer, benchmark
+from repro.core.compiler import clear_compile_cache, compile_dag
+from repro.core.config import CompilerConfig
+from repro.devices import RERAM, STT_MRAM
+from repro.dfg.evaluate import evaluate
+from repro.reliability.campaign import run_campaign
+from repro.workloads import get_workload
+from repro.workloads.synthetic import synthetic_dag
+
+__all__ = [
+    "CAMPAIGN_TRIALS",
+    "campaign_program",
+    "parallel_workers",
+]
+
+#: array size for the compile/execute probes (big enough to exercise the
+#: clustering mapper, small enough for sub-second cold compiles)
+_COMPILE_SIZE = 256
+#: simulated lanes for execution-side probes
+_LANES = 8
+#: trials per campaign-throughput repeat
+CAMPAIGN_TRIALS = 160
+
+
+def _compile_target() -> TargetSpec:
+    """The fixed ReRAM target the compile/execute probes measure against."""
+    return TargetSpec.square(_COMPILE_SIZE, RERAM)
+
+
+def campaign_program():
+    """The small fault-injecting program the campaign probes measure.
+
+    A 24-op synthetic DAG on high-variability STT-MRAM with MRA = 4 —
+    the same regime the campaign test-suite uses, chosen so trials
+    actually exercise fault injection rather than a zero-probability
+    fast path.
+    """
+    tech = STT_MRAM.with_variability(0.12, 0.12)
+    target = TargetSpec.square(64, tech, num_arrays=4, max_activated_rows=4)
+    dag = synthetic_dag(num_ops=24, num_inputs=8, seed=3, name="bench-camp")
+    return compile_dag(dag, target, CompilerConfig(mapper="sherlock", mra=4),
+                       cache=False)
+
+
+def parallel_workers() -> int:
+    """Worker count for the parallel campaign probe.
+
+    Up to four processes (the shard fan-out the acceptance criteria
+    quote), but at least two so the process-pool path is always
+    exercised — even on a single-core machine, where the probe then
+    documents the pool overhead instead of a speedup.
+    """
+    return max(2, min(4, os.cpu_count() or 1))
+
+
+@benchmark("compile.cold", group="compile",
+           description="cold-cache compile of the bitweaving DAG "
+                       "(sherlock mapper, 256x256 ReRAM)")
+def _compile_cold(timer: Timer):
+    dag = get_workload("bitweaving").build_dag()
+    target = _compile_target()
+
+    def _work():
+        compile_dag(dag, target, cache=False)
+
+    values = timer.measure(_work, setup=clear_compile_cache)
+    return values, {"workload": "bitweaving", "size": _COMPILE_SIZE,
+                    "mapper": "sherlock"}
+
+
+@benchmark("compile.warm", group="compile",
+           description="warm-cache compile of the bitweaving DAG "
+                       "(process compile-cache hit path)")
+def _compile_warm(timer: Timer):
+    dag = get_workload("bitweaving").build_dag()
+    target = _compile_target()
+    compile_dag(dag, target, cache=True)  # prime the cache, untimed
+
+    def _work():
+        compile_dag(dag, target, cache=True)
+
+    values = timer.measure(_work)
+    return values, {"workload": "bitweaving", "size": _COMPILE_SIZE,
+                    "mapper": "sherlock"}
+
+
+@benchmark("execute.bitweaving", group="execute",
+           description="functional array-machine execution of the compiled "
+                       "bitweaving program")
+def _execute_bitweaving(timer: Timer):
+    workload = get_workload("bitweaving")
+    program = compile_dag(workload.build_dag(), _compile_target(),
+                          cache=False)
+    inputs = workload.make_inputs(random.Random(0), _LANES)
+
+    def _work():
+        program.execute(inputs, _LANES)
+
+    values = timer.measure(_work)
+    return values, {"workload": "bitweaving", "lanes": _LANES,
+                    "instructions": len(program.instructions)}
+
+
+@benchmark("evaluate.reference", group="execute",
+           description="reference DAG evaluation of the bitweaving kernel "
+                       "(the per-trial shadow check)")
+def _evaluate_reference(timer: Timer):
+    workload = get_workload("bitweaving")
+    dag = workload.build_dag()
+    inputs = workload.make_inputs(random.Random(0), _LANES)
+
+    def _work():
+        evaluate(dag, inputs, _LANES)
+
+    values = timer.measure(_work)
+    return values, {"workload": "bitweaving", "lanes": _LANES}
+
+
+@benchmark("campaign.serial", group="campaign", unit="trials/s",
+           better="higher",
+           description="single-process fault-injection campaign throughput")
+def _campaign_serial(timer: Timer):
+    program = campaign_program()
+
+    def _work():
+        run_campaign(program, trials=CAMPAIGN_TRIALS, seed=0, lanes=_LANES,
+                     workers=1)
+
+    values = timer.throughput(_work, CAMPAIGN_TRIALS)
+    return values, {"trials": CAMPAIGN_TRIALS, "lanes": _LANES, "workers": 1}
+
+
+@benchmark("campaign.parallel", group="campaign", unit="trials/s",
+           better="higher",
+           description="process-pool fault-injection campaign throughput "
+                       "(sharded trials, same seed as campaign.serial)")
+def _campaign_parallel(timer: Timer):
+    program = campaign_program()
+    workers = parallel_workers()
+
+    def _work():
+        run_campaign(program, trials=CAMPAIGN_TRIALS, seed=0, lanes=_LANES,
+                     workers=workers)
+
+    values = timer.throughput(_work, CAMPAIGN_TRIALS)
+    return values, {"trials": CAMPAIGN_TRIALS, "lanes": _LANES,
+                    "workers": workers, "cpus": os.cpu_count()}

@@ -1,0 +1,225 @@
+"""The ``@benchmark`` probe registry and the median-of-k timing harness.
+
+A *probe* is a named, registered function that measures one hot path of
+the system — a compile, an execution, a campaign — and returns raw
+per-repeat measurements.  The harness (:class:`Timer`) runs each probe's
+workload ``repeats`` times and the reported number is the **median** of
+those repeats: the median is robust to the one-off outliers (page faults,
+GC pauses, a background process) that poison means and minima on shared
+machines.
+
+Probes declare a *direction* (``better="lower"`` for wall times,
+``better="higher"`` for throughputs) so report comparison knows which way
+a change must move to count as a regression.
+
+Registering a probe::
+
+    from repro.bench import benchmark
+
+    @benchmark("compile.cold", group="compile",
+               description="cold-cache compile of the bitweaving DAG")
+    def compile_cold(timer):
+        dag = get_workload("bitweaving").build_dag()
+        return timer.measure(lambda: compile_dag(dag, target, cache=False)), \\
+            {"workload": "bitweaving"}
+
+The probe function receives a :class:`Timer` and returns ``(values,
+meta)``: the per-repeat measurement list and a free-form metadata dict
+recorded verbatim in ``BENCH_sherlock.json``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import BenchError
+
+__all__ = [
+    "BENCHMARKS",
+    "Probe",
+    "ProbeResult",
+    "Timer",
+    "benchmark",
+    "get_probe",
+    "run_benchmarks",
+    "select_probes",
+]
+
+#: values a probe may declare for its ``better`` direction
+_DIRECTIONS = ("lower", "higher")
+
+
+class Timer:
+    """Runs a probe workload ``repeats`` times and collects wall times."""
+
+    def __init__(self, repeats: int = 5) -> None:
+        if repeats < 1:
+            raise BenchError(f"repeat count must be positive, got {repeats}")
+        self.repeats = repeats
+
+    def measure(self, work: Callable[[], object],
+                setup: Callable[[], object] | None = None) -> list[float]:
+        """Wall-time ``work()`` once per repeat; ``setup()`` is untimed.
+
+        Returns the raw per-repeat seconds (callers report the median).
+        """
+        values: list[float] = []
+        for _ in range(self.repeats):
+            if setup is not None:
+                setup()
+            start = time.perf_counter()
+            work()
+            values.append(time.perf_counter() - start)
+        return values
+
+    def throughput(self, work: Callable[[], object], items: int,
+                   setup: Callable[[], object] | None = None) -> list[float]:
+        """Like :meth:`measure`, but reports ``items`` per second per repeat."""
+        if items < 1:
+            raise BenchError(f"item count must be positive, got {items}")
+        return [items / dt for dt in self.measure(work, setup)]
+
+
+#: probe fn: Timer -> (per-repeat values, metadata dict)
+ProbeFn = Callable[[Timer], tuple[list[float], dict]]
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One registered benchmark probe (see :func:`benchmark`)."""
+
+    name: str
+    group: str
+    description: str
+    unit: str
+    #: "lower" (wall time) or "higher" (throughput)
+    better: str
+    fn: ProbeFn
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """The measured outcome of one probe: median-of-k plus the raw repeats."""
+
+    name: str
+    group: str
+    unit: str
+    better: str
+    repeats: int
+    median: float
+    values: tuple[float, ...]
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (schema: one entry of ``probes``)."""
+        return {
+            "name": self.name, "group": self.group, "unit": self.unit,
+            "better": self.better, "repeats": self.repeats,
+            "median": self.median, "values": list(self.values),
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProbeResult":
+        """Rebuild a result from its :meth:`to_dict` form."""
+        try:
+            return cls(name=data["name"], group=data["group"],
+                       unit=data["unit"], better=data["better"],
+                       repeats=data["repeats"], median=data["median"],
+                       values=tuple(data["values"]),
+                       meta=dict(data.get("meta", {})))
+        except KeyError as missing:
+            raise BenchError(
+                f"probe entry is missing required key {missing}") from None
+
+
+#: the process-wide probe registry, keyed by probe name
+BENCHMARKS: dict[str, Probe] = {}
+
+
+def benchmark(name: str, *, group: str, description: str = "",
+              unit: str = "s", better: str = "lower",
+              ) -> Callable[[ProbeFn], ProbeFn]:
+    """Decorator factory registering a probe function under ``name``.
+
+    ``unit`` is a display label ("s", "trials/s"); ``better`` declares the
+    improvement direction used by report comparison.
+    """
+    if better not in _DIRECTIONS:
+        raise BenchError(
+            f"probe direction must be one of {_DIRECTIONS}, got {better!r}")
+
+    def register(fn: ProbeFn) -> ProbeFn:
+        """Record the decorated function in :data:`BENCHMARKS`."""
+        if name in BENCHMARKS:
+            raise BenchError(f"benchmark probe {name!r} already registered")
+        BENCHMARKS[name] = Probe(name=name, group=group,
+                                 description=description or (fn.__doc__ or
+                                                             "").strip(),
+                                 unit=unit, better=better, fn=fn)
+        return fn
+
+    return register
+
+
+def get_probe(name: str) -> Probe:
+    """Look up a registered probe by exact name."""
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise BenchError(
+            f"unknown benchmark probe {name!r}; known: "
+            f"{sorted(BENCHMARKS)}") from None
+
+
+def select_probes(names: list[str] | None = None) -> list[Probe]:
+    """Resolve a probe selection: exact names or group names, sorted.
+
+    ``None`` (or an empty list) selects every registered probe.  Each
+    entry must match a probe name or a probe group; anything else raises
+    :class:`~repro.errors.BenchError` listing the valid names.
+    """
+    if not names:
+        return [BENCHMARKS[name] for name in sorted(BENCHMARKS)]
+    groups = {probe.group for probe in BENCHMARKS.values()}
+    selected: dict[str, Probe] = {}
+    for entry in names:
+        if entry in BENCHMARKS:
+            selected[entry] = BENCHMARKS[entry]
+        elif entry in groups:
+            for probe in BENCHMARKS.values():
+                if probe.group == entry:
+                    selected[probe.name] = probe
+        else:
+            raise BenchError(
+                f"unknown benchmark probe or group {entry!r}; probes: "
+                f"{sorted(BENCHMARKS)}; groups: {sorted(groups)}")
+    return [selected[name] for name in sorted(selected)]
+
+
+def run_benchmarks(names: list[str] | None = None, repeats: int = 5,
+                   progress: Callable[[str], None] | None = None,
+                   ) -> list[ProbeResult]:
+    """Run the selected probes and return one :class:`ProbeResult` each.
+
+    ``progress`` (if given) is called with each probe's name before it
+    runs, so long benchmark sessions can narrate themselves.
+    """
+    results: list[ProbeResult] = []
+    for probe in select_probes(names):
+        if progress is not None:
+            progress(probe.name)
+        values, meta = probe.fn(Timer(repeats))
+        if len(values) != repeats:
+            raise BenchError(
+                f"probe {probe.name!r} returned {len(values)} values for "
+                f"{repeats} repeats")
+        results.append(ProbeResult(
+            name=probe.name, group=probe.group, unit=probe.unit,
+            better=probe.better, repeats=repeats,
+            median=statistics.median(values), values=tuple(values),
+            meta=dict(meta)))
+    return results

@@ -1,0 +1,260 @@
+"""Schema-versioned benchmark reports and regression comparison.
+
+``sherlock bench`` serializes one :class:`BenchReport` per run into
+``BENCH_sherlock.json``: the schema tag, when and where it was measured
+(machine fingerprint, git revision), and one median-of-k
+:class:`~repro.bench.registry.ProbeResult` per probe.  Two reports can be
+compared probe-by-probe with a relative threshold — the ``--compare``
+regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.registry import ProbeResult, run_benchmarks
+from repro.core.report import format_table
+from repro.errors import BenchError
+
+__all__ = [
+    "SCHEMA",
+    "BenchReport",
+    "Comparison",
+    "ProbeDelta",
+    "collect_report",
+    "compare_reports",
+    "git_revision",
+    "load_report",
+    "machine_info",
+]
+
+#: schema tag written into (and required from) every report file
+SCHEMA = "sherlock-bench/v1"
+
+
+def machine_info() -> dict:
+    """A fingerprint of the measuring machine, recorded in every report."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def git_revision(cwd: str | pathlib.Path | None = None) -> str:
+    """The current short git revision, or ``"unknown"`` outside a repo."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=cwd,
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if result.returncode != 0:
+        return "unknown"
+    return result.stdout.strip() or "unknown"
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """One benchmark session: environment stamp plus per-probe results."""
+
+    schema: str
+    #: seconds since the epoch when the session finished
+    created: float
+    git_rev: str
+    machine: dict
+    repeats: int
+    probes: tuple[ProbeResult, ...]
+
+    def probe(self, name: str) -> ProbeResult | None:
+        """The named probe's result, or ``None`` if it was not run."""
+        for result in self.probes:
+            if result.name == name:
+                return result
+        return None
+
+    def to_dict(self) -> dict:
+        """The JSON document written to ``BENCH_sherlock.json``."""
+        return {
+            "schema": self.schema,
+            "created": self.created,
+            "git_rev": self.git_rev,
+            "machine": dict(self.machine),
+            "repeats": self.repeats,
+            "probes": [result.to_dict() for result in self.probes],
+        }
+
+    def write(self, path: str | pathlib.Path) -> None:
+        """Serialize the report to ``path`` as indented JSON."""
+        pathlib.Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchReport":
+        """Rebuild a report, validating the schema tag first."""
+        schema = data.get("schema")
+        if schema != SCHEMA:
+            raise BenchError(
+                f"unsupported bench report schema {schema!r} "
+                f"(expected {SCHEMA!r})")
+        try:
+            return cls(
+                schema=schema, created=data["created"],
+                git_rev=data["git_rev"], machine=dict(data["machine"]),
+                repeats=data["repeats"],
+                probes=tuple(ProbeResult.from_dict(entry)
+                             for entry in data["probes"]))
+        except KeyError as missing:
+            raise BenchError(
+                f"bench report is missing required key {missing}") from None
+
+    def render(self) -> str:
+        """The per-probe medians as a monospace table."""
+        rows = [[r.name, r.unit, r.median, min(r.values), max(r.values),
+                 r.repeats] for r in self.probes]
+        table = format_table(
+            ["probe", "unit", "median", "min", "max", "repeats"], rows)
+        return (f"{table}\n{len(self.probes)} probes, median of "
+                f"{self.repeats} repeats, rev {self.git_rev}")
+
+
+def load_report(path: str | pathlib.Path) -> BenchReport:
+    """Load and schema-check a report written by :meth:`BenchReport.write`."""
+    source = pathlib.Path(path)
+    try:
+        data = json.loads(source.read_text())
+    except OSError as error:
+        raise BenchError(f"cannot read bench report {source}: {error}") \
+            from None
+    except json.JSONDecodeError as error:
+        raise BenchError(f"bench report {source} is not valid JSON: {error}") \
+            from None
+    return BenchReport.from_dict(data)
+
+
+def collect_report(names: list[str] | None = None, repeats: int = 5,
+                   progress=None) -> BenchReport:
+    """Run the (selected) probes and stamp the result into a report."""
+    results = run_benchmarks(names, repeats=repeats, progress=progress)
+    return BenchReport(schema=SCHEMA, created=time.time(),
+                       git_rev=git_revision(), machine=machine_info(),
+                       repeats=repeats, probes=tuple(results))
+
+
+# ----------------------------------------------------------------------
+# comparison / regression gate
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProbeDelta:
+    """One probe's baseline-vs-current movement."""
+
+    name: str
+    unit: str
+    better: str
+    baseline: float | None
+    current: float | None
+    #: "ok" | "improved" | "regressed" | "new" | "missing"
+    status: str
+
+    @property
+    def ratio(self) -> float | None:
+        """current / baseline, or ``None`` when either side is absent."""
+        if self.baseline in (None, 0) or self.current is None:
+            return None
+        return self.current / self.baseline
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A probe-by-probe report comparison under one relative threshold."""
+
+    threshold: float
+    deltas: tuple[ProbeDelta, ...] = field(default_factory=tuple)
+
+    @property
+    def regressions(self) -> list[ProbeDelta]:
+        """Deltas that moved past the threshold in the wrong direction."""
+        return [d for d in self.deltas if d.status == "regressed"]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the current report passes the regression gate."""
+        return not self.regressions
+
+    def render(self) -> str:
+        """Comparison table plus a one-line verdict."""
+        rows = []
+        for delta in self.deltas:
+            rows.append([
+                delta.name, delta.unit, delta.better,
+                "-" if delta.baseline is None else delta.baseline,
+                "-" if delta.current is None else delta.current,
+                "-" if delta.ratio is None else delta.ratio,
+                delta.status,
+            ])
+        table = format_table(
+            ["probe", "unit", "better", "baseline", "current", "ratio",
+             "status"], rows)
+        verdict = ("PASS" if self.ok else
+                   f"FAIL: {len(self.regressions)} probe(s) regressed")
+        return (f"{table}\nthreshold {self.threshold:.0%} -> {verdict}")
+
+
+def _delta_status(better: str, baseline: float, current: float,
+                  threshold: float) -> str:
+    """Classify one probe movement against the relative threshold."""
+    if baseline <= 0:
+        return "ok"  # degenerate baseline: nothing meaningful to compare
+    ratio = current / baseline
+    if better == "lower":
+        if ratio > 1.0 + threshold:
+            return "regressed"
+        if ratio < 1.0 - threshold:
+            return "improved"
+    else:
+        if ratio < 1.0 - threshold:
+            return "regressed"
+        if ratio > 1.0 + threshold:
+            return "improved"
+    return "ok"
+
+
+def compare_reports(baseline: BenchReport, current: BenchReport,
+                    threshold: float = 0.25) -> Comparison:
+    """Compare two reports probe-by-probe with a relative threshold.
+
+    A probe regresses when its median moves against its declared
+    direction by more than ``threshold`` (relative): wall times growing
+    past ``baseline * (1 + threshold)``, throughputs shrinking below
+    ``baseline * (1 - threshold)``.  Probes only present on one side are
+    labeled ``new`` / ``missing`` and never fail the gate — renames and
+    probe-set growth should not block CI — but they are always rendered
+    so a silently vanished probe stays visible.
+    """
+    if threshold <= 0:
+        raise BenchError(f"threshold must be positive, got {threshold}")
+    deltas: list[ProbeDelta] = []
+    current_names = {result.name for result in current.probes}
+    for result in current.probes:
+        base = baseline.probe(result.name)
+        if base is None:
+            deltas.append(ProbeDelta(result.name, result.unit, result.better,
+                                     None, result.median, "new"))
+            continue
+        status = _delta_status(result.better, base.median, result.median,
+                               threshold)
+        deltas.append(ProbeDelta(result.name, result.unit, result.better,
+                                 base.median, result.median, status))
+    for result in baseline.probes:
+        if result.name not in current_names:
+            deltas.append(ProbeDelta(result.name, result.unit, result.better,
+                                     result.median, None, "missing"))
+    return Comparison(threshold=threshold, deltas=tuple(deltas))

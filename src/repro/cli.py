@@ -1,4 +1,4 @@
-"""Command-line interface: ``sherlock compile|run|sweep|campaign|workloads``.
+"""Command-line interface: ``sherlock compile|run|sweep|campaign|bench|workloads``.
 
 Examples::
 
@@ -6,6 +6,9 @@ Examples::
     sherlock run --workload bitweaving --tech stt-mram --size 1024
     sherlock sweep --workload bitweaving --tech reram --size 512
     sherlock campaign --synthetic 40 --trials 500 --variability 0.35
+    sherlock campaign --workload bitweaving --trials 1000 --workers 4
+    sherlock bench --output BENCH_sherlock.json
+    sherlock bench --compare BENCH_previous.json --threshold 0.25
     sherlock workloads
 """
 
@@ -31,6 +34,19 @@ from repro.errors import SherlockError
 from repro.frontend import c_to_dfg
 from repro.reliability import POLICIES, mra_sweep, run_campaign
 from repro.workloads import WORKLOADS, get_workload
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for integer options that must be >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer (>= 1), got {value}")
+    return value
 
 
 def _add_target_args(parser: argparse.ArgumentParser) -> None:
@@ -149,6 +165,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    policies = args.policy or sorted(POLICIES)
+    for name in policies:  # validate before spending compile/campaign time
+        if name not in POLICIES:
+            raise SherlockError(
+                f"unknown recovery policy {name!r}; valid policies: "
+                f"{', '.join(sorted(POLICIES))}")
     target = _target_of(args)
     if args.variability is not None:
         tech = target.technology.with_variability(args.variability,
@@ -163,12 +185,44 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         dag = get_workload(args.workload).build_dag()
     config = _config_of(args)
     program = SherlockCompiler(target, config).compile(dag)
-    policies = args.policy or sorted(POLICIES)
     results = [run_campaign(program, trials=args.trials, seed=args.seed,
-                            policy=name, lanes=args.lanes)
+                            policy=name, lanes=args.lanes,
+                            workers=args.workers)
                for name in policies]
     print(RecoveryReport.from_results(results).render())
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        BENCHMARKS,
+        collect_report,
+        compare_reports,
+        load_report,
+    )
+
+    if args.list:
+        rows = [[p.name, p.group, p.unit, p.better, p.description]
+                for _, p in sorted(BENCHMARKS.items())]
+        print(format_table(["probe", "group", "unit", "better",
+                            "description"], rows))
+        return 0
+    baseline = load_report(args.compare) if args.compare else None
+
+    def _progress(name: str) -> None:
+        print(f"bench: {name} ...", file=sys.stderr)
+
+    report = collect_report(args.probe, repeats=args.repeats,
+                            progress=_progress)
+    report.write(args.output)
+    print(report.render())
+    print(f"wrote {args.output}", file=sys.stderr)
+    if baseline is None:
+        return 0
+    comparison = compare_reports(baseline, report,
+                                 threshold=args.threshold)
+    print(comparison.render())
+    return 0 if comparison.ok else 1
 
 
 def _cmd_workloads(_args: argparse.Namespace) -> int:
@@ -225,20 +279,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="campaign over a registered workload DAG")
     group.add_argument("--synthetic", type=int, metavar="OPS",
                        help="campaign over a random synthetic DAG of OPS ops")
-    p.add_argument("--trials", type=int, default=200,
-                   help="Monte-Carlo trials per policy")
+    p.add_argument("--trials", type=_positive_int, default=200,
+                   help="Monte-Carlo trials per policy (>= 1)")
     p.add_argument("--seed", type=int, default=0,
                    help="campaign seed (same seed -> same fault sequences)")
     p.add_argument("--lanes", type=int, default=16,
                    help="simulated lanes per trial")
-    p.add_argument("--policy", action="append", choices=sorted(POLICIES),
+    p.add_argument("--policy", action="append", metavar="NAME",
                    help="recovery policy to campaign (repeatable; "
-                        "default: all)")
+                        "default: all registered policies)")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="shard trials across N worker processes "
+                        "(bit-identical to --workers 1 on the same seed)")
     p.add_argument("--variability", type=float, default=None,
                    help="override the technology's relative resistance "
                         "spread (e.g. 0.35) to stress the fault model")
     _add_target_args(p)
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the timed benchmark probes and write BENCH_sherlock.json")
+    p.add_argument("--output", "-o", default="BENCH_sherlock.json",
+                   help="report file to write (schema-versioned JSON)")
+    p.add_argument("--repeats", type=_positive_int, default=5,
+                   help="timing repeats per probe (the report keeps the "
+                        "median)")
+    p.add_argument("--probe", action="append", metavar="NAME",
+                   help="probe or group to run (repeatable; default: all)")
+    p.add_argument("--list", action="store_true",
+                   help="list the registered probes and exit")
+    p.add_argument("--compare", metavar="BASELINE", default=None,
+                   help="compare against a previous report; exit 1 on "
+                        "regression")
+    p.add_argument("--threshold", type=float, default=0.25,
+                   help="relative regression threshold for --compare "
+                        "(default 0.25 = 25%%)")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("workloads", help="list available workloads")
     p.set_defaults(func=_cmd_workloads)

@@ -68,10 +68,12 @@ class CompiledProgram:
 
     @property
     def instructions(self) -> list[Instruction]:
+        """The scheduled instruction trace (shared with the mapping)."""
         return self.mapping.instructions
 
     @property
     def layout(self):
+        """The cell placement the mapper chose for every operand."""
         return self.mapping.layout
 
     @cached_property
@@ -84,7 +86,7 @@ class CompiledProgram:
         return program_text(self.instructions)
 
     def execute(self, inputs: dict[str, int], lanes: int = 64,
-                fault_rng: random.Random | None = None,
+                fault_rng: random.Random | int | None = None,
                 observer=None) -> dict[str, int]:
         """Functionally execute the program on lane-bitmask inputs.
 

@@ -51,6 +51,7 @@ class ProgramReport:
     @classmethod
     def from_program(cls, program: CompiledProgram,
                      workload: str = "") -> "ProgramReport":
+        """Summarize a compiled program (metrics + mapping stats)."""
         metrics = program.metrics
         stats = program.mapping.stats
         return cls(

@@ -98,6 +98,7 @@ class Technology:
 
     @property
     def sigma_g_hrs(self) -> float:
+        """Absolute HRS conductance spread (relative spread / resistance)."""
         return self.sigma_rel_hrs / self.r_hrs_ohm
 
     def with_variability(self, sigma_rel_lrs: float, sigma_rel_hrs: float) -> "Technology":

@@ -41,6 +41,7 @@ class OperandNode:
 
     @property
     def is_source(self) -> bool:
+        """Whether this operand is a DAG input/constant (no producer op)."""
         return self.producer is None
 
 
@@ -55,6 +56,7 @@ class OpNode:
 
     @property
     def arity(self) -> int:
+        """Number of input operands this op consumes."""
         return len(self.operands)
 
 
@@ -131,6 +133,7 @@ class DataFlowGraph:
     # ------------------------------------------------------------------
     @property
     def outputs(self) -> dict[str, int]:
+        """Output name -> operand node id (a defensive copy)."""
         return dict(self._outputs)
 
     def inputs(self) -> list[OperandNode]:
@@ -161,10 +164,12 @@ class DataFlowGraph:
 
     @property
     def num_operands(self) -> int:
+        """Number of operand nodes in the graph."""
         return len(self._operands)
 
     @property
     def num_ops(self) -> int:
+        """Number of op nodes in the graph."""
         return len(self._ops)
 
     def consumers(self, operand_id: int) -> list[int]:

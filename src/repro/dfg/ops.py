@@ -43,6 +43,7 @@ class OpType(enum.Enum):
 
     @property
     def min_arity(self) -> int:
+        """Smallest legal operand count for this op type."""
         return 1 if self is OpType.NOT else 2
 
     @property

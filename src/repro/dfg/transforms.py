@@ -39,6 +39,7 @@ class SubstitutionReport:
 
     @property
     def multi_operand_fraction(self) -> float:
+        """Share of remaining ops that became multi-operand (arity > 2)."""
         return self.multi_operand_ops / self.ops_after if self.ops_after else 0.0
 
 

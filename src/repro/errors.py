@@ -34,3 +34,7 @@ class TargetError(SherlockError):
 
 class DeviceError(SherlockError):
     """Invalid device/technology parameters."""
+
+
+class BenchError(SherlockError):
+    """Invalid benchmark probe, report schema, or comparison request."""

@@ -17,11 +17,15 @@ class Node:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class IntLit(Node):
+    """Integer literal."""
+
     value: int
 
 
 @dataclass(frozen=True)
 class Var(Node):
+    """Reference to a scalar variable by name."""
+
     name: str
 
 
@@ -35,12 +39,16 @@ class Index(Node):
 
 @dataclass(frozen=True)
 class UnOp(Node):
+    """Unary operator application."""
+
     op: str  # '~' or '-' (the latter only in integer constant context)
     operand: "Expr"
 
 
 @dataclass(frozen=True)
 class BinOp(Node):
+    """Binary operator application."""
+
     op: str  # '&' '|' '^' for vectors; '+ - * / % << >>' and comparisons
     left: "Expr"
     right: "Expr"
@@ -84,6 +92,8 @@ class For(Node):
 
 @dataclass(frozen=True)
 class Return(Node):
+    """``return expr;`` — the function's single vector result."""
+
     value: Expr
 
 
@@ -95,12 +105,16 @@ Stmt = Decl | Assign | For | Return
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class Param(Node):
+    """Function parameter: a scalar ``word_t`` or an array of them."""
+
     name: str
     array_size: Expr | None = None
 
 
 @dataclass(frozen=True)
 class Function(Node):
+    """One kernel function: parameters plus statement body."""
+
     name: str
     params: tuple[Param, ...]
     body: tuple[Stmt, ...]
@@ -108,6 +122,8 @@ class Function(Node):
 
 @dataclass(frozen=True)
 class Program(Node):
+    """A parsed translation unit (one or more kernel functions)."""
+
     functions: tuple[Function, ...] = field(default_factory=tuple)
 
     def function(self, name: str | None = None) -> Function:

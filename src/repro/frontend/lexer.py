@@ -27,6 +27,8 @@ _SINGLE_OPS = set("+-*/%&|^~!<>=(){}[];,")
 
 @dataclass(frozen=True)
 class Token:
+    """One lexeme with its source position (for error messages)."""
+
     kind: str  # 'ident' | 'number' | 'keyword' | 'op' | 'eof'
     text: str
     line: int

@@ -49,6 +49,7 @@ class Cluster:
 
     @property
     def size(self) -> int:
+        """Number of ops currently in the cluster."""
         return len(self.ops)
 
     def addition_cost(self, result: int, operands: list[int]) -> int:

@@ -11,9 +11,12 @@ detect-and-recover execution policies that act on detected failures
 from repro.devices.failure import application_failure_probability
 from repro.reliability.campaign import (
     CampaignResult,
+    ShardOutcome,
     analytic_failure_probability,
     run_campaign,
+    run_trial_block,
     sense_failure_probabilities,
+    shard_ranges,
     wilson_interval,
 )
 from repro.reliability.recovery import (
@@ -27,6 +30,7 @@ from repro.reliability.recovery import (
     RereadVote,
     execute_with_recovery,
     get_policy,
+    register_policy,
 )
 from repro.reliability.sweep import (
     DEFAULT_FRACTIONS,
@@ -46,6 +50,7 @@ __all__ = [
     "RecoveryPolicy",
     "RecoveryStats",
     "RereadVote",
+    "ShardOutcome",
     "SweepPoint",
     "analytic_failure_probability",
     "application_failure_probability",
@@ -53,7 +58,10 @@ __all__ = [
     "get_policy",
     "mra_sweep",
     "pareto_front",
+    "register_policy",
     "run_campaign",
+    "run_trial_block",
     "sense_failure_probabilities",
+    "shard_ranges",
     "wilson_interval",
 ]

@@ -24,13 +24,23 @@ Campaigns also drive the recovery policies of
 :mod:`repro.reliability.recovery`: each trial runs under a fresh policy
 instance, and the aggregated :class:`~repro.reliability.recovery.RecoveryStats`
 plus priced overhead land in the :class:`CampaignResult`.
+
+Statistically meaningful campaigns (>= 1000 trials per policy and workload)
+are embarrassingly parallel: every trial derives its RNG streams purely from
+``(seed, trial_index)``, so :func:`run_campaign` can shard the trial range
+across a :class:`concurrent.futures.ProcessPoolExecutor` (``workers=N``)
+and still produce **bit-identical** failure counts to a serial run on the
+same master seed.  Shards that time out or die are retried once in-process,
+and any platform/pickling failure degrades gracefully to the serial path.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
 
 from repro.arch.isa import ReadInst
 from repro.dfg.evaluate import evaluate
@@ -41,9 +51,12 @@ from repro.sim.metrics import cached_p_df
 
 __all__ = [
     "CampaignResult",
+    "ShardOutcome",
     "analytic_failure_probability",
     "run_campaign",
+    "run_trial_block",
     "sense_failure_probabilities",
+    "shard_ranges",
     "wilson_interval",
 ]
 
@@ -211,28 +224,48 @@ class CampaignResult:
         }
 
 
-def run_campaign(program, trials: int = 1000, seed: int = 0,
-                 policy: str = "none", lanes: int = 64,
-                 policy_kwargs: dict | None = None,
-                 inputs: dict[str, int] | None = None) -> CampaignResult:
-    """Run a seeded Monte-Carlo fault-injection campaign.
+@dataclass
+class ShardOutcome:
+    """Additive counters of one contiguous block of campaign trials.
 
-    Every trial gets decorrelated input and fault RNG streams derived from
-    ``seed``, fresh random lane-bitmask inputs (unless fixed ``inputs`` are
-    given), and a fresh instance of the named recovery policy; the same
-    ``(seed, trials)`` pair replays bit-identically, so policies can be
-    compared on the *same* fault sequences.
+    Shard outcomes are pure sums, so merging them in any order reproduces
+    exactly the counters a serial run over the same trial indices would
+    accumulate — the invariant the parallel campaign mode relies on.
     """
-    if trials < 1:
-        raise SimulationError(f"trial count must be positive, got {trials}")
+
+    #: trials in this block with at least one injected lane flip
+    decision_failures: int = 0
+    #: trials in this block whose outputs differed from the reference
+    output_failures: int = 0
+    #: total lane flips injected across the block
+    injected_faults: int = 0
+    #: recovery work aggregated over the block's trials
+    stats: RecoveryStats = field(default_factory=RecoveryStats)
+
+    def merge(self, other: "ShardOutcome") -> None:
+        """Fold another shard's counters into this one."""
+        self.decision_failures += other.decision_failures
+        self.output_failures += other.output_failures
+        self.injected_faults += other.injected_faults
+        self.stats.merge(other.stats)
+
+
+def run_trial_block(program, first: int, count: int, seed: int,
+                    policy: str, lanes: int,
+                    policy_kwargs: dict | None = None,
+                    inputs: dict[str, int] | None = None) -> ShardOutcome:
+    """Run campaign trials ``[first, first + count)`` — the shard unit.
+
+    This is a module-level function (not a closure) so a
+    :class:`~concurrent.futures.ProcessPoolExecutor` can pickle it to
+    worker processes.  Each trial re-derives its input and fault RNG
+    streams purely from ``(seed, trial_index)``, so the block's counters
+    are independent of how the trial range was partitioned.
+    """
     kwargs = dict(policy_kwargs or {})
-    get_policy(policy, **kwargs)  # fail fast on bad name / kwargs
     input_names = [operand.name for operand in program.source_dag.inputs()]
-    aggregate = RecoveryStats()
-    decision_failures = 0
-    output_failures = 0
-    injected = 0
-    for trial in range(trials):
+    outcome = ShardOutcome()
+    for trial in range(first, first + count):
         fault_rng = _trial_rng(seed, trial, 2)
         if inputs is None:
             input_rng = _trial_rng(seed, trial, 1)
@@ -246,19 +279,135 @@ def run_campaign(program, trials: int = 1000, seed: int = 0,
                                        fault_rng, expected=expected)
         faults = (trial_policy.machine.injected_faults
                   if trial_policy.machine is not None else 0)
-        injected += faults
+        outcome.injected_faults += faults
         if faults:
-            decision_failures += 1
+            outcome.decision_failures += 1
         if outputs != expected:
-            output_failures += 1
-        aggregate.merge(trial_policy.stats)
+            outcome.output_failures += 1
+        outcome.stats.merge(trial_policy.stats)
+    return outcome
+
+
+#: shards per worker: small enough to keep per-shard pickling overhead low,
+#: large enough that an unlucky slow shard cannot serialize the whole pool
+_SHARDS_PER_WORKER = 4
+
+
+def shard_ranges(trials: int, workers: int) -> list[tuple[int, int]]:
+    """Partition ``trials`` into contiguous ``(first, count)`` blocks.
+
+    Produces up to ``_SHARDS_PER_WORKER`` blocks per worker (never more
+    blocks than trials), sized within one trial of each other.
+    """
+    if trials < 1:
+        raise SimulationError(f"trial count must be positive, got {trials}")
+    if workers < 1:
+        raise SimulationError(f"worker count must be positive, got {workers}")
+    shards = min(trials, workers * _SHARDS_PER_WORKER)
+    base, extra = divmod(trials, shards)
+    ranges: list[tuple[int, int]] = []
+    first = 0
+    for index in range(shards):
+        count = base + (1 if index < extra else 0)
+        ranges.append((first, count))
+        first += count
+    return ranges
+
+
+def _parallel_outcomes(program, ranges: list[tuple[int, int]], seed: int,
+                       policy: str, lanes: int, kwargs: dict,
+                       inputs: dict[str, int] | None, workers: int,
+                       shard_timeout_s: float | None,
+                       ) -> list[ShardOutcome | None] | None:
+    """Fan the shard blocks out across a process pool.
+
+    Returns one outcome slot per shard (``None`` where the shard failed or
+    timed out — the caller retries those serially), or ``None`` when the
+    pool itself could not be used (pickling or platform failure), in which
+    case the caller falls back to the fully serial path.
+    """
+    outcomes: list[ShardOutcome | None] = [None] * len(ranges)
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers)
+    except (OSError, NotImplementedError) as error:
+        warnings.warn(f"campaign worker pool unavailable ({error}); "
+                      "running serially", RuntimeWarning, stacklevel=3)
+        return None
+    hung = False
+    try:
+        try:
+            futures = [pool.submit(run_trial_block, program, first, count,
+                                   seed, policy, lanes, kwargs, inputs)
+                       for first, count in ranges]
+        except Exception as error:  # unpicklable program/policy kwargs
+            warnings.warn(f"campaign shard submission failed ({error}); "
+                          "running serially", RuntimeWarning, stacklevel=3)
+            return None
+        for index, future in enumerate(futures):
+            try:
+                outcomes[index] = future.result(timeout=shard_timeout_s)
+            except TimeoutError:
+                hung = True  # worker may still be running: abandon the pool
+            except Exception:
+                pass  # dead worker / unpicklable result: retried serially
+    finally:
+        pool.shutdown(wait=not hung, cancel_futures=True)
+    return outcomes
+
+
+def run_campaign(program, trials: int = 1000, seed: int = 0,
+                 policy: str = "none", lanes: int = 64,
+                 policy_kwargs: dict | None = None,
+                 inputs: dict[str, int] | None = None,
+                 workers: int = 1,
+                 shard_timeout_s: float | None = None) -> CampaignResult:
+    """Run a seeded Monte-Carlo fault-injection campaign.
+
+    Every trial gets decorrelated input and fault RNG streams derived from
+    ``seed``, fresh random lane-bitmask inputs (unless fixed ``inputs`` are
+    given), and a fresh instance of the named recovery policy; the same
+    ``(seed, trials)`` pair replays bit-identically, so policies can be
+    compared on the *same* fault sequences.
+
+    ``workers > 1`` shards the trial range across a process pool.  Because
+    per-trial RNG streams depend only on ``(seed, trial_index)``, the
+    parallel result is bit-identical to the serial one.  Each shard may be
+    bounded by ``shard_timeout_s``; failed or timed-out shards are retried
+    once in-process, and if the pool cannot be used at all (e.g. an
+    unpicklable custom policy) the campaign silently degrades to serial
+    execution with a :class:`RuntimeWarning`.
+    """
+    if trials < 1:
+        raise SimulationError(f"trial count must be positive, got {trials}")
+    if workers < 1:
+        raise SimulationError(f"worker count must be positive, got {workers}")
+    kwargs = dict(policy_kwargs or {})
+    get_policy(policy, **kwargs)  # fail fast on bad name / kwargs
+    aggregate = ShardOutcome()
+    if workers == 1 or trials == 1:
+        aggregate = run_trial_block(program, 0, trials, seed, policy, lanes,
+                                    kwargs, inputs)
+    else:
+        ranges = shard_ranges(trials, workers)
+        outcomes = _parallel_outcomes(program, ranges, seed, policy, lanes,
+                                      kwargs, inputs, workers,
+                                      shard_timeout_s)
+        if outcomes is None:
+            aggregate = run_trial_block(program, 0, trials, seed, policy,
+                                        lanes, kwargs, inputs)
+        else:
+            for (first, count), outcome in zip(ranges, outcomes):
+                if outcome is None:  # retry-once: re-run the shard here
+                    outcome = run_trial_block(program, first, count, seed,
+                                              policy, lanes, kwargs, inputs)
+                aggregate.merge(outcome)
     metrics = program.metrics
     return CampaignResult(
         program_name=program.source_dag.name,
         policy=policy, trials=trials, lanes=lanes, seed=seed,
-        decision_failures=decision_failures,
-        output_failures=output_failures,
+        decision_failures=aggregate.decision_failures,
+        output_failures=aggregate.output_failures,
         analytic_p_app=analytic_failure_probability(program, lanes),
-        injected_faults=injected, stats=aggregate,
+        injected_faults=aggregate.injected_faults, stats=aggregate.stats,
         base_latency_cycles=metrics.latency_cycles,
         base_energy_pj=metrics.energy_pj)

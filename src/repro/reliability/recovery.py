@@ -54,6 +54,7 @@ __all__ = [
     "RereadVote",
     "execute_with_recovery",
     "get_policy",
+    "register_policy",
 ]
 
 
@@ -115,7 +116,7 @@ class RecoveryPolicy:
         self.machine: ArrayMachine | None = None
 
     def _make_machine(self, program, lanes: int,
-                      fault_rng: random.Random | None,
+                      fault_rng: random.Random | int | None,
                       observer=None) -> ArrayMachine:
         """Build (and retain) the strict-mode machine for one run."""
         self.machine = ArrayMachine(program.target, lanes, fault_rng,
@@ -123,7 +124,7 @@ class RecoveryPolicy:
         return self.machine
 
     def execute(self, program, inputs: dict[str, int], lanes: int = 64,
-                fault_rng: random.Random | None = None,
+                fault_rng: random.Random | int | None = None,
                 expected: dict[str, int] | None = None) -> dict[str, int]:
         """Run the program and return its outputs (possibly recovered)."""
         machine = self._make_machine(program, lanes, fault_rng)
@@ -132,6 +133,33 @@ class RecoveryPolicy:
         return extract_outputs(machine, program.layout, program.dag)
 
 
+#: the policy registry consulted by :func:`get_policy` and the campaign CLI
+POLICIES: dict[str, type[RecoveryPolicy]] = {}
+
+
+def register_policy(cls: type[RecoveryPolicy]) -> type[RecoveryPolicy]:
+    """Register a :class:`RecoveryPolicy` subclass under its ``name``.
+
+    Use as a class decorator.  Registered policies become valid ``policy``
+    names for :func:`get_policy`, :func:`repro.reliability.run_campaign`
+    and the ``sherlock campaign`` CLI.  Because parallel campaigns ship
+    policy names (not instances) to worker processes and instantiate there,
+    a registered class must be defined at module level in an importable
+    module — a requirement pickling enforces anyway for any class that
+    crosses a process boundary.
+    """
+    if not isinstance(cls.name, str) or not cls.name:
+        raise SimulationError(
+            f"policy class {cls.__name__} must define a non-empty 'name'")
+    if cls.name in POLICIES and POLICIES[cls.name] is not cls:
+        raise SimulationError(
+            f"recovery policy name {cls.name!r} already registered "
+            f"by {POLICIES[cls.name].__name__}")
+    POLICIES[cls.name] = cls
+    return cls
+
+
+@register_policy
 class NoRecovery(RecoveryPolicy):
     """Fault-oblivious execution — the baseline every policy is judged against."""
 
@@ -140,7 +168,7 @@ class _SensePolicy(RecoveryPolicy):
     """A policy that intercepts every sensed CIM column value."""
 
     def execute(self, program, inputs: dict[str, int], lanes: int = 64,
-                fault_rng: random.Random | None = None,
+                fault_rng: random.Random | int | None = None,
                 expected: dict[str, int] | None = None) -> dict[str, int]:
         """Run the program with this policy hooked into every sense."""
         machine = self._make_machine(program, lanes, fault_rng, observer=self)
@@ -183,6 +211,7 @@ def _majority(senses: list[int], mask: int) -> int:
     return greater | equal
 
 
+@register_policy
 class RereadVote(_SensePolicy):
     """Re-sense each CIM read and take a per-lane majority vote."""
 
@@ -210,6 +239,7 @@ class RereadVote(_SensePolicy):
         return _majority(senses, machine.mask)
 
 
+@register_policy
 class DegradeMra(_SensePolicy):
     """Double-sense detection with dynamic degradation to MRA = 2 chains."""
 
@@ -278,6 +308,7 @@ class DegradeMra(_SensePolicy):
         return acc
 
 
+@register_policy
 class CheckpointReplay(RecoveryPolicy):
     """Periodic snapshots plus end-of-run shadow check and bounded replay."""
 
@@ -293,7 +324,7 @@ class CheckpointReplay(RecoveryPolicy):
         self.retries = retries
 
     def execute(self, program, inputs: dict[str, int], lanes: int = 64,
-                fault_rng: random.Random | None = None,
+                fault_rng: random.Random | int | None = None,
                 expected: dict[str, int] | None = None) -> dict[str, int]:
         """Run with checkpoints; on a failed shadow check, roll back and replay.
 
@@ -337,14 +368,6 @@ class CheckpointReplay(RecoveryPolicy):
         return outputs
 
 
-POLICIES: dict[str, type[RecoveryPolicy]] = {
-    NoRecovery.name: NoRecovery,
-    RereadVote.name: RereadVote,
-    CheckpointReplay.name: CheckpointReplay,
-    DegradeMra.name: DegradeMra,
-}
-
-
 def get_policy(name: str, **kwargs) -> RecoveryPolicy:
     """Instantiate a recovery policy by registry name."""
     try:
@@ -374,7 +397,7 @@ class RecoveryOutcome:
 
 
 def execute_with_recovery(program, inputs: dict[str, int], lanes: int = 64,
-                          fault_rng: random.Random | None = None,
+                          fault_rng: random.Random | int | None = None,
                           policy: RecoveryPolicy | str | None = None,
                           ) -> RecoveryOutcome:
     """Execute a compiled program under one recovery policy and price it.

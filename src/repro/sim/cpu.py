@@ -82,10 +82,12 @@ class CpuMetrics:
 
     @property
     def latency_us(self) -> float:
+        """CPU latency in microseconds."""
         return self.latency_ns * 1e-3
 
     @property
     def energy_uj(self) -> float:
+        """CPU energy in microjoules."""
         return self.energy_pj * 1e-6
 
     @property

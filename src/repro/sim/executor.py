@@ -78,7 +78,7 @@ class ArrayMachine:
     """Functional model of the CIM arrays plus their row buffers."""
 
     def __init__(self, target: TargetSpec, lanes: int = 64,
-                 fault_rng: random.Random | None = None,
+                 fault_rng: random.Random | int | None = None,
                  strict_shift: bool = False,
                  observer: SenseObserver | None = None) -> None:
         if lanes < 1:
@@ -86,6 +86,11 @@ class ArrayMachine:
         self.target = target
         self.lanes = lanes
         self.mask = (1 << lanes) - 1
+        # an int is taken as a seed for a private stream: call sites that
+        # cross a process boundary (parallel campaigns, bench workers) pass
+        # plain seeds instead of sharing one mutable RNG object
+        if isinstance(fault_rng, int):
+            fault_rng = random.Random(fault_rng)
         self.fault_rng = fault_rng
         self.strict_shift = strict_shift
         #: recovery hook consulted after every sensed column (may be None)

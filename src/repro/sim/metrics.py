@@ -129,18 +129,22 @@ class TraceMetrics:
 
     @property
     def latency_ns(self) -> float:
+        """Trace latency in nanoseconds (cycles x clock period)."""
         return self.total_latency_cycles * self.target.cycle_ns
 
     @property
     def latency_us(self) -> float:
+        """Trace latency in microseconds."""
         return self.latency_ns * 1e-3
 
     @property
     def energy_nj(self) -> float:
+        """Trace energy in nanojoules."""
         return self.total_energy_pj * 1e-3
 
     @property
     def energy_uj(self) -> float:
+        """Trace energy in microjoules."""
         return self.total_energy_pj * 1e-6
 
     @property

@@ -1,0 +1,201 @@
+"""Tests for the benchmark probe registry, reports, and regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCHMARKS,
+    SCHEMA,
+    BenchReport,
+    ProbeResult,
+    Timer,
+    benchmark,
+    compare_reports,
+    load_report,
+    select_probes,
+)
+from repro.cli import main
+from repro.errors import BenchError
+
+
+def _result(name, median, better="lower", unit="s"):
+    return ProbeResult(name=name, group="test", unit=unit, better=better,
+                       repeats=1, median=median, values=(median,))
+
+
+def _report(*results):
+    return BenchReport(schema=SCHEMA, created=0.0, git_rev="testrev",
+                       machine={"cpus": 1}, repeats=1,
+                       probes=tuple(results))
+
+
+class TestTimer:
+    def test_measure_returns_one_value_per_repeat(self):
+        values = Timer(repeats=3).measure(lambda: sum(range(100)))
+        assert len(values) == 3
+        assert all(v >= 0.0 for v in values)
+
+    def test_setup_runs_before_every_repeat(self):
+        calls = []
+        Timer(repeats=4).measure(lambda: calls.append("work"),
+                                 setup=lambda: calls.append("setup"))
+        assert calls == ["setup", "work"] * 4
+
+    def test_throughput_converts_to_items_per_second(self):
+        values = Timer(repeats=2).throughput(lambda: sum(range(1000)), 500)
+        assert len(values) == 2
+        assert all(v > 0.0 for v in values)
+
+    def test_rejects_bad_repeats_and_items(self):
+        with pytest.raises(BenchError, match="positive"):
+            Timer(repeats=0)
+        with pytest.raises(BenchError, match="positive"):
+            Timer(repeats=1).throughput(lambda: None, 0)
+
+
+class TestRegistry:
+    def test_at_least_four_builtin_probes(self):
+        assert len(BENCHMARKS) >= 4
+        assert {"compile.cold", "compile.warm", "campaign.serial",
+                "campaign.parallel"} <= set(BENCHMARKS)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(BenchError, match="already registered"):
+            benchmark("compile.cold", group="compile")(lambda timer: ([], {}))
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(BenchError, match="direction"):
+            benchmark("tmp.bad", group="tmp", better="sideways")
+
+    def test_select_by_group(self):
+        names = [probe.name for probe in select_probes(["compile"])]
+        assert names == ["compile.cold", "compile.warm"]
+
+    def test_select_all_when_unspecified(self):
+        assert len(select_probes(None)) == len(BENCHMARKS)
+
+    def test_unknown_selection_lists_probes_and_groups(self):
+        with pytest.raises(BenchError, match="probes:.*groups:"):
+            select_probes(["bogus"])
+
+
+class TestReportRoundTrip:
+    def test_write_then_load_is_identity(self, tmp_path):
+        report = _report(_result("a.x", 1.5), _result("a.y", 2.0,
+                                                      better="higher",
+                                                      unit="trials/s"))
+        path = tmp_path / "bench.json"
+        report.write(path)
+        assert load_report(path) == report
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(BenchError, match="schema"):
+            BenchReport.from_dict({"schema": "sherlock-bench/v999"})
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(BenchError, match="missing required key"):
+            BenchReport.from_dict({"schema": SCHEMA, "created": 0.0})
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("not json {")
+        with pytest.raises(BenchError, match="not valid JSON"):
+            load_report(path)
+
+    def test_render_names_every_probe_and_the_revision(self):
+        report = _report(_result("a.x", 1.5), _result("a.y", 2.0))
+        text = report.render()
+        assert "a.x" in text and "a.y" in text and "testrev" in text
+
+
+class TestCompareReports:
+    def test_within_threshold_is_ok(self):
+        comparison = compare_reports(_report(_result("p", 1.0)),
+                                     _report(_result("p", 1.1)))
+        assert comparison.ok
+        assert comparison.deltas[0].status == "ok"
+
+    def test_slower_wall_time_regresses(self):
+        comparison = compare_reports(_report(_result("p", 1.0)),
+                                     _report(_result("p", 1.5)),
+                                     threshold=0.25)
+        assert not comparison.ok
+        assert comparison.regressions[0].name == "p"
+        assert "FAIL" in comparison.render()
+
+    def test_faster_wall_time_improves(self):
+        comparison = compare_reports(_report(_result("p", 1.0)),
+                                     _report(_result("p", 0.5)))
+        assert comparison.ok
+        assert comparison.deltas[0].status == "improved"
+
+    def test_higher_is_better_direction_is_mirrored(self):
+        slower = compare_reports(
+            _report(_result("p", 1000.0, better="higher")),
+            _report(_result("p", 500.0, better="higher")))
+        faster = compare_reports(
+            _report(_result("p", 1000.0, better="higher")),
+            _report(_result("p", 2000.0, better="higher")))
+        assert not slower.ok
+        assert faster.ok and faster.deltas[0].status == "improved"
+
+    def test_new_and_missing_probes_never_fail_the_gate(self):
+        comparison = compare_reports(_report(_result("old", 1.0)),
+                                     _report(_result("new", 1.0)))
+        assert comparison.ok
+        statuses = {d.name: d.status for d in comparison.deltas}
+        assert statuses == {"new": "new", "old": "missing"}
+
+    def test_degenerate_baseline_is_ok(self):
+        comparison = compare_reports(_report(_result("p", 0.0)),
+                                     _report(_result("p", 5.0)))
+        assert comparison.deltas[0].status == "ok"
+
+    def test_nonpositive_threshold_rejected(self):
+        with pytest.raises(BenchError, match="positive"):
+            compare_reports(_report(), _report(), threshold=0.0)
+
+
+class TestBenchCLI:
+    def test_list_prints_the_probe_table(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "compile.cold" in out and "campaign.parallel" in out
+
+    def test_bench_writes_a_valid_report(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_sherlock.json"
+        assert main(["bench", "-o", str(output), "--probe", "compile.warm",
+                     "--repeats", "1"]) == 0
+        data = json.loads(output.read_text())
+        assert data["schema"] == SCHEMA
+        assert [p["name"] for p in data["probes"]] == ["compile.warm"]
+        assert len(data["probes"][0]["values"]) == 1
+        assert "compile.warm" in capsys.readouterr().out
+
+    def test_compare_against_fresh_baseline_passes(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["bench", "-o", str(baseline), "--probe", "compile.warm",
+                     "--repeats", "1"]) == 0
+        current = tmp_path / "current.json"
+        assert main(["bench", "-o", str(current), "--probe", "compile.warm",
+                     "--repeats", "1", "--compare", str(baseline)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_compare_flags_a_regression_with_exit_1(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["bench", "-o", str(baseline), "--probe", "compile.warm",
+                     "--repeats", "1"]) == 0
+        doctored = json.loads(baseline.read_text())
+        doctored["probes"][0]["median"] /= 100.0  # pretend we used to be fast
+        baseline.write_text(json.dumps(doctored))
+        current = tmp_path / "current.json"
+        assert main(["bench", "-o", str(current), "--probe", "compile.warm",
+                     "--repeats", "1", "--compare", str(baseline)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_unknown_probe_is_reported(self, tmp_path, capsys):
+        code = main(["bench", "-o", str(tmp_path / "b.json"),
+                     "--probe", "bogus"])
+        assert code == 1
+        assert "unknown benchmark probe" in capsys.readouterr().err

@@ -9,11 +9,15 @@ from repro.core.report import RecoveryReport
 from repro.devices import STT_MRAM
 from repro.errors import SimulationError
 from repro.reliability import (
+    ShardOutcome,
     analytic_failure_probability,
     run_campaign,
+    run_trial_block,
     sense_failure_probabilities,
+    shard_ranges,
     wilson_interval,
 )
+from repro.reliability import campaign as campaign_module
 from repro.workloads import get_workload
 from repro.workloads.synthetic import synthetic_dag
 
@@ -156,6 +160,85 @@ class TestPoliciesReduceFailures:
         summary = results["reread-vote"].summary()
         assert summary["output_rate"] <= summary["decision_rate"]
         assert summary["overhead_latency_frac"] > 0
+
+
+class TestShardRanges:
+    def test_blocks_cover_the_trial_range_contiguously(self):
+        for trials, workers in ((1, 1), (7, 2), (100, 3), (1000, 4)):
+            ranges = shard_ranges(trials, workers)
+            assert ranges[0][0] == 0
+            assert sum(count for _, count in ranges) == trials
+            for (first, count), (next_first, _) in zip(ranges, ranges[1:]):
+                assert next_first == first + count
+
+    def test_blocks_are_balanced_and_non_empty(self):
+        ranges = shard_ranges(101, 4)
+        counts = [count for _, count in ranges]
+        assert min(counts) >= 1
+        assert max(counts) - min(counts) <= 1
+
+    def test_never_more_blocks_than_trials(self):
+        assert shard_ranges(3, 8) == [(0, 1), (1, 1), (2, 1)]
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(SimulationError, match="positive"):
+            shard_ranges(0, 2)
+        with pytest.raises(SimulationError, match="positive"):
+            shard_ranges(10, 0)
+
+
+class TestParallelCampaigns:
+    def test_parallel_bit_identical_to_serial(self, program):
+        """The acceptance experiment: same master seed, sharded workers,
+        identical failure counts (CampaignResult compares all counters)."""
+        serial = run_campaign(program, trials=60, seed=9, lanes=8, workers=1)
+        parallel = run_campaign(program, trials=60, seed=9, lanes=8,
+                                workers=2)
+        assert serial == parallel
+
+    def test_parallel_bit_identical_with_recovery_policy(self, program):
+        serial = run_campaign(program, trials=40, seed=5, lanes=8,
+                              policy="reread-vote", workers=1)
+        parallel = run_campaign(program, trials=40, seed=5, lanes=8,
+                                policy="reread-vote", workers=3)
+        assert serial == parallel
+
+    def test_trial_blocks_merge_to_the_serial_counters(self, program):
+        whole = run_trial_block(program, 0, 30, 9, "none", 8)
+        merged = ShardOutcome()
+        for first, count in shard_ranges(30, 4):
+            merged.merge(run_trial_block(program, first, count, 9,
+                                         "none", 8))
+        assert merged == whole
+
+    def test_zero_workers_rejected(self, program):
+        with pytest.raises(SimulationError, match="positive"):
+            run_campaign(program, trials=10, workers=0)
+
+    def test_pool_failure_falls_back_to_serial(self, program, monkeypatch):
+        """When the pool cannot even be created, the campaign warns and
+        degrades to the serial path — same result, no crash."""
+        def broken_pool(*args, **kwargs):
+            raise OSError("no process support here")
+
+        monkeypatch.setattr(campaign_module, "ProcessPoolExecutor",
+                            broken_pool)
+        with pytest.warns(RuntimeWarning, match="running serially"):
+            fallback = run_campaign(program, trials=20, seed=3, lanes=8,
+                                    workers=2)
+        assert fallback == run_campaign(program, trials=20, seed=3, lanes=8,
+                                        workers=1)
+
+    def test_failed_shards_are_retried_serially(self, program, monkeypatch):
+        """A shard slot coming back None (timeout / dead worker) is re-run
+        in-process; the merged result still matches the serial campaign."""
+        monkeypatch.setattr(
+            campaign_module, "_parallel_outcomes",
+            lambda program, ranges, *args, **kwargs: [None] * len(ranges))
+        retried = run_campaign(program, trials=25, seed=4, lanes=8,
+                               workers=2)
+        assert retried == run_campaign(program, trials=25, seed=4, lanes=8,
+                                       workers=1)
 
 
 @pytest.mark.campaign

@@ -147,3 +147,38 @@ class TestCommands:
         for name in ("none", "reread-vote", "checkpoint-replay",
                      "degrade-mra"):
             assert name in out
+
+    def test_campaign_with_workers(self, capsys):
+        assert main(["campaign", "--synthetic", "12", "--trials", "8",
+                     "--lanes", "4", "--size", "64", "--arrays", "4",
+                     "--policy", "none", "--workers", "2"]) == 0
+        assert "8 trials" in capsys.readouterr().out
+
+
+class TestCampaignValidation:
+    def test_zero_trials_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "--synthetic", "12", "--trials", "0"])
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_non_integer_trials_rejected_by_parser(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "--synthetic", "12", "--trials", "lots"])
+        assert excinfo.value.code == 2
+
+    def test_zero_workers_rejected_by_parser(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "--synthetic", "12", "--trials", "5",
+                  "--workers", "0"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_policy_lists_the_valid_ones(self, capsys):
+        code = main(["campaign", "--synthetic", "12", "--trials", "5",
+                     "--size", "64", "--arrays", "4", "--policy", "hope"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "unknown recovery policy" in err
+        for name in ("none", "reread-vote", "checkpoint-replay",
+                     "degrade-mra"):
+            assert name in err
