@@ -34,6 +34,10 @@ class Layout:
         self._top_fill: dict[int, int] = {}  # global col -> rows used top-down
         self._copies: dict[int, list[CellAddr]] = {}  # operand id -> cells
         self._duplicates = 0
+        # cells released by liveness-based recycling, reusable by later
+        # placements (global col -> freed addresses, sorted by row)
+        self._free_pool: dict[int, list[CellAddr]] = {}
+        self._recycled = 0
 
     # ------------------------------------------------------------------
     # addressing
@@ -76,6 +80,15 @@ class Layout:
         """Rows still unallocated between the two fill regions."""
         return self.column_capacity(gcol) - self.column_fill(gcol)
 
+    def column_reusable(self, gcol: int) -> int:
+        """Released (recyclable) cells available in the given column."""
+        self.split(gcol)
+        return len(self._free_pool.get(gcol, []))
+
+    def reusable_columns(self) -> list[int]:
+        """Global columns holding at least one released cell, sorted."""
+        return sorted(g for g, pool in self._free_pool.items() if pool)
+
     def _record(self, operand_id: int, addr: CellAddr) -> CellAddr:
         existing = self._copies.setdefault(operand_id, [])
         if existing:
@@ -83,8 +96,30 @@ class Layout:
         existing.append(addr)
         return addr
 
-    def place(self, operand_id: int, gcol: int) -> CellAddr:
-        """Allocate the next bottom-up row of ``gcol`` for an operand copy."""
+    def _reuse_from_pool(self, operand_id: int, gcol: int) -> CellAddr | None:
+        pool = self._free_pool.get(gcol)
+        if not pool:
+            return None
+        addr = pool.pop(0)  # lowest freed row first, deterministically
+        if not pool:
+            del self._free_pool[gcol]
+        self._recycled += 1
+        return self._record(operand_id, addr)
+
+    def place(self, operand_id: int, gcol: int, *,
+              reuse: bool = True) -> CellAddr:
+        """Allocate the next bottom-up row of ``gcol`` for an operand copy.
+
+        With ``reuse`` (the default) a released cell of the column is
+        recycled before a fresh row is claimed.  Call sites placing
+        *preload* data (inputs/constants poked before the program runs)
+        must pass ``reuse=False``: a recycled cell's previous occupant is
+        written mid-program and would overwrite the preloaded value.
+        """
+        if reuse:
+            recycled = self._reuse_from_pool(operand_id, gcol)
+            if recycled is not None:
+                return recycled
         array, col = self.split(gcol)
         row = self._fill.get(gcol, 0)
         if row >= self.column_capacity(gcol):
@@ -95,12 +130,18 @@ class Layout:
         self._fill[gcol] = row + 1
         return self._record(operand_id, CellAddr(array, row, col))
 
-    def place_top(self, operand_id: int, gcol: int) -> CellAddr:
+    def place_top(self, operand_id: int, gcol: int, *,
+                  reuse: bool = True) -> CellAddr:
         """Allocate the next top-down row of ``gcol``.
 
         The scheduler parks resident inputs and gather copies here so they
         never perturb the row alignment of the bottom-up result region.
+        ``reuse`` follows the same preload rule as :meth:`place`.
         """
+        if reuse:
+            recycled = self._reuse_from_pool(operand_id, gcol)
+            if recycled is not None:
+                return recycled
         array, col = self.split(gcol)
         used = self._top_fill.get(gcol, 0)
         row = self.target.rows - 1 - used
@@ -111,6 +152,52 @@ class Layout:
                 "used bottom-up)")
         self._top_fill[gcol] = used + 1
         return self._record(operand_id, CellAddr(array, row, col))
+
+    # ------------------------------------------------------------------
+    # liveness-based recycling
+    # ------------------------------------------------------------------
+    def _release_addrs(self, addrs: list[CellAddr]) -> int:
+        for addr in addrs:
+            gcol = self.global_col(addr.array, addr.col)
+            pool = self._free_pool.setdefault(gcol, [])
+            pool.append(addr)
+            pool.sort(key=lambda a: a.row)
+        return len(addrs)
+
+    def release(self, operand_id: int) -> int:
+        """Free every cell of a dead operand for reuse; returns the count.
+
+        The caller must guarantee the operand is never read again (its
+        live range ended) and is neither a program output nor preloaded
+        source data — use :meth:`release_duplicates` for dead sources.
+        """
+        addrs = self._copies.pop(operand_id, [])
+        if len(addrs) > 1:
+            self._duplicates -= len(addrs) - 1
+        return self._release_addrs(addrs)
+
+    def release_duplicates(self, operand_id: int) -> int:
+        """Free the non-primary copies of an operand; returns the count.
+
+        The primary copy survives because sources are preloaded there
+        before execution starts (and outputs are read back from there).
+        """
+        addrs = self._copies.get(operand_id)
+        if not addrs or len(addrs) == 1:
+            return 0
+        extras = addrs[1:]
+        del addrs[1:]
+        self._duplicates -= len(extras)
+        return self._release_addrs(extras)
+
+    def residents(self, gcol: int) -> list[int]:
+        """Operand ids with at least one copy in the given column."""
+        array, col = self.split(gcol)
+        found = []
+        for oid, addrs in self._copies.items():
+            if any(a.array == array and a.col == col for a in addrs):
+                found.append(oid)
+        return sorted(found)
 
     def place_at(self, operand_id: int, gcol: int, row: int) -> CellAddr:
         """Place at a specific row at or beyond the bottom-up fill line.
@@ -169,12 +256,18 @@ class Layout:
     @property
     def cells_used(self) -> int:
         """Number of cells occupied by placed operands and copies."""
-        return sum(self._fill.values()) + sum(self._top_fill.values())
+        freed = sum(len(pool) for pool in self._free_pool.values())
+        return sum(self._fill.values()) + sum(self._top_fill.values()) - freed
 
     @property
     def duplicates(self) -> int:
         """Extra physical copies beyond one per operand."""
         return self._duplicates
+
+    @property
+    def recycled(self) -> int:
+        """Number of placements that reused a released (dead) cell."""
+        return self._recycled
 
     def _touched_cols(self) -> set[int]:
         cols = {g for g, used in self._fill.items() if used}

@@ -1,9 +1,11 @@
 """The built-in benchmark probes over the standard workloads.
 
-Six probes cover the three hot paths the roadmap optimizes against:
+Seven probes cover the hot paths the roadmap optimizes against:
 
 * ``compile.cold`` / ``compile.warm`` — the full pass pipeline on the
   bitweaving DAG with the process compile cache cleared vs primed,
+* ``compile.ladder`` — the graceful-degradation path: an oversized
+  synthetic DAG that only compiles through recycling + partitioning,
 * ``execute.bitweaving`` — functional array-machine execution of the
   compiled program,
 * ``evaluate.reference`` — the reference DAG evaluation every campaign
@@ -107,6 +109,28 @@ def _compile_warm(timer: Timer):
     values = timer.measure(_work)
     return values, {"workload": "bitweaving", "size": _COMPILE_SIZE,
                     "mapper": "sherlock"}
+
+
+@benchmark("compile.ladder", group="compile",
+           description="graceful-degradation compile of an oversized "
+                       "synthetic DAG (recycle + partition fallback)")
+def _compile_ladder(timer: Timer):
+    # 48 ops on an 8x8 two-array target: the base mapper and the recycle
+    # rung both run out of cells, so every repeat walks the full ladder
+    # down to spill-and-partition
+    dag = synthetic_dag(num_ops=48, num_inputs=8, seed=7,
+                        name="bench-ladder")
+    target = TargetSpec.square(8, RERAM, num_arrays=2)
+    config = CompilerConfig(mapper="sherlock")
+
+    def _work():
+        compile_dag(dag, target, config, cache=False)
+
+    values = timer.measure(_work)
+    program = compile_dag(dag, target, config, cache=False)
+    return values, {"ops": 48, "size": 8, "arrays": 2,
+                    "degradation": program.degradation,
+                    "stages": len(program.stages or [])}
 
 
 @benchmark("execute.bitweaving", group="execute",

@@ -23,6 +23,7 @@ from repro.core.compiler import SherlockCompiler
 from repro.core.config import CompilerConfig
 from repro.core.passes import get_pass
 from repro.core.report import (
+    CompileReport,
     PassReport,
     ProgramReport,
     RecoveryReport,
@@ -30,7 +31,7 @@ from repro.core.report import (
     render_reports,
 )
 from repro.devices import get_technology
-from repro.errors import SherlockError
+from repro.errors import CapacityError, SherlockError
 from repro.frontend import c_to_dfg
 from repro.reliability import POLICIES, mra_sweep, run_campaign
 from repro.workloads import WORKLOADS, get_workload
@@ -60,6 +61,15 @@ def _add_target_args(parser: argparse.ArgumentParser) -> None:
                         help="rows in multi-row activation (2 = binary DAG)")
     parser.add_argument("--mapper", default="sherlock",
                         choices=("sherlock", "naive"))
+    parser.add_argument("--fallback", default="ladder",
+                        choices=("ladder", "strict"),
+                        help="on capacity failure: walk the graceful-"
+                             "degradation ladder (recycle, partition) or "
+                             "fail fast (strict)")
+    parser.add_argument("--recycle", default="auto",
+                        choices=("auto", "always", "never"),
+                        help="liveness-based cell recycling: auto (only "
+                             "under pressure), always, or never")
 
 
 def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
@@ -84,7 +94,9 @@ def _target_of(args: argparse.Namespace) -> TargetSpec:
 
 def _config_of(args: argparse.Namespace) -> CompilerConfig:
     return CompilerConfig(mapper=args.mapper, mra=max(2, args.mra),
-                          pipeline=getattr(args, "pipeline", None))
+                          pipeline=getattr(args, "pipeline", None),
+                          fallback=getattr(args, "fallback", "ladder"),
+                          recycle=getattr(args, "recycle", "auto"))
 
 
 def _compiler_of(args: argparse.Namespace) -> SherlockCompiler:
@@ -103,6 +115,10 @@ def _compiler_of(args: argparse.Namespace) -> SherlockCompiler:
 def _report_passes(args: argparse.Namespace, program) -> None:
     if getattr(args, "timings", False):
         print(PassReport.from_program(program).render(), file=sys.stderr)
+    if program.degradation != "none":
+        print(f"warning: capacity exhausted; compiled via degradation "
+              f"rung {program.degradation!r}", file=sys.stderr)
+        print(CompileReport.from_program(program).render(), file=sys.stderr)
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
@@ -328,6 +344,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except CapacityError as error:
+        print(f"error: {error}", file=sys.stderr)
+        for line in error.details():
+            print(f"  {line}", file=sys.stderr)
+        return 1
     except SherlockError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -14,6 +14,7 @@ Typical use::
 from repro.arch.target import TargetSpec
 from repro.core.compiler import (
     CompiledProgram,
+    LadderAttempt,
     SherlockCompiler,
     clear_compile_cache,
     compile_cache_info,
@@ -33,9 +34,11 @@ from repro.core.passes import (
 )
 from repro.core.serialize import load_program, save_program
 from repro.core.report import (
+    COMPILE_REPORT_HEADERS,
     PASS_REPORT_HEADERS,
     PROGRAM_REPORT_HEADERS,
     RECOVERY_REPORT_HEADERS,
+    CompileReport,
     PassReport,
     ProgramReport,
     RecoveryReport,
@@ -44,10 +47,13 @@ from repro.core.report import (
 )
 
 __all__ = [
+    "COMPILE_REPORT_HEADERS",
     "CompilationContext",
+    "CompileReport",
     "CompiledProgram",
     "CompilerConfig",
     "FunctionPass",
+    "LadderAttempt",
     "PASS_REGISTRY",
     "PASS_REPORT_HEADERS",
     "PROGRAM_REPORT_HEADERS",

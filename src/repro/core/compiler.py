@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import pathlib
 import random
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from functools import cached_property
@@ -34,24 +35,38 @@ from repro.core.passes import (
     PassEvent,
     PassManager,
     get_pass,
+    place_passthrough_outputs,
     wants_nand_lowering,
 )
 from repro.dfg.evaluate import evaluate
 from repro.dfg.graph import DataFlowGraph
-from repro.dfg.stats import structural_hash
-from repro.errors import SherlockError
+from repro.dfg.stats import graph_stats, structural_hash
+from repro.errors import CapacityError, MappingError, SherlockError
 from repro.mapping.base import MappingResult
+from repro.mapping.partition import Stage, combined_mapping, execute_staged, map_partitioned
 from repro.sim.executor import ArrayMachine, extract_outputs, preload_sources
 from repro.sim.metrics import TraceMetrics, analyze_trace
 
 __all__ = [
     "NAND_LOWERING_WINDOW",
     "CompiledProgram",
+    "LadderAttempt",
     "SherlockCompiler",
     "clear_compile_cache",
     "compile_cache_info",
     "compile_dag",
 ]
+
+
+@dataclass(frozen=True)
+class LadderAttempt:
+    """One rung of the graceful-degradation ladder: tried, and how it went."""
+
+    rung: str  # e.g. "sherlock", "sherlock+recycle", "naive+partitioned"
+    succeeded: bool
+    error: str | None = None
+    #: number of partitions the rung compiled into (1 = unpartitioned)
+    stages: int = 1
 
 
 @dataclass
@@ -65,6 +80,12 @@ class CompiledProgram:
     mapping: MappingResult
     #: structured per-pass log of the pipeline that produced this program
     pass_events: list[PassEvent] = field(default_factory=list)
+    #: partitions of a spill-and-partition compile (None = single program)
+    stages: list[Stage] | None = None
+    #: every degradation rung the compiler tried, in order
+    ladder: list[LadderAttempt] = field(default_factory=list)
+    #: name of the rung that produced this program ("none" = no fallback)
+    degradation: str = "none"
 
     @property
     def instructions(self) -> list[Instruction]:
@@ -94,7 +115,14 @@ class CompiledProgram:
         shifts live row-buffer data off the array edge is a codegen bug and
         raises instead of silently corrupting an output.  ``observer`` is an
         optional :class:`repro.sim.executor.SenseObserver` (recovery hook).
+
+        Staged (spill-and-partition) programs run their stages back to
+        back on one shared machine, carrying boundary values across.
         """
+        if self.stages is not None:
+            return execute_staged(self.stages, self.dag, self.target,
+                                  inputs, lanes, fault_rng=fault_rng,
+                                  observer=observer, strict_shift=True)
         machine = ArrayMachine(self.target, lanes, fault_rng,
                                strict_shift=True, observer=observer)
         preload_sources(machine, self.layout, self.dag, inputs)
@@ -209,7 +237,10 @@ def _reissue(cached: CompiledProgram, source_dag: DataFlowGraph,
                               layout=mapping.layout,
                               instructions=list(mapping.instructions),
                               stats=mapping.stats),
-        pass_events=list(cached.pass_events))
+        pass_events=list(cached.pass_events),
+        stages=cached.stages,
+        ladder=list(cached.ladder),
+        degradation=cached.degradation)
 
 
 # ----------------------------------------------------------------------
@@ -262,25 +293,129 @@ class SherlockCompiler:
         return ctx.dag
 
     def compile(self, dag: DataFlowGraph) -> CompiledProgram:
-        """Transform, map, and schedule a DAG for the target."""
+        """Transform, map, and schedule a DAG for the target.
+
+        When the mapper runs out of capacity and ``config.fallback`` is
+        ``"ladder"``, the graceful-degradation ladder retries the compile
+        with cell recycling, then spill-and-partition, then the naive
+        mapper partitioned; every attempt is recorded on the program's
+        ``ladder`` (and as ``ladder:*`` pass events).  ``"strict"``
+        preserves the fail-fast behavior.
+        """
         key = None
         if self.cache:
             key = _COMPILE_CACHE.key(dag, self.target, self.config)
             cached = _COMPILE_CACHE.get(key)
             if cached is not None:
                 return _reissue(cached, dag, self.config)
-        ctx = self.pass_manager().run(self._context(dag))
-        if ctx.mapping is None:
-            raise SherlockError(
-                f"pipeline {self.config.effective_pipeline()} produced no "
-                "mapping; it must end with a terminal map-* pass")
-        program = CompiledProgram(
-            source_dag=dag, dag=ctx.dag, target=self.target,
-            config=self.config, mapping=ctx.mapping,
-            pass_events=ctx.events)
+        try:
+            ctx = self.pass_manager().run(self._context(dag))
+        except MappingError as exc:
+            if self.config.fallback != "ladder":
+                raise
+            program = self._compile_ladder(dag, exc)
+        else:
+            if ctx.mapping is None:
+                raise SherlockError(
+                    f"pipeline {self.config.effective_pipeline()} produced "
+                    "no mapping; it must end with a terminal map-* pass")
+            program = CompiledProgram(
+                source_dag=dag, dag=ctx.dag, target=self.target,
+                config=self.config, mapping=ctx.mapping,
+                pass_events=ctx.events)
         if key is not None:
             _COMPILE_CACHE.put(key, program)
         return program
+
+    # ------------------------------------------------------------------
+    # the graceful-degradation ladder
+    # ------------------------------------------------------------------
+    def _mapper_fn(self, mapper_name: str, recycle: bool):
+        """A one-argument DAG -> MappingResult closure for a rung."""
+        from repro.mapping.naive import map_naive
+        from repro.mapping.optimized import SherlockOptions, map_sherlock
+
+        if mapper_name == "naive":
+            return lambda d: map_naive(d, self.target, recycle=recycle)
+        options = SherlockOptions(
+            alpha=self.config.alpha, beta=self.config.beta,
+            merge_instructions=self.config.merge_instructions,
+            recycle=recycle)
+        return lambda d: map_sherlock(d, self.target, options)
+
+    def _map_whole(self, ctx: CompilationContext, mapper_name: str,
+                   recycle: bool) -> tuple[MappingResult, None]:
+        mapping = self._mapper_fn(mapper_name, recycle)(ctx.dag)
+        place_passthrough_outputs(ctx.dag, mapping)
+        return mapping, None
+
+    def _map_parts(self, ctx: CompilationContext, mapper_name: str,
+                   recycle: bool) -> tuple[MappingResult, list[Stage]]:
+        stages = map_partitioned(ctx.dag, self.target,
+                                 self._mapper_fn(mapper_name, recycle))
+        mapping = combined_mapping(ctx.dag, self.target, stages,
+                                   f"{mapper_name}+partitioned")
+        return mapping, stages
+
+    def _compile_ladder(self, dag: DataFlowGraph,
+                        first_error: MappingError) -> CompiledProgram:
+        """Walk the degradation rungs after the configured mapper failed."""
+        ctx = self.pass_manager(terminal=False).run(self._context(dag))
+        base = self.config.mapper
+        attempts = [LadderAttempt(rung=base, succeeded=False,
+                                  error=str(first_error))]
+
+        recycle = self.config.recycle != "never"
+        rungs: list[tuple[str, object]] = []
+        if recycle and self.config.recycle != "always":
+            # rung 0 already ran with recycling when recycle == "always"
+            rungs.append((f"{base}+recycle",
+                          lambda: self._map_whole(ctx, base, recycle=True)))
+        rungs.append((f"{base}+partitioned",
+                      lambda: self._map_parts(ctx, base, recycle)))
+        if base != "naive":
+            rungs.append(("naive+partitioned",
+                          lambda: self._map_parts(ctx, "naive", recycle)))
+
+        stats = graph_stats(ctx.dag)
+        for rung, attempt in rungs:
+            start = time.perf_counter()
+            try:
+                mapping, stages = attempt()
+            except MappingError as exc:
+                attempts.append(LadderAttempt(rung=rung, succeeded=False,
+                                              error=str(exc)))
+                ctx.events.append(PassEvent(
+                    name=f"ladder:{rung}",
+                    wall_s=time.perf_counter() - start,
+                    before=stats, after=stats,
+                    notes={"failed": str(exc)}))
+                continue
+            attempts.append(LadderAttempt(
+                rung=rung, succeeded=True,
+                stages=len(stages) if stages else 1))
+            ctx.events.append(PassEvent(
+                name=f"ladder:{rung}",
+                wall_s=time.perf_counter() - start,
+                before=stats, after=stats,
+                notes={"instructions": len(mapping.instructions),
+                       "stages": len(stages) if stages else 1}))
+            return CompiledProgram(
+                source_dag=dag, dag=ctx.dag, target=self.target,
+                config=self.config, mapping=mapping,
+                pass_events=ctx.events, stages=stages,
+                ladder=attempts, degradation=rung)
+
+        summary = "\n  ".join(f"{a.rung}: {a.error}" for a in attempts)
+        fields = (first_error if isinstance(first_error, CapacityError)
+                  else None)
+        raise CapacityError(
+            f"every degradation rung failed:\n  {summary}",
+            required_cells=fields.required_cells if fields else None,
+            available_cells=fields.available_cells if fields else None,
+            num_arrays=self.target.num_arrays,
+            suggested_num_arrays=(fields.suggested_num_arrays
+                                  if fields else None)) from first_error
 
 
 def compile_dag(dag: DataFlowGraph, target: TargetSpec,

@@ -7,6 +7,8 @@ from dataclasses import dataclass, replace
 from repro.errors import SherlockError
 
 VALID_MAPPERS = ("sherlock", "naive")
+VALID_RECYCLE = ("auto", "always", "never")
+VALID_FALLBACK = ("ladder", "strict")
 
 
 @dataclass(frozen=True)
@@ -25,6 +27,15 @@ class CompilerConfig:
     map-sherlock"`` (see :mod:`repro.core.passes`).  The spec must end in
     exactly one terminal mapping pass; when given, ``mapper`` is derived
     from that terminal pass so reports stay consistent.
+
+    ``recycle`` controls liveness-based cell recycling during code
+    generation: ``"auto"`` keeps the first compile byte-identical to the
+    non-recycling compiler and lets only the degradation ladder engage it,
+    ``"always"`` recycles on every compile (may change codegen), and
+    ``"never"`` forbids it even for the ladder.  ``fallback`` selects what
+    happens when the mapper runs out of capacity: ``"ladder"`` walks the
+    graceful-degradation rungs (recycle, then partitioning, then the
+    naive mapper partitioned), ``"strict"`` preserves fail-fast behavior.
     """
 
     mapper: str = "sherlock"
@@ -39,6 +50,10 @@ class CompilerConfig:
     merge_instructions: bool = True
     #: pass-list spec overriding the default pipeline (None = default)
     pipeline: str | None = None
+    #: liveness-based cell recycling: "auto", "always", or "never"
+    recycle: str = "auto"
+    #: capacity-failure handling: "ladder" (degrade) or "strict" (raise)
+    fallback: str = "ladder"
 
     def __post_init__(self) -> None:
         if self.pipeline is not None:
@@ -58,6 +73,14 @@ class CompilerConfig:
         if not 0.0 <= self.mra_fraction <= 1.0:
             raise SherlockError(
                 f"mra_fraction must be in [0, 1], got {self.mra_fraction}")
+        if self.recycle not in VALID_RECYCLE:
+            raise SherlockError(
+                f"unknown recycle mode {self.recycle!r}; "
+                f"choose from {VALID_RECYCLE}")
+        if self.fallback not in VALID_FALLBACK:
+            raise SherlockError(
+                f"unknown fallback mode {self.fallback!r}; "
+                f"choose from {VALID_FALLBACK}")
 
     def effective_pipeline(self) -> tuple[str, ...]:
         """The resolved pass-name list this configuration compiles with."""

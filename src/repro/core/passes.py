@@ -40,7 +40,7 @@ from repro.dfg.transforms import (
     split_multi_operand,
     substitute_nodes,
 )
-from repro.errors import MappingError, SherlockError
+from repro.errors import CapacityError, SherlockError
 from repro.mapping.base import MappingResult
 
 #: technologies whose HRS/LRS window is too small for direct XOR/OR sensing
@@ -81,6 +81,8 @@ class CompilerConfigLike(Protocol):
     alpha: float
     beta: float
     merge_instructions: bool
+    recycle: str
+    fallback: str
 
 
 @dataclass(frozen=True)
@@ -368,15 +370,24 @@ def place_passthrough_outputs(dag: DataFlowGraph,
             continue
         for gcol in range(layout.num_global_cols):
             if layout.column_free(gcol) > 0:
-                layout.place(oid, gcol)
+                # the output aliases preloaded source data: poked at t=0,
+                # so its cell must never be a recycled mid-program cell
+                layout.place(oid, gcol, reuse=False)
                 break
         else:
             capacity = layout.target.capacity
-            raise MappingError(
+            raise CapacityError(
                 f"no free cell left for program output {name!r} "
                 f"(operand {oid}): layout occupies {layout.cells_used}"
                 f"/{capacity} cells over {layout.columns_used}"
-                f"/{layout.num_global_cols} columns; increase num_arrays")
+                f"/{layout.num_global_cols} columns; increase num_arrays",
+                required_cells=layout.cells_used + 1,
+                available_cells=capacity,
+                num_arrays=layout.target.num_arrays)
+
+
+def _wants_recycle(config: CompilerConfigLike) -> bool:
+    return getattr(config, "recycle", "auto") == "always"
 
 
 @_builtin("map-naive", "Algorithm 1: b-level column-major packing + codegen",
@@ -384,7 +395,8 @@ def place_passthrough_outputs(dag: DataFlowGraph,
 def _run_map_naive(ctx: CompilationContext) -> dict[str, object]:
     from repro.mapping.naive import map_naive
 
-    ctx.mapping = map_naive(ctx.dag, ctx.target)
+    ctx.mapping = map_naive(ctx.dag, ctx.target,
+                            recycle=_wants_recycle(ctx.config))
     place_passthrough_outputs(ctx.dag, ctx.mapping)
     return {"instructions": len(ctx.mapping.instructions)}
 
@@ -397,7 +409,8 @@ def _run_map_sherlock(ctx: CompilationContext) -> dict[str, object]:
 
     options = SherlockOptions(
         alpha=ctx.config.alpha, beta=ctx.config.beta,
-        merge_instructions=ctx.config.merge_instructions)
+        merge_instructions=ctx.config.merge_instructions,
+        recycle=_wants_recycle(ctx.config))
     ctx.mapping = map_sherlock(ctx.dag, ctx.target, options)
     place_passthrough_outputs(ctx.dag, ctx.mapping)
     return {"instructions": len(ctx.mapping.instructions),

@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.core.compiler import CompiledProgram
+from repro.core.compiler import CompiledProgram, LadderAttempt
 from repro.core.passes import PassEvent
 from repro.reliability.campaign import CampaignResult
 
@@ -134,6 +134,46 @@ class PassReport:
         table = format_table(PASS_REPORT_HEADERS, self.rows())
         return f"{table}\ntotal {self.total_ms:,.3f} ms over " \
                f"{len(self.events)} passes"
+
+
+COMPILE_REPORT_HEADERS = ["rung", "outcome", "stages", "detail"]
+
+
+@dataclass(frozen=True)
+class CompileReport:
+    """The graceful-degradation ladder walked by one compilation.
+
+    One row per rung attempted (the base mapper first), with the failure
+    reason for rungs that ran out of capacity and the stage count for the
+    rung that finally fit.  Empty when the base mapper succeeded outright.
+    """
+
+    degradation: str
+    attempts: tuple[LadderAttempt, ...]
+
+    @classmethod
+    def from_program(cls, program: CompiledProgram) -> "CompileReport":
+        """Wrap the ladder attempts recorded on a compiled program."""
+        return cls(degradation=program.degradation,
+                   attempts=tuple(program.ladder))
+
+    def rows(self) -> list[list[object]]:
+        """Table rows matching :data:`COMPILE_REPORT_HEADERS`."""
+        out: list[list[object]] = []
+        for attempt in self.attempts:
+            detail = "" if attempt.succeeded else str(attempt.error or "")
+            if len(detail) > 60:
+                detail = detail[:57] + "..."
+            out.append([attempt.rung,
+                        "ok" if attempt.succeeded else "failed",
+                        attempt.stages if attempt.succeeded else "-",
+                        detail or "-"])
+        return out
+
+    def render(self) -> str:
+        """The ladder table plus the resulting degradation level."""
+        table = format_table(COMPILE_REPORT_HEADERS, self.rows())
+        return f"{table}\ndegradation level: {self.degradation}"
 
 
 RECOVERY_REPORT_HEADERS = [

@@ -123,7 +123,16 @@ def target_from_dict(data: dict) -> TargetSpec:
 # program <-> file
 # ----------------------------------------------------------------------
 def save_program(program: CompiledProgram, path: str | pathlib.Path) -> None:
-    """Write a compiled program to ``path`` as JSON."""
+    """Write a compiled program to ``path`` as JSON.
+
+    Staged (spill-and-partition) programs are not serializable: their
+    semantics live in per-stage layouts and host-staged boundary values,
+    which this single-layout format cannot express.
+    """
+    if program.stages is not None:
+        raise SherlockError(
+            "cannot serialize a staged (spill-and-partition) program; "
+            "recompile on a larger target (see program.ladder) to save it")
     placements = {
         str(oid): [[a.array, a.row, a.col] for a in addrs]
         for oid, addrs in program.layout.placements().items()

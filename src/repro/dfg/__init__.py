@@ -6,6 +6,7 @@ from repro.dfg.compose import union
 from repro.dfg.dot import to_dot
 from repro.dfg.evaluate import evaluate, evaluate_all
 from repro.dfg.graph import DataFlowGraph, OperandKind, OperandNode, OpNode
+from repro.dfg.liveness import Liveness, compute_liveness, schedule_liveness
 from repro.dfg.ops import OpType, apply_op
 from repro.dfg.stats import GraphStats, graph_stats, structural_hash
 from repro.dfg.transforms import (
@@ -22,6 +23,9 @@ __all__ = [
     "DataFlowGraph",
     "DFGBuilder",
     "GraphStats",
+    "Liveness",
+    "compute_liveness",
+    "schedule_liveness",
     "graph_stats",
     "structural_hash",
     "OperandKind",

@@ -1,0 +1,84 @@
+"""Operand liveness over a fixed op schedule (register-allocation style).
+
+Both mappers process op nodes in a deterministic order (b-level order for
+per-op generation, dependence levels for the merged scheduler).  Relative
+to that order every operand has a *last use* — the position of the last op
+that reads it.  Past its last use the operand's cells hold dead data and
+may be recycled for later placements, exactly like a register allocator
+reuses a register after a live range ends (the "free cells" Sherlock's
+mapper writes results into, Sec. 2.2/Fig. 4).
+
+Program outputs are never dead: their cells are read back after the whole
+program ran.  Source operands (inputs/constants) are preloaded before the
+program starts, so their *primary* copy must survive from position zero;
+only their duplicate gather copies are recyclable — the caller enforces
+that split via :meth:`repro.arch.layout.Layout.release_duplicates`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.dfg.graph import DataFlowGraph
+
+#: last-use position of operands that must never be recycled (outputs)
+NEVER_DEAD = float("inf")
+
+
+@dataclass(frozen=True)
+class Liveness:
+    """Last-use positions of every operand relative to one schedule."""
+
+    #: operand id -> position of the last op consuming it (NEVER_DEAD for
+    #: program outputs; the producing position for unconsumed results)
+    last_use: dict[int, float]
+    #: position -> operand ids whose last use is exactly that position
+    dying_at: dict[int, list[int]] = field(default_factory=dict)
+
+    def is_dead(self, operand_id: int, position: int) -> bool:
+        """Whether the operand is dead once ``position`` has been processed."""
+        return self.last_use.get(operand_id, NEVER_DEAD) <= position
+
+    def dead_before(self, operand_id: int, position: int) -> bool:
+        """Whether the operand is already dead when ``position`` starts."""
+        return self.last_use.get(operand_id, NEVER_DEAD) < position
+
+
+def compute_liveness(dag: DataFlowGraph,
+                     position_of: dict[int, int]) -> Liveness:
+    """Liveness of every operand given op positions (index or level).
+
+    ``position_of`` maps every op node id to its schedule position; several
+    ops may share a position (the level-synchronous scheduler).  An operand
+    dies at the largest position among its consumers — or its producer's
+    position if nothing consumes it — and never dies if it is an output.
+    """
+    output_ids = set(dag.outputs.values())
+    last_use: dict[int, float] = {}
+    dying_at: dict[int, list[int]] = {}
+    for operand in dag.operand_nodes():
+        oid = operand.node_id
+        if oid in output_ids:
+            last_use[oid] = NEVER_DEAD
+            continue
+        positions = [position_of[c] for c in dag.consumers(oid)]
+        if operand.producer is not None:
+            positions.append(position_of[operand.producer])
+        if not positions:
+            # an unconsumed source: dead from the start, but its primary
+            # copy is preload data the caller must keep (duplicates only)
+            positions.append(-1)
+        last = max(positions)
+        last_use[oid] = last
+        if last >= 0:
+            dying_at.setdefault(last, []).append(oid)
+    for bucket in dying_at.values():
+        bucket.sort()
+    return Liveness(last_use=last_use, dying_at=dying_at)
+
+
+def schedule_liveness(dag: DataFlowGraph,
+                      schedule: Sequence[int]) -> Liveness:
+    """Liveness over an explicit op schedule (one op per position)."""
+    return compute_liveness(dag, {op: i for i, op in enumerate(schedule)})

@@ -24,6 +24,50 @@ class MappingError(SherlockError):
     """The mapper could not place the DAG on the target (capacity, ...)."""
 
 
+class CapacityError(MappingError):
+    """The DAG does not fit the target's cell/column capacity.
+
+    Structured capacity diagnostics: ``required_cells`` is the mapper's
+    estimate of the cells the failing request needed, ``available_cells``
+    the capacity it had, and ``suggested_num_arrays`` a computed target
+    size that would (conservatively) fit.  Any field may be ``None`` when
+    the failing site cannot estimate it.
+    """
+
+    def __init__(self, message: str, *,
+                 required_cells: int | None = None,
+                 available_cells: int | None = None,
+                 num_arrays: int | None = None,
+                 suggested_num_arrays: int | None = None) -> None:
+        super().__init__(message)
+        self.required_cells = required_cells
+        self.available_cells = available_cells
+        self.num_arrays = num_arrays
+        if (suggested_num_arrays is None and required_cells is not None
+                and available_cells and num_arrays):
+            # scale the array count by the overshoot, never shrinking and
+            # always proposing at least one extra array
+            import math
+
+            scaled = math.ceil(num_arrays * required_cells / available_cells)
+            suggested_num_arrays = max(num_arrays + 1, scaled)
+        self.suggested_num_arrays = suggested_num_arrays
+
+    def details(self) -> list[str]:
+        """Human-readable diagnostic lines for the CLI error path."""
+        lines = []
+        if self.required_cells is not None:
+            lines.append(f"required cells:  {self.required_cells}")
+        if self.available_cells is not None:
+            lines.append(f"available cells: {self.available_cells}")
+        if self.suggested_num_arrays is not None:
+            lines.append(
+                f"suggestion: retry with num_arrays >= "
+                f"{self.suggested_num_arrays} (--arrays "
+                f"{self.suggested_num_arrays})")
+        return lines
+
+
 class SimulationError(SherlockError):
     """Illegal instruction or machine state during trace execution."""
 

@@ -4,14 +4,24 @@ from repro.mapping.base import MappingResult, MappingStats
 from repro.mapping.clustering import Cluster, find_clusters, merge_clusters
 from repro.mapping.naive import map_naive
 from repro.mapping.optimized import SherlockOptions, map_sherlock
+from repro.mapping.partition import (
+    Stage,
+    combined_mapping,
+    execute_staged,
+    map_partitioned,
+)
 
 __all__ = [
     "Cluster",
     "MappingResult",
     "MappingStats",
     "SherlockOptions",
+    "Stage",
+    "combined_mapping",
+    "execute_staged",
     "find_clusters",
     "map_naive",
+    "map_partitioned",
     "map_sherlock",
     "merge_clusters",
 ]

@@ -24,6 +24,8 @@ class MappingStats:
     duplicates: int = 0
     #: operand cells in use after mapping and code generation
     cells_used: int = 0
+    #: placements that reused a cell released by liveness recycling
+    recycled_cells: int = 0
 
     def as_dict(self) -> dict[str, object]:
         """All statistics as a flat dictionary."""
@@ -46,3 +48,4 @@ class MappingResult:
         self.stats.arrays_used = self.layout.arrays_used
         self.stats.duplicates = self.layout.duplicates
         self.stats.cells_used = self.layout.cells_used
+        self.stats.recycled_cells = self.layout.recycled

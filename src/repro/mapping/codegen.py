@@ -30,7 +30,8 @@ from repro.arch.isa import Instruction, NotInst, ReadInst, ShiftInst, TransferIn
 from repro.arch.layout import CellAddr, Layout
 from repro.arch.target import TargetSpec
 from repro.dfg.blevel import blevel_order
-from repro.dfg.graph import DataFlowGraph, OpNode
+from repro.dfg.graph import DataFlowGraph, OperandKind, OpNode
+from repro.dfg.liveness import Liveness, compute_liveness, schedule_liveness
 from repro.dfg.ops import OpType
 from repro.errors import MappingError
 from repro.mapping.base import MappingStats
@@ -41,7 +42,8 @@ class CodeGenerator:
 
     def __init__(self, dag: DataFlowGraph, target: TargetSpec, layout: Layout,
                  stats: MappingStats,
-                 pad_budget: dict[int, int] | None = None) -> None:
+                 pad_budget: dict[int, int] | None = None,
+                 recycle: bool = False) -> None:
         self.dag = dag
         self.target = target
         self.layout = layout
@@ -52,6 +54,9 @@ class CodeGenerator:
         #: padded columns can never overflow
         self.pad_budget = dict(pad_budget or {})
         self._pad_used: dict[int, int] = {}
+        #: release dead operand cells as generation advances so later
+        #: placements can recycle them (register-allocation style)
+        self.recycle = recycle
 
     # ------------------------------------------------------------------
     # shared helpers
@@ -95,9 +100,25 @@ class CodeGenerator:
             return copy
         if not self.layout.is_placed(operand_id):
             # Resident source data (input/const): the mapper chooses where it
-            # lives; placing it costs no instructions.
-            return self.layout.place(operand_id, gcol)
+            # lives; placing it costs no instructions.  Preloaded data must
+            # never land in a recycled cell — its previous occupant is
+            # written mid-program and would clobber the value poked at t=0.
+            return self.layout.place(operand_id, gcol, reuse=False)
         return self._move(operand_id, self.layout.primary(operand_id), gcol)
+
+    def release_dying(self, liveness: Liveness, position: int) -> None:
+        """Free the cells of operands whose last use is ``position``.
+
+        Intermediates are fully released; sources (inputs/constants) keep
+        their primary copy because preloading pokes it before execution
+        starts, so only their gather duplicates are reclaimed.  Program
+        outputs never appear in ``dying_at``.
+        """
+        for oid in liveness.dying_at.get(position, []):
+            if self.dag.operand(oid).kind is OperandKind.INTERMEDIATE:
+                self.layout.release(oid)
+            else:
+                self.layout.release_duplicates(oid)
 
     def _route_result(self, home_gcol: int, result_addr: CellAddr) -> None:
         """Move the row-buffer result bit from the home column to its cell."""
@@ -121,24 +142,33 @@ class CodeGenerator:
         column; otherwise the mapper must have placed it already (the naive
         cursor does), and the result is routed there.
         """
-        for op_id in blevel_order(self.dag):
-            node = self.dag.op(op_id)
-            self._check_arity(node)
-            home_gcol = home_for(op_id)
-            operands = self._distinct_operands(node)
-            copies = [self._ensure_in_column(oid, home_gcol) for oid in operands]
-            array, col = self.layout.split(home_gcol)
-            if node.op is OpType.NOT:
-                self._emit(ReadInst(array, (col,), (copies[0].row,), None))
-                self._emit(NotInst(array, (col,)))
-            else:
-                rows = tuple(sorted(c.row for c in copies))
-                self._emit(ReadInst(array, (col,), rows, (node.op,)))
-            if place_results:
-                result_addr = self.layout.place(node.result, home_gcol)
-            else:
-                result_addr = self.layout.primary(node.result)
-            self._route_result(home_gcol, result_addr)
+        schedule = blevel_order(self.dag)
+        liveness = (schedule_liveness(self.dag, schedule)
+                    if self.recycle else None)
+        for idx, op_id in enumerate(schedule):
+            self.emit_op(op_id, home_for(op_id), place_results)
+            if liveness is not None:
+                self.release_dying(liveness, idx)
+
+    def emit_op(self, op_id: int, home_gcol: int,
+                place_results: bool = True) -> None:
+        """Gather, compute, and route one op node in its home column."""
+        node = self.dag.op(op_id)
+        self._check_arity(node)
+        operands = self._distinct_operands(node)
+        copies = [self._ensure_in_column(oid, home_gcol) for oid in operands]
+        array, col = self.layout.split(home_gcol)
+        if node.op is OpType.NOT:
+            self._emit(ReadInst(array, (col,), (copies[0].row,), None))
+            self._emit(NotInst(array, (col,)))
+        else:
+            rows = tuple(sorted(c.row for c in copies))
+            self._emit(ReadInst(array, (col,), rows, (node.op,)))
+        if place_results:
+            result_addr = self.layout.place(node.result, home_gcol)
+        else:
+            result_addr = self.layout.primary(node.result)
+        self._route_result(home_gcol, result_addr)
 
     # ------------------------------------------------------------------
     # level-synchronous merged generation (Sherlock's scheduler)
@@ -172,11 +202,15 @@ class CodeGenerator:
             level = 1 + (max(pred_levels) if pred_levels else 0)
             levels[op_id] = level
             by_level.setdefault(level, []).append(op_id)
+        liveness = (compute_liveness(self.dag, levels)
+                    if self.recycle else None)
         for level in sorted(by_level):
             ops = sorted(by_level[level])
             self._place_new_sources(ops, column_of)
             self._emit_level_gathers(ops, column_of)
             self._emit_level_computes(ops, column_of)
+            if liveness is not None:
+                self.release_dying(liveness, level)
 
     def _place_new_sources(self, ops: list[int], column_of: dict[int, int]) -> None:
         """Give still-unplaced inputs/consts a primary cell.
@@ -193,7 +227,8 @@ class CodeGenerator:
                 if oid in claimed or self.layout.is_placed(oid):
                     continue
                 claimed.add(oid)
-                self.layout.place_top(oid, gcol)
+                # preloaded at t=0: never recycle a mid-program cell for it
+                self.layout.place_top(oid, gcol, reuse=False)
 
     def _aligned_place(self, items: list[tuple[int, int]]) -> dict[tuple[int, int], CellAddr]:
         """Place (operand, gcol) pairs at a shared base row where possible.

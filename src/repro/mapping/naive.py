@@ -8,6 +8,12 @@ structure, the operands of later ops end up scattered over many columns,
 and code generation has to gather them with plain-read/shift/write move
 sequences, duplicating data.  That movement is exactly the inefficiency
 Sherlock's clustering eliminates (Sec. 2.2, "The mapping problem").
+
+With ``recycle`` the mapper interleaves placement with code generation and
+releases every operand's cells past its last use, so near-capacity DAGs can
+pack into the reclaimed cells instead of failing.  Independently of that
+flag, the gather fallback reclaims dead copies in candidate columns before
+declaring the DAG unmappable — a path that previously hard-failed.
 """
 
 from __future__ import annotations
@@ -15,45 +21,68 @@ from __future__ import annotations
 from repro.arch.layout import Layout
 from repro.arch.target import TargetSpec
 from repro.dfg.blevel import blevel_order
-from repro.dfg.graph import DataFlowGraph
-from repro.errors import MappingError
+from repro.dfg.graph import DataFlowGraph, OperandKind
+from repro.dfg.liveness import schedule_liveness
+from repro.errors import CapacityError
 from repro.mapping.base import MappingResult, MappingStats
 from repro.mapping.codegen import CodeGenerator
 
 
-def map_naive(dag: DataFlowGraph, target: TargetSpec) -> MappingResult:
+def map_naive(dag: DataFlowGraph, target: TargetSpec,
+              recycle: bool = False) -> MappingResult:
     """Map and schedule ``dag`` with the naive column-major packing."""
     dag.validate()
     layout = Layout(target)
     stats = MappingStats("naive")
-    gen = CodeGenerator(dag, target, layout, stats)
+    gen = CodeGenerator(dag, target, layout, stats, recycle=recycle)
 
     cursor = 0
     planned_rows = target.usable_rows  # leave slack for gather duplicates
+    schedule = blevel_order(dag)
+    liveness = schedule_liveness(dag, schedule)
+    order_index = {op_id: idx for idx, op_id in enumerate(schedule)}
 
-    def place_at_cursor(operand_id: int) -> None:
+    def capacity_error(message: str) -> CapacityError:
+        required = (layout.cells_used
+                    + sum(1 for _ in dag.operand_nodes()
+                          if not layout.is_placed(_.node_id)))
+        return CapacityError(
+            message,
+            required_cells=required,
+            available_cells=layout.num_global_cols * planned_rows,
+            num_arrays=target.num_arrays)
+
+    def place_at_cursor(operand_id: int, reuse: bool) -> None:
         nonlocal cursor
+        if reuse:
+            # recycle mode: dead cells anywhere beat a fresh cursor cell
+            for gcol in layout.reusable_columns():
+                layout.place(operand_id, gcol)
+                return
         while layout.column_fill(cursor) >= planned_rows:
             cursor += 1
             if cursor >= layout.num_global_cols:
-                raise MappingError(
+                raise capacity_error(
                     "naive mapping ran out of columns: "
                     f"{layout.num_global_cols} columns of "
                     f"{planned_rows} usable rows; increase num_arrays")
-        layout.place(operand_id, cursor)
+        layout.place(operand_id, cursor, reuse=False)
 
-    # Algorithm 1 lines 5-17: pack unmapped operands and results in b-level
-    # order at the cursor.
-    for op_id in blevel_order(dag):
-        node = dag.op(op_id)
-        for oid in dict.fromkeys(node.operands):
-            if not layout.is_placed(oid):
-                place_at_cursor(oid)
-        place_at_cursor(node.result)
+    def reclaim_dead(gcol: int, position: int) -> int:
+        """Release dead residents of ``gcol`` so their cells can be reused."""
+        freed = 0
+        for oid in layout.residents(gcol):
+            if not liveness.dead_before(oid, position):
+                continue
+            if dag.operand(oid).kind is OperandKind.INTERMEDIATE:
+                freed += layout.release(oid)
+            else:
+                freed += layout.release_duplicates(oid)
+        return freed
 
-    # Algorithm 1 line 18: generate instructions per node.  The home column
-    # is the one already holding most of the op's operands (ties: lowest
-    # column) and with room for the missing gather copies.
+    # Algorithm 1 line 18 policy: the home column is the one already holding
+    # most of the op's operands (ties: lowest column) and with room for the
+    # missing gather copies.
     def home_for(op_id: int) -> int:
         node = dag.op(op_id)
         operands = list(dict.fromkeys(node.operands))
@@ -71,11 +100,41 @@ def map_naive(dag: DataFlowGraph, target: TargetSpec) -> MappingResult:
         for gcol in range(layout.num_global_cols):
             if layout.column_free(gcol) >= len(operands):
                 return gcol
-        raise MappingError(
+        # last resort: recycle dead copies in the candidate columns before
+        # giving up (the op's own operands are live, so they are untouched)
+        position = order_index[op_id]
+        for gcol in candidates + list(range(layout.num_global_cols)):
+            reclaim_dead(gcol, position)
+            missing = len(operands) - votes.get(gcol, 0)
+            if (layout.column_free(gcol)
+                    + layout.column_reusable(gcol)) >= missing:
+                return gcol
+        raise capacity_error(
             "no column can host the gather copies; increase num_arrays "
             "or lower column_fill_factor")
 
-    gen.run_per_op(home_for, place_results=False)
+    if recycle:
+        # Interleave placement, generation, and release so each op can pack
+        # its result into cells freed by operands that just died.
+        for idx, op_id in enumerate(schedule):
+            node = dag.op(op_id)
+            for oid in dict.fromkeys(node.operands):
+                if not layout.is_placed(oid):
+                    # unplaced operands here are sources, preloaded at t=0
+                    place_at_cursor(oid, reuse=False)
+            place_at_cursor(node.result, reuse=True)
+            gen.emit_op(op_id, home_for(op_id), place_results=False)
+            gen.release_dying(liveness, idx)
+    else:
+        # Algorithm 1 lines 5-17: pack unmapped operands and results in
+        # b-level order at the cursor, then generate instructions per node.
+        for op_id in schedule:
+            node = dag.op(op_id)
+            for oid in dict.fromkeys(node.operands):
+                if not layout.is_placed(oid):
+                    place_at_cursor(oid, reuse=False)
+            place_at_cursor(node.result, reuse=False)
+        gen.run_per_op(home_for, place_results=False)
 
     result = MappingResult(dag=dag, target=target, layout=layout,
                            instructions=gen.instructions, stats=stats)

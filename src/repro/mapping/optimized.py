@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from repro.arch.layout import Layout
 from repro.arch.target import TargetSpec
 from repro.dfg.graph import DataFlowGraph
-from repro.errors import MappingError
+from repro.errors import CapacityError, MappingError
 from repro.mapping.base import MappingResult, MappingStats
 from repro.mapping.clustering import find_clusters, merge_clusters
 from repro.mapping.codegen import CodeGenerator
@@ -36,6 +36,9 @@ class SherlockOptions:
     #: stays free as row-alignment padding budget, which keeps instruction
     #: merging alive on deep DAGs (1.0 = pack columns completely)
     merge_headroom: float = 0.6
+    #: release dead operand cells during generation so near-capacity DAGs
+    #: can recycle them (may change codegen; off by default)
+    recycle: bool = False
 
 
 def map_sherlock(dag: DataFlowGraph, target: TargetSpec,
@@ -58,9 +61,14 @@ def map_sherlock(dag: DataFlowGraph, target: TargetSpec,
     stats.cluster_merges = merges
 
     if len(clusters) > layout.num_global_cols:
-        raise MappingError(
+        raise CapacityError(
             f"need {len(clusters)} columns but the target only has "
-            f"{layout.num_global_cols}; increase num_arrays")
+            f"{layout.num_global_cols}; increase num_arrays",
+            required_cells=dag.num_operands,
+            available_cells=layout.num_global_cols * c_max,
+            num_arrays=target.num_arrays,
+            suggested_num_arrays=math.ceil(
+                len(clusters) / target.cols))
 
     # bind cluster i to global column i, in creation order; the headroom
     # above each cluster's planned footprint becomes the row-alignment
@@ -74,7 +82,8 @@ def map_sherlock(dag: DataFlowGraph, target: TargetSpec,
 
     _stage_shared_sources(dag, layout, column_of, first_free=len(clusters))
 
-    gen = CodeGenerator(dag, target, layout, stats, pad_budget=pad_budget)
+    gen = CodeGenerator(dag, target, layout, stats, pad_budget=pad_budget,
+                        recycle=options.recycle)
     if options.merge_instructions and target.selective_columns:
         gen.run_merged(column_of)
     else:
@@ -111,4 +120,5 @@ def _stage_shared_sources(dag: DataFlowGraph, layout: Layout,
             # staging space exhausted: the remaining sources fall back to
             # first-user placement inside the code generator
             return
-        layout.place(operand.node_id, gcol)
+        # preloaded at t=0: never place source data into a recycled cell
+        layout.place(operand.node_id, gcol, reuse=False)

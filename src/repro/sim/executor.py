@@ -294,12 +294,18 @@ class ArrayMachine:
 
 
 def preload_sources(machine: ArrayMachine, layout: Layout, dag,
-                    inputs: dict[str, int]) -> None:
+                    inputs: dict[str, int],
+                    only: set[str] | None = None) -> None:
     """Write resident input data and constants into their primary cells.
 
     In a CIM system the application data already lives in the arrays; the
     mapper chooses *where*.  Only the first (primary) copy is preloaded —
     every further copy is materialized by the program's own gather moves.
+
+    ``only`` restricts the poked *inputs* to the named subset: a staged
+    program's bridge instructions carry some boundary inputs in-array, and
+    re-poking those would mask bridge bugs.  Constants are always poked,
+    and every declared input must still have a value in ``inputs``.
     """
     from repro.dfg.graph import OperandKind  # local import to avoid cycles
 
@@ -309,6 +315,8 @@ def preload_sources(machine: ArrayMachine, layout: Layout, dag,
         raise SimulationError(f"missing input values: {sorted(missing)}")
     for operand in dag.operand_nodes():
         if operand.kind is OperandKind.INPUT:
+            if only is not None and operand.name not in only:
+                continue
             value = inputs[operand.name]
         elif operand.kind is OperandKind.CONST:
             value = machine.mask if operand.const_value else 0

@@ -279,9 +279,29 @@ class TestPassthroughPlacementFailure:
         tiny = TargetSpec(technology=RERAM, rows=3, cols=1, data_width=4,
                           num_arrays=1, column_fill_factor=1.0)
         with pytest.raises(MappingError) as err:
-            compile_dag(dag, tiny, CompilerConfig(mapper="naive"),
+            compile_dag(dag, tiny,
+                        CompilerConfig(mapper="naive", fallback="strict"),
                         cache=False)
         message = str(err.value)
         assert "'homeless'" in message
         assert "3/3 cells" in message
         assert "1/1 columns" in message
+
+    def test_ladder_compiles_what_strict_rejects(self):
+        # the same DAG compiles through the degradation ladder: recycling
+        # frees the dead AND operands' cells for the passthrough output
+        b = DFGBuilder()
+        x, y, z = b.inputs("x", "y", "z")
+        b.output("computed", x & y)
+        b.output("homeless", z)
+        dag = b.build()
+        tiny = TargetSpec(technology=RERAM, rows=3, cols=1, data_width=4,
+                          num_arrays=1, column_fill_factor=1.0)
+        program = compile_dag(dag, tiny,
+                              CompilerConfig(mapper="naive",
+                                             fallback="ladder"),
+                              cache=False)
+        assert program.degradation != "none"
+        assert [a.rung for a in program.ladder][0] == "naive"
+        assert not program.ladder[0].succeeded
+        program.verify({"x": 0b1100, "y": 0b1010, "z": 0b0110}, lanes=4)

@@ -71,6 +71,11 @@ def random_inputs(dag: DataFlowGraph, seed: int, lanes: int) -> dict[str, int]:
 TARGET = TargetSpec(RERAM, rows=24, cols=12, data_width=48, num_arrays=4,
                     max_activated_rows=4)
 
+# deliberately tight: many generated DAGs only compile through the
+# graceful-degradation ladder (recycling and/or partitioning)
+NEAR_CAPACITY_TARGET = TargetSpec(RERAM, rows=10, cols=4, data_width=16,
+                                  num_arrays=2, max_activated_rows=4)
+
 
 class TestCompilerCorrectness:
     @settings(max_examples=60, deadline=None,
@@ -79,6 +84,18 @@ class TestCompilerCorrectness:
            seed=st.integers(0, 2**32 - 1))
     def test_compiled_program_matches_reference(self, dag, mapper, seed):
         program = SherlockCompiler(TARGET, CompilerConfig(mapper=mapper)).compile(dag)
+        inputs = random_inputs(dag, seed, lanes=16)
+        assert program.verify(inputs, lanes=16)
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(dag=dags(), mapper=st.sampled_from(["naive", "sherlock"]),
+           seed=st.integers(0, 2**32 - 1))
+    def test_ladder_matches_reference_near_capacity(self, dag, mapper, seed):
+        """Degraded compiles (recycle/partition) stay bit-identical."""
+        compiler = SherlockCompiler(NEAR_CAPACITY_TARGET,
+                                    CompilerConfig(mapper=mapper))
+        program = compiler.compile(dag)
         inputs = random_inputs(dag, seed, lanes=16)
         assert program.verify(inputs, lanes=16)
 
