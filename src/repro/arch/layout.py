@@ -26,10 +26,18 @@ class CellAddr:
 
 
 class Layout:
-    """Tracks operand placements and per-column occupancy."""
+    """Tracks operand placements and per-column occupancy.
 
-    def __init__(self, target: TargetSpec) -> None:
+    With a ``fault_map`` the allocator is *fault-aware*: both fill
+    directions skip rows whose cell is permanently faulty in the column
+    being placed, burning them as padding, so operands only ever land on
+    healthy cells.  Burned cells are excluded from ``cells_used``.
+    """
+
+    def __init__(self, target: TargetSpec, fault_map=None) -> None:
         self.target = target
+        #: optional :class:`repro.devices.FaultMap` steering placements
+        self.fault_map = fault_map
         self._fill: dict[int, int] = {}  # global col -> rows used bottom-up
         self._top_fill: dict[int, int] = {}  # global col -> rows used top-down
         self._copies: dict[int, list[CellAddr]] = {}  # operand id -> cells
@@ -38,6 +46,7 @@ class Layout:
         # placements (global col -> freed addresses, sorted by row)
         self._free_pool: dict[int, list[CellAddr]] = {}
         self._recycled = 0
+        self._burned = 0
 
     # ------------------------------------------------------------------
     # addressing
@@ -80,6 +89,17 @@ class Layout:
         """Rows still unallocated between the two fill regions."""
         return self.column_capacity(gcol) - self.column_fill(gcol)
 
+    def column_free_healthy(self, gcol: int) -> int:
+        """Unallocated rows that are also healthy (= ``column_free`` without
+        a fault map); the count fault-aware placement can actually deliver."""
+        free = self.column_free(gcol)
+        if self.fault_map is None:
+            return free
+        array, col = self.split(gcol)
+        return sum(1 for row in range(self.column_fill(gcol),
+                                      self.column_capacity(gcol))
+                   if self.fault_map.is_healthy(array, row, col))
+
     def column_reusable(self, gcol: int) -> int:
         """Released (recyclable) cells available in the given column."""
         self.split(gcol)
@@ -88,6 +108,10 @@ class Layout:
     def reusable_columns(self) -> list[int]:
         """Global columns holding at least one released cell, sorted."""
         return sorted(g for g, pool in self._free_pool.items() if pool)
+
+    def cell_healthy(self, array: int, row: int, col: int) -> bool:
+        """Whether the cell is free of permanent faults (no map = healthy)."""
+        return self.fault_map is None or self.fault_map.is_healthy(array, row, col)
 
     def _record(self, operand_id: int, addr: CellAddr) -> CellAddr:
         existing = self._copies.setdefault(operand_id, [])
@@ -122,7 +146,11 @@ class Layout:
                 return recycled
         array, col = self.split(gcol)
         row = self._fill.get(gcol, 0)
-        if row >= self.column_capacity(gcol):
+        capacity = self.column_capacity(gcol)
+        while row < capacity and not self.cell_healthy(array, row, col):
+            row += 1
+            self._burned += 1
+        if row >= capacity:
             raise MappingError(
                 f"column {gcol} (array {array}, col {col}) is full "
                 f"({self.target.rows} rows, "
@@ -145,7 +173,12 @@ class Layout:
         array, col = self.split(gcol)
         used = self._top_fill.get(gcol, 0)
         row = self.target.rows - 1 - used
-        if row < self.column_fill(gcol):
+        fill = self.column_fill(gcol)
+        while row >= fill and not self.cell_healthy(array, row, col):
+            row -= 1
+            used += 1
+            self._burned += 1
+        if row < fill:
             raise MappingError(
                 f"column {gcol} (array {array}, col {col}) is full "
                 f"({self.target.rows} rows, {self.column_fill(gcol)} "
@@ -217,8 +250,37 @@ class Layout:
                 f"column {gcol} cannot reach row {row} "
                 f"(array height {self.target.rows}, "
                 f"{self.column_top_fill(gcol)} rows used top-down)")
+        if not self.cell_healthy(array, row, col):
+            raise MappingError(
+                f"cell (array={array}, row={row}, col={col}) is permanently "
+                "faulty; aligned placement must pick a healthy row")
         self._fill[gcol] = row + 1
         return self._record(operand_id, CellAddr(array, row, col))
+
+    # ------------------------------------------------------------------
+    # spare provisioning
+    # ------------------------------------------------------------------
+    def spare_cells(self, limit_per_column: int | None = 4) -> list[CellAddr]:
+        """Healthy unallocated cells of the touched columns, for remapping.
+
+        Verify-after-write escalates a persistently failing cell to a spare
+        of the *same column* (a remapped read must stay on the same bitline).
+        The spares are the rows left between the bottom-up and top-down fill
+        regions of every column the program actually uses, healthiest-first
+        order being simply ascending row.  ``limit_per_column`` bounds the
+        list (``None`` = all free rows).
+        """
+        spares: list[CellAddr] = []
+        for gcol in sorted(self._touched_cols()):
+            array, col = self.split(gcol)
+            taken = 0
+            for row in range(self.column_fill(gcol), self.column_capacity(gcol)):
+                if limit_per_column is not None and taken >= limit_per_column:
+                    break
+                if self.cell_healthy(array, row, col):
+                    spares.append(CellAddr(array, row, col))
+                    taken += 1
+        return spares
 
     # ------------------------------------------------------------------
     # lookup
@@ -257,12 +319,18 @@ class Layout:
     def cells_used(self) -> int:
         """Number of cells occupied by placed operands and copies."""
         freed = sum(len(pool) for pool in self._free_pool.values())
-        return sum(self._fill.values()) + sum(self._top_fill.values()) - freed
+        return (sum(self._fill.values()) + sum(self._top_fill.values())
+                - freed - self._burned)
 
     @property
     def duplicates(self) -> int:
         """Extra physical copies beyond one per operand."""
         return self._duplicates
+
+    @property
+    def burned(self) -> int:
+        """Faulty cells skipped (lost as padding) by fault-aware placement."""
+        return self._burned
 
     @property
     def recycled(self) -> int:

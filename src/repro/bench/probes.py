@@ -1,6 +1,6 @@
 """The built-in benchmark probes over the standard workloads.
 
-Seven probes cover the hot paths the roadmap optimizes against:
+Eight probes cover the hot paths the roadmap optimizes against:
 
 * ``compile.cold`` / ``compile.warm`` — the full pass pipeline on the
   bitweaving DAG with the process compile cache cleared vs primed,
@@ -8,6 +8,9 @@ Seven probes cover the hot paths the roadmap optimizes against:
   synthetic DAG that only compiles through recycling + partitioning,
 * ``execute.bitweaving`` — functional array-machine execution of the
   compiled program,
+* ``execute.verified`` — the same execution with verify-after-write on
+  (per-cell read-back plus retry/remap bookkeeping), pricing the
+  hard-fault detection path against the plain run,
 * ``evaluate.reference`` — the reference DAG evaluation every campaign
   trial and shadow check pays for,
 * ``campaign.serial`` / ``campaign.parallel`` — fault-injection campaign
@@ -148,6 +151,35 @@ def _execute_bitweaving(timer: Timer):
     values = timer.measure(_work)
     return values, {"workload": "bitweaving", "lanes": _LANES,
                     "instructions": len(program.instructions)}
+
+
+@benchmark("execute.verified", group="execute",
+           description="bitweaving execution with verify-after-write on "
+                       "(read-back every written cell, recover injected "
+                       "write failures)")
+def _execute_verified(timer: Timer):
+    workload = get_workload("bitweaving")
+    program = compile_dag(workload.build_dag(), _compile_target(),
+                          cache=False)
+    inputs = workload.make_inputs(random.Random(0), _LANES)
+    machines = []
+
+    def _work():
+        machine = program.machine(_LANES, fault_rng=random.Random(7),
+                                  verify_writes=True)
+        from repro.sim.executor import extract_outputs, preload_sources
+
+        preload_sources(machine, program.layout, program.dag, inputs)
+        machine.run(program.instructions)
+        machines.append(machine)
+        return extract_outputs(machine, program.layout, program.dag)
+
+    values = timer.measure(_work)
+    last = machines[-1]
+    return values, {"workload": "bitweaving", "lanes": _LANES,
+                    "writes_verified": last.writes_verified,
+                    "write_retries_used": last.write_retries_used,
+                    "remaps": len(last.remaps)}
 
 
 @benchmark("evaluate.reference", group="execute",

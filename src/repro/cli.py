@@ -7,6 +7,9 @@ Examples::
     sherlock sweep --workload bitweaving --tech reram --size 512
     sherlock campaign --synthetic 40 --trials 500 --variability 0.35
     sherlock campaign --workload bitweaving --trials 1000 --workers 4
+    sherlock run --workload bitweaving --fault-map faults.json
+    sherlock wear --workload bitweaving --tech pcm
+    sherlock lifetime --synthetic 30 --trials 20 --endurance 100
     sherlock bench --output BENCH_sherlock.json
     sherlock bench --compare BENCH_previous.json --threshold 0.25
     sherlock workloads
@@ -30,7 +33,7 @@ from repro.core.report import (
     format_table,
     render_reports,
 )
-from repro.devices import get_technology
+from repro.devices import FaultMap, get_technology
 from repro.errors import CapacityError, SherlockError
 from repro.frontend import c_to_dfg
 from repro.reliability import POLICIES, mra_sweep, run_campaign
@@ -86,6 +89,24 @@ def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
                              "into DIR")
 
 
+def _add_fault_map_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fault-map", metavar="FILE", default=None,
+                        help="JSON hard-fault map (sherlock exits 1 on a "
+                             "malformed map); the program is compiled "
+                             "around its faults and executed on a machine "
+                             "that honors them")
+
+
+def _fault_map_of(args: argparse.Namespace) -> FaultMap | None:
+    """Load and validate ``--fault-map`` (DeviceError on a malformed file)."""
+    path = getattr(args, "fault_map", None)
+    if path is None:
+        return None
+    fault_map = FaultMap.load(path)
+    print(f"loaded fault map: {fault_map!r}", file=sys.stderr)
+    return fault_map
+
+
 def _target_of(args: argparse.Namespace) -> TargetSpec:
     return TargetSpec.square(
         args.size, get_technology(args.tech), num_arrays=args.arrays,
@@ -102,7 +123,8 @@ def _config_of(args: argparse.Namespace) -> CompilerConfig:
 def _compiler_of(args: argparse.Namespace) -> SherlockCompiler:
     config = _config_of(args)
     compiler = SherlockCompiler(_target_of(args), config,
-                                dump_ir_dir=getattr(args, "dump_ir", None))
+                                dump_ir_dir=getattr(args, "dump_ir", None),
+                                fault_map=_fault_map_of(args))
     if getattr(args, "print_passes", False):
         rows = [[i, name, "terminal" if get_pass(name).terminal else "",
                  get_pass(name).description]
@@ -180,6 +202,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dag_of(args: argparse.Namespace):
+    """The campaign DAG: a registered workload or a seeded synthetic graph."""
+    if getattr(args, "synthetic", None) is not None:
+        from repro.workloads.synthetic import synthetic_dag
+
+        return synthetic_dag(num_ops=args.synthetic, num_inputs=8,
+                             seed=args.seed,
+                             name=f"synthetic{args.synthetic}")
+    return get_workload(args.workload).build_dag()
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     policies = args.policy or sorted(POLICIES)
     for name in policies:  # validate before spending compile/campaign time
@@ -192,20 +225,96 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         tech = target.technology.with_variability(args.variability,
                                                   args.variability)
         target = target.with_(technology=tech)
-    if args.synthetic is not None:
-        from repro.workloads.synthetic import synthetic_dag
-
-        dag = synthetic_dag(num_ops=args.synthetic, num_inputs=8,
-                            seed=args.seed, name=f"synthetic{args.synthetic}")
-    else:
-        dag = get_workload(args.workload).build_dag()
+    dag = _dag_of(args)
     config = _config_of(args)
-    program = SherlockCompiler(target, config).compile(dag)
+    program = SherlockCompiler(target, config,
+                               fault_map=_fault_map_of(args)).compile(dag)
     results = [run_campaign(program, trials=args.trials, seed=args.seed,
                             policy=name, lanes=args.lanes,
                             workers=args.workers)
                for name in policies]
     print(RecoveryReport.from_results(results).render())
+    return 0
+
+
+def _cmd_wear(args: argparse.Namespace) -> int:
+    """Static write-traffic report plus lifetime bounds per technology."""
+    from repro.devices import TECHNOLOGIES
+    from repro.sim import static_write_counts, wear_by_array, wear_from_counts
+
+    program = _compiler_of(args).compile(_dag_of(args))
+    _report_passes(args, program)
+    counts = static_write_counts(program.instructions)
+    report = wear_from_counts(counts)
+    print(f"program: {program.dag.name} "
+          f"({len(program.instructions)} instructions)")
+    print(format_table(
+        ["total writes", "cells written", "max/cell", "mean/cell",
+         "hottest cell"],
+        [[report.total_cell_writes, report.cells_written,
+          report.max_writes_per_cell,
+          f"{report.mean_writes_per_cell:.2f}",
+          str(report.hottest_cell)]]))
+    per_array = wear_by_array(counts)
+    if len(per_array) > 1:
+        print(format_table(
+            ["array", "writes", "cells", "max/cell", "hottest cell"],
+            [[array, r.total_cell_writes, r.cells_written,
+              r.max_writes_per_cell, str(r.hottest_cell)]
+             for array, r in per_array.items()]))
+    rows = []
+    for name, tech in sorted(TECHNOLOGIES.items()):
+        life = report.lifetime_executions(tech)
+        rows.append([name, f"{tech.endurance_cycles:.0e}",
+                     "inf" if life == float("inf") else f"{life:.3e}"])
+    print(format_table(
+        ["technology", "endurance (cycles)", "executions to wear-out"],
+        rows))
+    return 0
+
+
+def _cmd_lifetime(args: argparse.Namespace) -> int:
+    """Seeded wear-out campaign: baseline vs wear-leveling + remap."""
+    from repro.reliability import run_lifetime
+
+    result = run_lifetime(
+        _dag_of(args), _target_of(args), _config_of(args),
+        trials=args.trials, seed=args.seed, endurance=args.endurance,
+        endurance_spread=args.spread,
+        wear_leveling=not args.no_wear_leveling,
+        rotation_stride=args.stride, horizon=args.horizon,
+        fault_map=_fault_map_of(args), validate=args.validate,
+        lanes=args.lanes)
+    summary = result.summary()
+    print(f"lifetime campaign: {result.program_name} on "
+          f"{result.technology.lower()} "
+          f"(endurance {result.endurance:g} +/- {result.endurance_spread:.0%}"
+          f", {result.trials} trials, seed {result.seed})")
+    rows = [
+        ["baseline (no mitigation)",
+         f"{summary['baseline_mean_death']:.1f}",
+         f"{summary['baseline_dead_frac']:.0%}",
+         f"[{summary['baseline_dead_ci95_lo']:.2f}, "
+         f"{summary['baseline_dead_ci95_hi']:.2f}]"],
+        ["wear-leveling + remap" if result.wear_leveling else "remap only",
+         f"{summary['mitigated_mean_death']:.1f}",
+         f"{summary['mitigated_dead_frac']:.0%}",
+         f"[{summary['mitigated_dead_ci95_lo']:.2f}, "
+         f"{summary['mitigated_dead_ci95_hi']:.2f}]"],
+    ]
+    print(format_table(
+        ["configuration", "mean executions to death", "dead",
+         "dead 95% CI"], rows))
+    first = result.mean_first_remap
+    print(f"mean executions to first remap: "
+          f"{'-' if first is None else f'{first:.1f}'}")
+    print(f"mean recompiles per trial: {summary['mean_recompiles']:.1f}")
+    print(f"lifetime extension factor: {summary['extension_factor']:.2f}x")
+    if args.validate:
+        print(f"functional validations after recompile: "
+              f"{result.validation_failures} failure(s)")
+        if result.validation_failures:
+            return 1
     return 0
 
 
@@ -280,6 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_target_args(p)
     _add_pipeline_args(p)
+    _add_fault_map_arg(p)
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("sweep", help="latency/reliability MRA sweep (Fig. 6)")
@@ -311,7 +421,54 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the technology's relative resistance "
                         "spread (e.g. 0.35) to stress the fault model")
     _add_target_args(p)
+    _add_fault_map_arg(p)
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "wear",
+        help="static write-traffic report and per-technology lifetime bound")
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--workload", choices=sorted(WORKLOADS))
+    group.add_argument("--synthetic", type=int, metavar="OPS",
+                       help="report on a random synthetic DAG of OPS ops")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for --synthetic DAG generation")
+    _add_target_args(p)
+    _add_pipeline_args(p)
+    _add_fault_map_arg(p)
+    p.set_defaults(func=_cmd_wear)
+
+    p = sub.add_parser(
+        "lifetime",
+        help="wear-out campaign: baseline vs wear-leveling + remap/recompile")
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--workload", choices=sorted(WORKLOADS))
+    group.add_argument("--synthetic", type=int, metavar="OPS",
+                       help="age a random synthetic DAG of OPS ops")
+    p.add_argument("--trials", type=_positive_int, default=20,
+                   help="paired aging trials (>= 1)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (same seed -> same endurance draws)")
+    p.add_argument("--endurance", type=float, default=150.0,
+                   help="simulation-scale nominal endurance in writes per "
+                        "cell (real devices: 1e8+; keep this small so the "
+                        "campaign finishes)")
+    p.add_argument("--spread", type=float, default=0.15,
+                   help="relative Gaussian spread of per-cell endurance")
+    p.add_argument("--no-wear-leveling", action="store_true",
+                   help="disable the per-epoch row rotation (remap only)")
+    p.add_argument("--stride", type=_positive_int, default=1,
+                   help="row-rotation stride per execution epoch")
+    p.add_argument("--horizon", type=_positive_int, default=1_000_000,
+                   help="censor trials after this many executions")
+    p.add_argument("--validate", action="store_true",
+                   help="functionally validate every recompiled program "
+                        "(exit 1 on any mismatch)")
+    p.add_argument("--lanes", type=int, default=16,
+                   help="lanes for --validate executions")
+    _add_target_args(p)
+    _add_fault_map_arg(p)
+    p.set_defaults(func=_cmd_lifetime)
 
     p = sub.add_parser(
         "bench",

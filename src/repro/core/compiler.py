@@ -86,6 +86,8 @@ class CompiledProgram:
     ladder: list[LadderAttempt] = field(default_factory=list)
     #: name of the rung that produced this program ("none" = no fallback)
     degradation: str = "none"
+    #: the hard-fault map the program was placed around (None = fault-blind)
+    fault_map: object | None = None
 
     @property
     def instructions(self) -> list[Instruction]:
@@ -106,25 +108,48 @@ class CompiledProgram:
         """The program in the Fig. 4 instruction format."""
         return program_text(self.instructions)
 
+    def machine(self, lanes: int = 64,
+                fault_rng: random.Random | int | None = None,
+                observer=None, verify_writes: bool = False) -> ArrayMachine:
+        """An :class:`ArrayMachine` configured for this program.
+
+        The machine carries the program's fault map, and with
+        ``verify_writes`` also verify-after-write (``config.write_retries``
+        re-attempts) plus a spare-cell pool drawn from the layout's free
+        rows for remap escalation.  Staged programs get no spare pool — a
+        cell free in one stage may be occupied by the next, so their
+        verify path escalates straight to :class:`HardFaultError` and the
+        remap-recompile rung.
+        """
+        spare_pool = None
+        if verify_writes and self.stages is None:
+            spare_pool = self.layout.spare_cells()
+        return ArrayMachine(
+            self.target, lanes, fault_rng, strict_shift=True,
+            observer=observer, fault_map=self.fault_map,
+            verify_writes=verify_writes,
+            write_retries=self.config.write_retries,
+            spare_pool=spare_pool)
+
     def execute(self, inputs: dict[str, int], lanes: int = 64,
                 fault_rng: random.Random | int | None = None,
-                observer=None) -> dict[str, int]:
+                observer=None, verify_writes: bool = False) -> dict[str, int]:
         """Functionally execute the program on lane-bitmask inputs.
 
         Compiled programs run with ``strict_shift`` on: a schedule that
         shifts live row-buffer data off the array edge is a codegen bug and
         raises instead of silently corrupting an output.  ``observer`` is an
         optional :class:`repro.sim.executor.SenseObserver` (recovery hook).
+        ``verify_writes`` turns on verify-after-write (see :meth:`machine`).
 
         Staged (spill-and-partition) programs run their stages back to
         back on one shared machine, carrying boundary values across.
         """
+        machine = self.machine(lanes, fault_rng, observer=observer,
+                               verify_writes=verify_writes)
         if self.stages is not None:
             return execute_staged(self.stages, self.dag, self.target,
-                                  inputs, lanes, fault_rng=fault_rng,
-                                  observer=observer, strict_shift=True)
-        machine = ArrayMachine(self.target, lanes, fault_rng,
-                               strict_shift=True, observer=observer)
+                                  inputs, lanes, machine=machine)
         preload_sources(machine, self.layout, self.dag, inputs)
         machine.run(self.instructions)
         return extract_outputs(machine, self.layout, self.dag)
@@ -240,7 +265,8 @@ def _reissue(cached: CompiledProgram, source_dag: DataFlowGraph,
         pass_events=list(cached.pass_events),
         stages=cached.stages,
         ladder=list(cached.ladder),
-        degradation=cached.degradation)
+        degradation=cached.degradation,
+        fault_map=cached.fault_map)
 
 
 # ----------------------------------------------------------------------
@@ -253,18 +279,26 @@ class SherlockCompiler:
     ``validate_passes`` re-checks the DAG invariants after every pass,
     ``dump_ir_dir`` writes a DOT+JSON IR snapshot per pass, and ``cache``
     consults/feeds the process-level compile cache.
+
+    ``fault_map`` (a :class:`repro.devices.FaultMap`) makes the whole
+    compile fault-aware: the mappers place operands only on healthy cells.
+    Fault-aware compiles bypass the process-level cache — the map is
+    mutable state outside the cache key, and two compiles with different
+    maps must not alias.
     """
 
     def __init__(self, target: TargetSpec,
                  config: CompilerConfig | None = None, *,
                  validate_passes: bool = False,
                  dump_ir_dir: str | pathlib.Path | None = None,
-                 cache: bool = True) -> None:
+                 cache: bool = True,
+                 fault_map=None) -> None:
         self.target = target
         self.config = config or CompilerConfig()
         self.validate_passes = validate_passes
         self.dump_ir_dir = dump_ir_dir
-        self.cache = cache
+        self.fault_map = fault_map
+        self.cache = cache and fault_map is None
 
     # ------------------------------------------------------------------
     def _wants_nand_lowering(self) -> bool:
@@ -285,7 +319,8 @@ class SherlockCompiler:
     def _context(self, dag: DataFlowGraph) -> CompilationContext:
         work = dag.copy(name=f"{dag.name}.{self.config.mapper}")
         return CompilationContext(source_dag=dag, dag=work,
-                                  target=self.target, config=self.config)
+                                  target=self.target, config=self.config,
+                                  fault_map=self.fault_map)
 
     def transform(self, dag: DataFlowGraph) -> DataFlowGraph:
         """Apply the configured DAG rewrites; the input is left untouched."""
@@ -322,7 +357,7 @@ class SherlockCompiler:
             program = CompiledProgram(
                 source_dag=dag, dag=ctx.dag, target=self.target,
                 config=self.config, mapping=ctx.mapping,
-                pass_events=ctx.events)
+                pass_events=ctx.events, fault_map=self.fault_map)
         if key is not None:
             _COMPILE_CACHE.put(key, program)
         return program
@@ -336,12 +371,14 @@ class SherlockCompiler:
         from repro.mapping.optimized import SherlockOptions, map_sherlock
 
         if mapper_name == "naive":
-            return lambda d: map_naive(d, self.target, recycle=recycle)
+            return lambda d: map_naive(d, self.target, recycle=recycle,
+                                       fault_map=self.fault_map)
         options = SherlockOptions(
             alpha=self.config.alpha, beta=self.config.beta,
             merge_instructions=self.config.merge_instructions,
             recycle=recycle)
-        return lambda d: map_sherlock(d, self.target, options)
+        return lambda d: map_sherlock(d, self.target, options,
+                                      fault_map=self.fault_map)
 
     def _map_whole(self, ctx: CompilationContext, mapper_name: str,
                    recycle: bool) -> tuple[MappingResult, None]:
@@ -404,7 +441,8 @@ class SherlockCompiler:
                 source_dag=dag, dag=ctx.dag, target=self.target,
                 config=self.config, mapping=mapping,
                 pass_events=ctx.events, stages=stages,
-                ladder=attempts, degradation=rung)
+                ladder=attempts, degradation=rung,
+                fault_map=self.fault_map)
 
         summary = "\n  ".join(f"{a.rung}: {a.error}" for a in attempts)
         fields = (first_error if isinstance(first_error, CapacityError)
@@ -416,6 +454,44 @@ class SherlockCompiler:
             num_arrays=self.target.num_arrays,
             suggested_num_arrays=(fields.suggested_num_arrays
                                   if fields else None)) from first_error
+
+    # ------------------------------------------------------------------
+    # the runtime (remap) rung
+    # ------------------------------------------------------------------
+    def remap(self, program: CompiledProgram, discovered) -> CompiledProgram:
+        """Recompile a program around hard faults discovered at runtime.
+
+        ``discovered`` is a :class:`repro.devices.FaultMap` — typically an
+        :class:`ArrayMachine`'s ``discovered_faults`` after verify-after-
+        write exhausted its retries and spares (:class:`HardFaultError`).
+        The faults are merged into this compiler's map (first diagnosis
+        wins) and the program's *source* DAG is recompiled fault-aware;
+        the resulting program records the ``remap`` degradation rung.
+        Raises :class:`CapacityError` when the surviving healthy cells no
+        longer fit the program — the end of the array's serviceable life.
+        """
+        from repro.devices.faultmap import FaultMap
+
+        merged = (self.fault_map.copy() if self.fault_map is not None
+                  else FaultMap())
+        added = merged.merge(discovered)
+        rebuilt = SherlockCompiler(
+            self.target, self.config, validate_passes=self.validate_passes,
+            dump_ir_dir=self.dump_ir_dir, fault_map=merged)
+        new_program = rebuilt.compile(program.source_dag)
+        new_program.ladder = (list(program.ladder)
+                              + [LadderAttempt(rung="remap", succeeded=True,
+                                               stages=(len(new_program.stages)
+                                                       if new_program.stages
+                                                       else 1))])
+        new_program.degradation = "remap"
+        new_program.pass_events.append(PassEvent(
+            name="ladder:remap", wall_s=0.0,
+            before=graph_stats(new_program.dag),
+            after=graph_stats(new_program.dag),
+            notes={"discovered_faults": len(discovered),
+                   "new_faults": added, "total_faults": len(merged)}))
+        return new_program
 
 
 def compile_dag(dag: DataFlowGraph, target: TargetSpec,

@@ -54,6 +54,9 @@ class CompilerConfig:
     recycle: str = "auto"
     #: capacity-failure handling: "ladder" (degrade) or "strict" (raise)
     fallback: str = "ladder"
+    #: verify-after-write re-attempts before a cell is declared dead and
+    #: remapped to a spare (runtime-only; never changes codegen)
+    write_retries: int = 2
 
     def __post_init__(self) -> None:
         if self.pipeline is not None:
@@ -81,6 +84,9 @@ class CompilerConfig:
             raise SherlockError(
                 f"unknown fallback mode {self.fallback!r}; "
                 f"choose from {VALID_FALLBACK}")
+        if self.write_retries < 0:
+            raise SherlockError(
+                f"write_retries must be non-negative, got {self.write_retries}")
 
     def effective_pipeline(self) -> tuple[str, ...]:
         """The resolved pass-name list this configuration compiles with."""

@@ -58,7 +58,9 @@ class CompilationContext:
     transform passes mutate it in place.  The terminal mapping pass fills
     ``mapping``.  ``events`` accumulates one :class:`PassEvent` per
     executed pass — the structured log behind ``--timings`` and
-    :class:`repro.core.report.PassReport`.
+    :class:`repro.core.report.PassReport`.  ``fault_map`` (a
+    :class:`repro.devices.FaultMap` or ``None``) makes the terminal
+    mapping pass place operands only on healthy cells.
     """
 
     source_dag: DataFlowGraph
@@ -67,6 +69,7 @@ class CompilationContext:
     config: "CompilerConfigLike"
     events: list["PassEvent"] = field(default_factory=list)
     mapping: MappingResult | None = None
+    fault_map: object | None = None
 
 
 @runtime_checkable
@@ -396,7 +399,8 @@ def _run_map_naive(ctx: CompilationContext) -> dict[str, object]:
     from repro.mapping.naive import map_naive
 
     ctx.mapping = map_naive(ctx.dag, ctx.target,
-                            recycle=_wants_recycle(ctx.config))
+                            recycle=_wants_recycle(ctx.config),
+                            fault_map=ctx.fault_map)
     place_passthrough_outputs(ctx.dag, ctx.mapping)
     return {"instructions": len(ctx.mapping.instructions)}
 
@@ -411,7 +415,8 @@ def _run_map_sherlock(ctx: CompilationContext) -> dict[str, object]:
         alpha=ctx.config.alpha, beta=ctx.config.beta,
         merge_instructions=ctx.config.merge_instructions,
         recycle=_wants_recycle(ctx.config))
-    ctx.mapping = map_sherlock(ctx.dag, ctx.target, options)
+    ctx.mapping = map_sherlock(ctx.dag, ctx.target, options,
+                               fault_map=ctx.fault_map)
     place_passthrough_outputs(ctx.dag, ctx.mapping)
     return {"instructions": len(ctx.mapping.instructions),
             "clusters": ctx.mapping.stats.clusters}

@@ -1,6 +1,7 @@
 """Device substrate: NVM technologies, sensing reliability, array costs."""
 
 from repro.devices.arraymodel import ArrayCostModel
+from repro.devices.faultmap import FAULTMAP_FORMAT_VERSION, CellFault, FaultMap
 from repro.devices.failure import (
     CompositeState,
     application_failure_probability,
@@ -20,7 +21,10 @@ from repro.devices.technology import (
 
 __all__ = [
     "ArrayCostModel",
+    "CellFault",
     "CompositeState",
+    "FAULTMAP_FORMAT_VERSION",
+    "FaultMap",
     "PCM",
     "RERAM",
     "STT_MRAM",

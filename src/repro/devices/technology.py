@@ -51,7 +51,11 @@ class Technology:
     #: maximum rows the sense scheme can activate simultaneously
     max_activated_rows: int = 8
     #: program/erase cycles a cell endures before wearing out
+    #: (``inf`` = effectively wear-free, e.g. STT-MRAM)
     endurance_cycles: float = 1e9
+    #: probability one write pulse fails to flip the cell (transient write
+    #: error; verify-after-write detects and retries it)
+    write_failure_probability: float = 0.0
 
     def __post_init__(self) -> None:
         if self.r_lrs_ohm <= 0 or self.r_hrs_ohm <= 0:
@@ -72,6 +76,10 @@ class Technology:
             raise DeviceError("max_activated_rows must be at least 2")
         if self.endurance_cycles <= 0:
             raise DeviceError("endurance_cycles must be positive")
+        if not 0.0 <= self.write_failure_probability < 1.0:
+            raise DeviceError(
+                "write_failure_probability must be in [0, 1), got "
+                f"{self.write_failure_probability}")
 
     # ------------------------------------------------------------------
     # derived quantities
@@ -128,7 +136,8 @@ STT_MRAM = Technology(
     read_latency_ns=2.0,
     read_energy_pj_per_bit=0.1,
     max_activated_rows=8,
-    endurance_cycles=1e15,  # STT-MRAM is effectively wear-free
+    endurance_cycles=math.inf,  # STT-MRAM is effectively wear-free
+    write_failure_probability=1e-6,  # thermally-assisted switching misses
 )
 
 RERAM = Technology(
@@ -144,6 +153,7 @@ RERAM = Technology(
     read_energy_pj_per_bit=0.1,
     max_activated_rows=8,
     endurance_cycles=1e9,
+    write_failure_probability=1e-4,  # SET/RESET pulse misses (forming drift)
 )
 
 PCM = Technology(
@@ -159,6 +169,7 @@ PCM = Technology(
     read_energy_pj_per_bit=0.2,
     max_activated_rows=8,
     endurance_cycles=1e8,
+    write_failure_probability=5e-4,  # incomplete crystallization pulses
 )
 
 TECHNOLOGIES: dict[str, Technology] = {

@@ -72,6 +72,31 @@ class SimulationError(SherlockError):
     """Illegal instruction or machine state during trace execution."""
 
 
+class HardFaultError(SimulationError):
+    """A write could not be committed to any cell (hard fault at runtime).
+
+    Raised by verify-after-write when a cell keeps failing read-back after
+    ``write_retries`` attempts and no healthy spare cell is left to remap
+    it to.  ``cell`` names the (array, row, col) the program addressed,
+    ``physical_cell`` the cell actually attempted last (after remapping),
+    ``attempts`` the total write attempts spent, and ``spares_tried`` how
+    many spare cells were exhausted along the way.  Catching this error and
+    recompiling with the machine's ``discovered_faults`` merged into the
+    fault map is the ``remap`` rung of the degradation ladder.
+    """
+
+    def __init__(self, message: str, *,
+                 cell: tuple[int, int, int] | None = None,
+                 physical_cell: tuple[int, int, int] | None = None,
+                 attempts: int = 0,
+                 spares_tried: int = 0) -> None:
+        super().__init__(message)
+        self.cell = cell
+        self.physical_cell = physical_cell
+        self.attempts = attempts
+        self.spares_tried = spares_tried
+
+
 class TargetError(SherlockError):
     """Invalid target specification or unsupported target feature."""
 

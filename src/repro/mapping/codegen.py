@@ -254,7 +254,12 @@ class CodeGenerator:
             pad = base - fill
             budget = (self.pad_budget.get(gcol, 0)
                       - self._pad_used.get(gcol, 0))
-            aligned = (pad <= budget
+            array, col = self.layout.split(gcol)
+            # a faulty cell inside the aligned window forces this column
+            # onto the fault-skipping unaligned path (correctness over merge)
+            healthy = all(self.layout.cell_healthy(array, base + i, col)
+                          for i in range(len(oids)))
+            aligned = (healthy and pad <= budget
                        and base + len(oids) <= self.layout.column_capacity(gcol))
             if aligned and pad:
                 self._pad_used[gcol] = self._pad_used.get(gcol, 0) + pad

@@ -23,16 +23,21 @@ from repro.arch.target import TargetSpec
 from repro.dfg.blevel import blevel_order
 from repro.dfg.graph import DataFlowGraph, OperandKind
 from repro.dfg.liveness import schedule_liveness
-from repro.errors import CapacityError
+from repro.errors import CapacityError, MappingError
 from repro.mapping.base import MappingResult, MappingStats
 from repro.mapping.codegen import CodeGenerator
 
 
 def map_naive(dag: DataFlowGraph, target: TargetSpec,
-              recycle: bool = False) -> MappingResult:
-    """Map and schedule ``dag`` with the naive column-major packing."""
+              recycle: bool = False, fault_map=None) -> MappingResult:
+    """Map and schedule ``dag`` with the naive column-major packing.
+
+    ``fault_map`` (a :class:`repro.devices.FaultMap`) makes the placement
+    fault-aware: operands land only on healthy cells, faulty rows are
+    burned as padding.
+    """
     dag.validate()
-    layout = Layout(target)
+    layout = Layout(target, fault_map=fault_map)
     stats = MappingStats("naive")
     gen = CodeGenerator(dag, target, layout, stats, recycle=recycle)
 
@@ -59,14 +64,27 @@ def map_naive(dag: DataFlowGraph, target: TargetSpec,
             for gcol in layout.reusable_columns():
                 layout.place(operand_id, gcol)
                 return
-        while layout.column_fill(cursor) >= planned_rows:
-            cursor += 1
-            if cursor >= layout.num_global_cols:
-                raise capacity_error(
-                    "naive mapping ran out of columns: "
-                    f"{layout.num_global_cols} columns of "
-                    f"{planned_rows} usable rows; increase num_arrays")
-        layout.place(operand_id, cursor, reuse=False)
+        while True:
+            while layout.column_fill(cursor) >= planned_rows:
+                cursor += 1
+                if cursor >= layout.num_global_cols:
+                    raise capacity_error(
+                        "naive mapping ran out of columns: "
+                        f"{layout.num_global_cols} columns of "
+                        f"{planned_rows} usable rows; increase num_arrays")
+            try:
+                layout.place(operand_id, cursor, reuse=False)
+                return
+            except MappingError:
+                # fault-aware placement can exhaust a column that still
+                # looked open at the fill line: move on to the next one
+                cursor += 1
+                if cursor >= layout.num_global_cols:
+                    raise capacity_error(
+                        "naive mapping ran out of healthy cells: "
+                        f"{layout.num_global_cols} columns of "
+                        f"{planned_rows} usable rows; increase num_arrays"
+                        ) from None
 
     def reclaim_dead(gcol: int, position: int) -> int:
         """Release dead residents of ``gcol`` so their cells can be reused."""
@@ -94,11 +112,11 @@ def map_naive(dag: DataFlowGraph, target: TargetSpec,
         candidates = sorted(votes, key=lambda g: (-votes[g], g))
         for gcol in candidates:
             missing = len(operands) - votes[gcol]
-            if layout.column_free(gcol) >= missing:
+            if layout.column_free_healthy(gcol) >= missing:
                 return gcol
         # no populated column has room: gather everything into a fresh one
         for gcol in range(layout.num_global_cols):
-            if layout.column_free(gcol) >= len(operands):
+            if layout.column_free_healthy(gcol) >= len(operands):
                 return gcol
         # last resort: recycle dead copies in the candidate columns before
         # giving up (the op's own operands are live, so they are untouched)
@@ -106,7 +124,7 @@ def map_naive(dag: DataFlowGraph, target: TargetSpec,
         for gcol in candidates + list(range(layout.num_global_cols)):
             reclaim_dead(gcol, position)
             missing = len(operands) - votes.get(gcol, 0)
-            if (layout.column_free(gcol)
+            if (layout.column_free_healthy(gcol)
                     + layout.column_reusable(gcol)) >= missing:
                 return gcol
         raise capacity_error(

@@ -42,11 +42,17 @@ class SherlockOptions:
 
 
 def map_sherlock(dag: DataFlowGraph, target: TargetSpec,
-                 options: SherlockOptions | None = None) -> MappingResult:
-    """Map and schedule ``dag`` with Sherlock's clustering mapper."""
+                 options: SherlockOptions | None = None,
+                 fault_map=None) -> MappingResult:
+    """Map and schedule ``dag`` with Sherlock's clustering mapper.
+
+    ``fault_map`` (a :class:`repro.devices.FaultMap`) makes the placement
+    fault-aware: faulty rows are burned as padding, and aligned placements
+    fall back to the unaligned path when a fault sits in their window.
+    """
     options = options or SherlockOptions()
     dag.validate()
-    layout = Layout(target)
+    layout = Layout(target, fault_map=fault_map)
     stats = MappingStats("sherlock")
     c_max = target.usable_rows
 
@@ -114,11 +120,18 @@ def _stage_shared_sources(dag: DataFlowGraph, layout: Layout,
         consuming = {column_of[op_id] for op_id in dag.consumers(operand.node_id)}
         if len(consuming) <= 1:
             continue
-        while gcol < layout.num_global_cols and layout.column_fill(gcol) >= usable:
-            gcol += 1
-        if gcol >= layout.num_global_cols:
-            # staging space exhausted: the remaining sources fall back to
-            # first-user placement inside the code generator
-            return
-        # preloaded at t=0: never place source data into a recycled cell
-        layout.place(operand.node_id, gcol, reuse=False)
+        while True:
+            while (gcol < layout.num_global_cols
+                   and layout.column_fill(gcol) >= usable):
+                gcol += 1
+            if gcol >= layout.num_global_cols:
+                # staging space exhausted: the remaining sources fall back
+                # to first-user placement inside the code generator
+                return
+            try:
+                # preloaded at t=0: never place sources into a recycled cell
+                layout.place(operand.node_id, gcol, reuse=False)
+                break
+            except MappingError:
+                # fault-aware placement exhausted the column's healthy cells
+                gcol += 1

@@ -246,16 +246,20 @@ def combined_mapping(dag: DataFlowGraph, target: TargetSpec,
 def execute_staged(stages: list[Stage], dag: DataFlowGraph,
                    target: TargetSpec, inputs: dict[str, int],
                    lanes: int = 64, fault_rng=None, observer=None,
-                   strict_shift: bool = True) -> dict[str, int]:
+                   strict_shift: bool = True,
+                   machine: ArrayMachine | None = None) -> dict[str, int]:
     """Run a staged program end to end on one shared :class:`ArrayMachine`.
 
     ``dag`` is the full (transformed) DAG the stages were cut from; its
     outputs name the values to return.  Boundary values are extracted
     after each stage and re-injected into later stages — by the bridge
-    instructions where possible, by host pokes otherwise.
+    instructions where possible, by host pokes otherwise.  A caller may
+    supply a pre-configured ``machine`` (fault map, verify-after-write);
+    the other machine knobs are then ignored.
     """
-    machine = ArrayMachine(target, lanes, fault_rng,
-                           strict_shift=strict_shift, observer=observer)
+    if machine is None:
+        machine = ArrayMachine(target, lanes, fault_rng,
+                               strict_shift=strict_shift, observer=observer)
     boundary: dict[int, int] = {}
     for stage in stages:
         machine.run(stage.bridge)

@@ -5,7 +5,10 @@ the analytic MRA/latency trade-off sweep (:mod:`repro.reliability.sweep`),
 Monte-Carlo fault-injection campaigns that validate the analytic model
 against executed programs (:mod:`repro.reliability.campaign`), and the
 detect-and-recover execution policies that act on detected failures
-(:mod:`repro.reliability.recovery`).
+(:mod:`repro.reliability.recovery`).  A fourth layer goes beyond transient
+faults: :mod:`repro.reliability.lifetime` ages the arrays until cells wear
+out for good and measures how far wear-leveling plus fault-aware
+recompilation stretch the array's useful life.
 """
 
 from repro.devices.failure import application_failure_probability
@@ -18,6 +21,10 @@ from repro.reliability.campaign import (
     sense_failure_probabilities,
     shard_ranges,
     wilson_interval,
+)
+from repro.reliability.lifetime import (
+    LifetimeResult,
+    run_lifetime,
 )
 from repro.reliability.recovery import (
     POLICIES,
@@ -45,6 +52,7 @@ __all__ = [
     "CampaignResult",
     "CheckpointReplay",
     "DegradeMra",
+    "LifetimeResult",
     "NoRecovery",
     "RecoveryOutcome",
     "RecoveryPolicy",
@@ -60,6 +68,7 @@ __all__ = [
     "pareto_front",
     "register_policy",
     "run_campaign",
+    "run_lifetime",
     "run_trial_block",
     "sense_failure_probabilities",
     "shard_ranges",

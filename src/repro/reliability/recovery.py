@@ -118,9 +118,18 @@ class RecoveryPolicy:
     def _make_machine(self, program, lanes: int,
                       fault_rng: random.Random | int | None,
                       observer=None) -> ArrayMachine:
-        """Build (and retain) the strict-mode machine for one run."""
+        """Build (and retain) the strict-mode machine for one run.
+
+        The machine carries the program's hard-fault map (if it was
+        compiled around one), so campaigns measure transient recovery on
+        top of the permanent faults rather than on pristine silicon.
+        Forcing stuck cells draws nothing from the fault RNG, so seeded
+        campaigns without a fault map keep bit-identical streams.
+        """
         self.machine = ArrayMachine(program.target, lanes, fault_rng,
-                                    strict_shift=True, observer=observer)
+                                    strict_shift=True, observer=observer,
+                                    fault_map=getattr(program, "fault_map",
+                                                      None))
         return self.machine
 
     def execute(self, program, inputs: dict[str, int], lanes: int = 64,

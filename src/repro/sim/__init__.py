@@ -1,6 +1,12 @@
 """Simulation substrate: functional trace execution and cost accounting."""
 
-from repro.sim.endurance import WearReport, static_write_counts, wear_from_counts, wear_report
+from repro.sim.endurance import (
+    WearReport,
+    static_write_counts,
+    wear_by_array,
+    wear_from_counts,
+    wear_report,
+)
 from repro.sim.executor import (
     ArrayMachine,
     MachineState,
@@ -19,10 +25,19 @@ from repro.sim.metrics import (
     rowbuf_not_cost,
     write_cost,
 )
+from repro.sim.wearlevel import (
+    RotatedProgram,
+    placement_conflicts,
+    rotate_cell,
+    rotate_instructions,
+    rotate_layout,
+    rotate_program,
+)
 
 __all__ = [
     "ArrayMachine",
     "MachineState",
+    "RotatedProgram",
     "SenseObserver",
     "TraceMetrics",
     "analyze_trace",
@@ -31,10 +46,16 @@ __all__ = [
     "operation_failures",
     "p_app_of",
     "parallel_latency_cycles",
+    "placement_conflicts",
     "preload_sources",
     "read_cost",
+    "rotate_cell",
+    "rotate_instructions",
+    "rotate_layout",
+    "rotate_program",
     "rowbuf_not_cost",
     "static_write_counts",
+    "wear_by_array",
     "wear_from_counts",
     "wear_report",
     "write_cost",

@@ -36,7 +36,12 @@ class WearReport:
     hottest_cell: tuple[int, int, int] | None
 
     def lifetime_executions(self, technology: Technology) -> float:
-        """Kernel executions until the hottest cell exceeds its endurance."""
+        """Kernel executions until the hottest cell exceeds its endurance.
+
+        An empty trace (no writes) and a wear-free technology (STT-MRAM's
+        ``endurance_cycles`` is ``inf``) both yield ``inf``, never a
+        division error.
+        """
         if self.max_writes_per_cell == 0:
             return float("inf")
         return technology.endurance_cycles / self.max_writes_per_cell
@@ -55,6 +60,22 @@ def wear_from_counts(write_counts: dict[tuple[int, int, int], int]) -> WearRepor
         mean_writes_per_cell=total / len(write_counts),
         hottest_cell=hottest,
     )
+
+
+def wear_by_array(write_counts: dict[tuple[int, int, int], int],
+                  ) -> dict[int, WearReport]:
+    """Per-array wear reports, keyed by array index.
+
+    A single aggregate report conflates the arrays: one array's cold cells
+    drag the mean down while another's hot column quietly approaches its
+    endurance.  Splitting by the address's array coordinate keeps each
+    array's hottest cell (and hence its lifetime bound) visible.
+    """
+    per_array: dict[int, dict[tuple[int, int, int], int]] = {}
+    for key, count in write_counts.items():
+        per_array.setdefault(key[0], {})[key] = count
+    return {array: wear_from_counts(counts)
+            for array, counts in sorted(per_array.items())}
 
 
 def static_write_counts(instructions: list[Instruction]) -> dict[tuple[int, int, int], int]:

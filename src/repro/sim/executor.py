@@ -25,6 +25,20 @@ happens all the time in real schedules.  Shifting a *live* column off the
 edge, however, silently destroys data the program just sensed, so in
 ``strict_shift`` mode (the default for compiled-program execution) it
 raises :class:`SimulationError` instead.
+
+Hard faults compose with all of the above.  A :class:`FaultMap` gives
+cells a permanent stuck-at-0/1 or dead state: every sense of a faulty cell
+returns its forced value (deterministically — unlike the Gaussian decision
+failures), and writes to it silently bounce.  With ``verify_writes`` the
+machine implements **verify-after-write**: every programmed cell is read
+back, transient write failures (``Technology.write_failure_probability``)
+are retried up to ``write_retries`` times, and a cell that keeps failing
+is treated as newly dead — recorded in ``discovered_faults`` and remapped
+to a healthy spare cell of the same column (``spare_pool``), transparently
+redirecting every later access.  When retries and spares are both
+exhausted the machine raises :class:`repro.errors.HardFaultError` naming
+the cell, which the compiler's ``remap`` ladder rung turns into a
+recompilation around the discovered faults.
 """
 
 from __future__ import annotations
@@ -44,8 +58,9 @@ from repro.arch.isa import (
 )
 from repro.arch.layout import CellAddr, Layout
 from repro.arch.target import TargetSpec
+from repro.devices.faultmap import FaultMap
 from repro.dfg.ops import OpType, apply_op
-from repro.errors import SimulationError
+from repro.errors import HardFaultError, SimulationError
 from repro.sim.metrics import cached_p_df
 
 
@@ -80,9 +95,16 @@ class ArrayMachine:
     def __init__(self, target: TargetSpec, lanes: int = 64,
                  fault_rng: random.Random | int | None = None,
                  strict_shift: bool = False,
-                 observer: SenseObserver | None = None) -> None:
+                 observer: SenseObserver | None = None,
+                 fault_map: FaultMap | None = None,
+                 verify_writes: bool = False,
+                 write_retries: int = 2,
+                 spare_pool: list[CellAddr] | None = None) -> None:
         if lanes < 1:
             raise SimulationError(f"lane count must be positive, got {lanes}")
+        if write_retries < 0:
+            raise SimulationError(
+                f"write_retries must be non-negative, got {write_retries}")
         self.target = target
         self.lanes = lanes
         self.mask = (1 << lanes) - 1
@@ -96,6 +118,33 @@ class ArrayMachine:
         #: recovery hook consulted after every sensed column (may be None)
         self.observer = observer
         self.injected_faults = 0
+        #: known permanent faults (manufacturing map / wear); forced on sense
+        self.fault_map = fault_map
+        #: verify-after-write: read every programmed cell back and escalate
+        self.verify_writes = verify_writes
+        #: re-write attempts before a failing cell is declared dead
+        self.write_retries = write_retries
+        #: hard faults diagnosed by verify-after-write *during this run*
+        self.discovered_faults = FaultMap()
+        #: logical -> physical cell redirections installed by remapping
+        self.remaps: list[tuple[tuple[int, int, int], tuple[int, int, int]]] = []
+        self._remap: dict[tuple[int, int, int], tuple[int, int, int]] = {}
+        #: spare rows per (array, col) available for remapping, ordered
+        self._spares: dict[tuple[int, int], list[int]] = {}
+        for addr in spare_pool or []:
+            self._spares.setdefault((addr.array, addr.col), []).append(addr.row)
+        for rows in self._spares.values():
+            rows.sort()
+        # transient write failures are only injected on the verify path:
+        # without read-back a flipped write would silently corrupt the
+        # functional result, and keeping the unverified path draw-free
+        # preserves the RNG stream of existing seeded campaigns exactly
+        self._inject_write_failures = (
+            verify_writes and self.fault_rng is not None
+            and target.technology.write_failure_probability > 0.0)
+        self.write_failures_injected = 0
+        self.writes_verified = 0
+        self.write_retries_used = 0
         self._cells: dict[tuple[int, int, int], int] = {}  # (array,row,col) -> lanes
         self._rowbuf: dict[int, dict[int, int]] = {}  # array -> col -> lanes
         #: per-array set of row-buffer columns holding live (unconsumed) data
@@ -114,16 +163,56 @@ class ArrayMachine:
                 f"address (array={array}, row={row}, col={col}) outside "
                 f"target {t.num_arrays}x{t.rows}x{t.cols}")
 
+    def _phys(self, key: tuple[int, int, int]) -> tuple[int, int, int]:
+        """Translate a logical cell through the remap table (identity-fast)."""
+        if self._remap:
+            return self._remap.get(key, key)
+        return key
+
+    def _cell_fault(self, key: tuple[int, int, int]):
+        """The permanent fault of a *physical* cell, or ``None`` if healthy."""
+        if self.fault_map is not None:
+            fault = self.fault_map.fault_at(*key)
+            if fault is not None:
+                return fault
+        if self.discovered_faults:
+            return self.discovered_faults.fault_at(*key)
+        return None
+
+    def _load(self, array: int, row: int, col: int) -> int:
+        """Cell contents as the sense amp sees them: remapped, fault-forced."""
+        key = self._phys((array, row, col))
+        fault = self._cell_fault(key)
+        if fault is not None:
+            return fault.forced_value(self.mask)
+        try:
+            return self._cells[key]
+        except KeyError:
+            raise SimulationError(
+                f"read of uninitialized cell (array={array}, row={row}, "
+                f"col={col})") from None
+
     def poke(self, addr: CellAddr, value: int) -> None:
-        """Directly set a cell (used to preload resident input data)."""
+        """Directly set a cell (used to preload resident input data).
+
+        Pokes follow remapping and bounce off faulty cells exactly like
+        programmed writes (minus verify): preloading an input onto a stuck
+        cell cannot un-stick it.
+        """
         self._check_addr(addr.array, addr.row, addr.col)
-        self._cells[(addr.array, addr.row, addr.col)] = value & self.mask
+        key = self._phys((addr.array, addr.row, addr.col))
+        if self._cell_fault(key) is None:
+            self._cells[key] = value & self.mask
 
     def peek(self, addr: CellAddr) -> int:
-        """Directly observe a cell."""
+        """Directly observe a cell (remapped and fault-forced like a sense)."""
         self._check_addr(addr.array, addr.row, addr.col)
+        key = self._phys((addr.array, addr.row, addr.col))
+        fault = self._cell_fault(key)
+        if fault is not None:
+            return fault.forced_value(self.mask)
         try:
-            return self._cells[(addr.array, addr.row, addr.col)]
+            return self._cells[key]
         except KeyError:
             raise SimulationError(
                 f"cell (array={addr.array}, row={addr.row}, col={addr.col}) "
@@ -139,9 +228,11 @@ class ArrayMachine:
     def snapshot(self) -> MachineState:
         """Copy the full machine state (cells, row buffers, liveness, wear).
 
-        Fault accounting (``injected_faults``) is *not* part of the snapshot:
-        it is cumulative bookkeeping, so faults injected before a rollback
-        stay counted.
+        Fault accounting (``injected_faults``, ``discovered_faults``, the
+        remap table and the spare pool) is *not* part of the snapshot: those
+        model permanent physical facts and controller tables, so a rollback
+        replaying a write to a remapped cell lands on its spare instead of
+        re-diagnosing the dead cell and burning a second spare.
         """
         return MachineState(
             cells=dict(self._cells),
@@ -186,12 +277,7 @@ class ArrayMachine:
             values = []
             for row in inst.rows:
                 self._check_addr(inst.array, row, col)
-                try:
-                    values.append(self._cells[(inst.array, row, col)])
-                except KeyError:
-                    raise SimulationError(
-                        f"read of uninitialized cell (array={inst.array}, "
-                        f"row={row}, col={col})") from None
+                values.append(self._load(inst.array, row, col))
             op = None if inst.ops is None else inst.ops[idx]
             true_value = values[0] if op is None else apply_op(op, values, self.mask)
 
@@ -249,9 +335,87 @@ class ArrayMachine:
                 raise SimulationError(
                     f"write from empty row-buffer column {col} "
                     f"(array {inst.array})")
-            key = (inst.array, inst.row, col)
-            self._cells[key] = buf[col]
-            self.write_counts[key] = self.write_counts.get(key, 0) + 1
+            self._commit(inst.array, inst.row, col, buf[col])
+
+    def _attempt_store(self, key: tuple[int, int, int], value: int) -> None:
+        """One write pulse: may transiently corrupt, bounces off faulty cells.
+
+        A transient miss stores the lane-complement of the intended value —
+        the worst case for read-back, guaranteeing the verify loop sees
+        every injected failure (a partial flip would be caught the same
+        way; the complement just makes tests exact).
+        """
+        if (self._inject_write_failures and self.fault_rng.random()
+                < self.target.technology.write_failure_probability):
+            value = ~value & self.mask
+            self.write_failures_injected += 1
+        if self._cell_fault(key) is None:
+            self._cells[key] = value
+        self.write_counts[key] = self.write_counts.get(key, 0) + 1
+
+    def _readback(self, key: tuple[int, int, int]) -> int:
+        """Verify read of a just-written physical cell (fault-forced).
+
+        Modeled as the exact margin read of a program-and-verify loop, so it
+        is deterministic — decision failures apply to CIM senses, not to the
+        controller's verify circuit.
+        """
+        fault = self._cell_fault(key)
+        if fault is not None:
+            return fault.forced_value(self.mask)
+        return self._cells.get(key, 0)
+
+    def _next_spare(self, array: int, col: int) -> tuple[int, int, int] | None:
+        """Pop the next healthy spare cell in the same array column."""
+        rows = self._spares.get((array, col), [])
+        while rows:
+            key = (array, rows.pop(0), col)
+            if self._cell_fault(key) is None:
+                return key
+        return None
+
+    def _commit(self, array: int, row: int, col: int, value: int) -> None:
+        """Program one cell, with verify-after-write escalation when enabled.
+
+        The ladder: write → read back → retry up to ``write_retries`` →
+        declare the cell dead (``discovered_faults``) and remap to a spare
+        of the same column → raise :class:`HardFaultError` when the spare
+        pool is dry.  A stuck cell whose forced value happens to equal the
+        written value verifies clean — the data is correct, which is all
+        verify-after-write can (or needs to) observe.
+        """
+        logical = (array, row, col)
+        attempts = 0
+        total_attempts = 0
+        spares_tried = 0
+        while True:
+            key = self._phys(logical)
+            self._attempt_store(key, value)
+            attempts += 1
+            total_attempts += 1
+            if not self.verify_writes:
+                return
+            self.writes_verified += 1
+            if self._readback(key) == value:
+                return
+            if attempts <= self.write_retries:
+                self.write_retries_used += 1
+                continue
+            # retries exhausted: the cell is bad beyond transient errors
+            self.discovered_faults.mark_dead(*key)
+            spare = self._next_spare(array, col)
+            if spare is None:
+                raise HardFaultError(
+                    f"write to cell (array={array}, row={row}, col={col}) "
+                    f"failed after {total_attempts} attempts and "
+                    f"{spares_tried} spare cells; no healthy spare left in "
+                    f"column {col} of array {array}",
+                    cell=logical, physical_cell=key,
+                    attempts=total_attempts, spares_tried=spares_tried)
+            self._remap[logical] = spare
+            self.remaps.append((logical, spare))
+            spares_tried += 1
+            attempts = 0
 
     def _shift(self, inst: ShiftInst) -> None:
         buf = self._rowbuf.get(inst.array, {})

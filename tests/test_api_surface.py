@@ -36,6 +36,7 @@ MODULES = PACKAGES + [
     "repro.core.serialize",
     "repro.devices.arraymodel",
     "repro.devices.failure",
+    "repro.devices.faultmap",
     "repro.devices.technology",
     "repro.dfg.blevel",
     "repro.dfg.builder",
@@ -55,12 +56,14 @@ MODULES = PACKAGES + [
     "repro.mapping.naive",
     "repro.mapping.optimized",
     "repro.reliability.campaign",
+    "repro.reliability.lifetime",
     "repro.reliability.recovery",
     "repro.reliability.sweep",
     "repro.sim.cpu",
     "repro.sim.endurance",
     "repro.sim.executor",
     "repro.sim.metrics",
+    "repro.sim.wearlevel",
     "repro.workloads.aes",
     "repro.workloads.bfs",
     "repro.workloads.bitslice",

@@ -182,3 +182,74 @@ class TestCampaignValidation:
         for name in ("none", "reread-vote", "checkpoint-replay",
                      "degrade-mra"):
             assert name in err
+
+
+class TestWearCommand:
+    def test_wear_reports_per_technology_lifetimes(self, capsys):
+        assert main(["wear", "--synthetic", "24", "--size", "32",
+                     "--arrays", "2"]) == 0
+        out = capsys.readouterr().out
+        for needle in ("total writes", "hottest cell", "pcm", "reram",
+                       "stt-mram", "inf"):
+            assert needle in out
+
+    def test_wear_requires_a_dag_source(self):
+        with pytest.raises(SystemExit):
+            main(["wear"])
+
+
+class TestLifetimeCommand:
+    def test_lifetime_campaign_runs_and_reports(self, capsys):
+        assert main(["lifetime", "--synthetic", "24", "--trials", "2",
+                     "--endurance", "40", "--size", "16", "--arrays", "2",
+                     "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline (no mitigation)" in out
+        assert "wear-leveling + remap" in out
+        assert "extension factor" in out
+        assert "0 failure(s)" in out
+
+    def test_lifetime_no_wear_leveling_label(self, capsys):
+        assert main(["lifetime", "--synthetic", "24", "--trials", "1",
+                     "--endurance", "40", "--size", "16", "--arrays", "2",
+                     "--no-wear-leveling"]) == 0
+        assert "remap only" in capsys.readouterr().out
+
+
+class TestFaultMapOption:
+    def make_map(self, tmp_path, size=32, arrays=2, fraction=0.05):
+        from repro.arch.target import TargetSpec
+        from repro.devices import RERAM, FaultMap
+
+        target = TargetSpec.square(size, RERAM, num_arrays=arrays)
+        path = tmp_path / "faults.json"
+        FaultMap.random_map(target, fraction=fraction, seed=4).save(path)
+        return str(path)
+
+    def test_run_with_fault_map_still_verifies(self, tmp_path, capsys):
+        path = self.make_map(tmp_path, size=64, arrays=4)
+        assert main(["run", "--workload", "bitweaving", "--size", "64",
+                     "--arrays", "4", "--lanes", "4",
+                     "--fault-map", path]) == 0
+        captured = capsys.readouterr()
+        assert "functional check passed" in captured.out
+        assert "loaded fault map" in captured.err
+
+    def test_malformed_fault_map_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 1, "faults": [[0, 0, "x"]]}')
+        assert main(["run", "--workload", "bitweaving",
+                     "--fault-map", str(path)]) == 1
+        assert "malformed fault entry" in capsys.readouterr().err
+
+    def test_missing_fault_map_exits_one(self, tmp_path, capsys):
+        assert main(["run", "--workload", "bitweaving",
+                     "--fault-map", str(tmp_path / "nope.json")]) == 1
+        assert "cannot read fault map" in capsys.readouterr().err
+
+    def test_campaign_accepts_fault_map(self, tmp_path, capsys):
+        path = self.make_map(tmp_path, size=64, arrays=4)
+        assert main(["campaign", "--synthetic", "16", "--trials", "5",
+                     "--size", "64", "--arrays", "4", "--policy", "none",
+                     "--fault-map", path]) == 0
+        assert "loaded fault map" in capsys.readouterr().err

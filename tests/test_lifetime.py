@@ -1,0 +1,109 @@
+"""Tests for the wear-out lifetime campaign (baseline vs mitigation)."""
+
+import pytest
+
+from repro.arch import TargetSpec
+from repro.core import CompilerConfig
+from repro.devices import RERAM, FaultMap
+from repro.errors import SimulationError
+from repro.reliability import run_lifetime
+from repro.workloads.synthetic import synthetic_dag
+
+
+def small_target():
+    return TargetSpec(RERAM, rows=16, cols=16, data_width=32, num_arrays=2)
+
+
+def small_dag():
+    return synthetic_dag(num_ops=24, num_inputs=8, seed=4)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    """One shared campaign run (the expensive part of this module)."""
+    return run_lifetime(small_dag(), small_target(), CompilerConfig(),
+                        trials=4, seed=7, endurance=40.0,
+                        endurance_spread=0.15, validate=True, lanes=8)
+
+
+class TestMitigationExtendsLife:
+    def test_mitigation_extends_executions_to_death(self, campaign):
+        """Acceptance: wear-leveling + remap demonstrably extend lifetime."""
+        assert campaign.mean_mitigated_death > campaign.mean_baseline_death
+        for base, mitigated in zip(campaign.baseline_deaths,
+                                   campaign.mitigated_deaths):
+            assert mitigated is None or base is None or mitigated > base
+
+    def test_remap_happens_after_baseline_death(self, campaign):
+        # the first remap *is* the baseline's death event: same endurance
+        # draws, so the first cell to die is discovered at the same epoch
+        for base, remap in zip(campaign.baseline_deaths,
+                               campaign.first_remaps):
+            assert remap is not None and base is not None
+            assert remap >= base
+
+    def test_recompiled_programs_stay_correct(self, campaign):
+        assert campaign.validation_failures == 0
+        assert all(n > 0 for n in campaign.recompiles)
+
+    def test_wilson_machinery(self, campaign):
+        lo, hi = campaign.mitigated_death_wilson
+        assert 0.0 <= lo <= hi <= 1.0
+        assert campaign.baseline_dead == campaign.trials  # all aged to death
+        assert campaign.extension_factor > 1.0
+
+    def test_summary_is_flat_and_complete(self, campaign):
+        summary = campaign.summary()
+        for key in ("baseline_mean_death", "mitigated_mean_death",
+                    "mean_first_remap", "extension_factor",
+                    "baseline_dead_ci95_lo", "mitigated_dead_ci95_hi"):
+            assert key in summary
+        assert summary["trials"] == 4
+
+
+class TestDeterminismAndVariants:
+    def test_same_seed_same_result(self):
+        kwargs = dict(trials=2, seed=3, endurance=40.0,
+                      endurance_spread=0.1)
+        a = run_lifetime(small_dag(), small_target(), **kwargs)
+        b = run_lifetime(small_dag(), small_target(), **kwargs)
+        assert a.baseline_deaths == b.baseline_deaths
+        assert a.mitigated_deaths == b.mitigated_deaths
+        assert a.first_remaps == b.first_remaps
+
+    def test_remap_only_still_extends(self):
+        result = run_lifetime(small_dag(), small_target(), trials=2, seed=5,
+                              endurance=40.0, wear_leveling=False)
+        assert result.wear_leveling is False
+        assert result.mean_mitigated_death > result.mean_baseline_death
+
+    def test_horizon_censors(self):
+        result = run_lifetime(small_dag(), small_target(), trials=2, seed=5,
+                              endurance=40.0, horizon=10)
+        assert result.baseline_deaths == (None, None)
+        assert result.mitigated_deaths == (None, None)
+        assert result.baseline_dead == 0
+
+    def test_zero_spread_gives_deterministic_endurance(self):
+        result = run_lifetime(small_dag(), small_target(), trials=2, seed=1,
+                              endurance_spread=0.0, endurance=40.0)
+        assert result.baseline_deaths[0] == result.baseline_deaths[1]
+
+    def test_preexisting_fault_map_is_respected(self):
+        seed_map = FaultMap.random_map(small_target(), fraction=0.03, seed=2)
+        result = run_lifetime(small_dag(), small_target(), trials=1, seed=1,
+                              endurance=40.0, fault_map=seed_map,
+                              validate=True, lanes=8)
+        assert result.validation_failures == 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"trials": 0},
+        {"horizon": 0},
+        {"endurance": 0.0},
+        {"rotation_stride": 0},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(SimulationError):
+            run_lifetime(small_dag(), small_target(), **kwargs)

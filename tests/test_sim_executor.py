@@ -386,3 +386,94 @@ class TestSenseObserver:
         m.poke(CellAddr(0, 1, 0), 0)
         m.execute(ReadInst(0, (0,), (0, 1), (OpType.XOR,)))
         assert len(set(seen[0])) > 1  # fresh draws differ
+
+
+class TestStuckAtSense:
+    """Permanent faults force sensed values across every op boundary."""
+
+    def fault_machine(self, kind, cell=(0, 0, 0), lanes=8, mra=4,
+                      fault_rng=None):
+        from repro.devices import FaultMap
+
+        fm = FaultMap()
+        fm.set_fault(*cell, kind)
+        target = TargetSpec(RERAM, rows=16, cols=8, data_width=32,
+                            num_arrays=2, max_activated_rows=mra)
+        return ArrayMachine(target, lanes=lanes, fault_map=fm,
+                            fault_rng=fault_rng)
+
+    @pytest.mark.parametrize("kind", ["STUCK0", "STUCK1", "DEAD"])
+    @pytest.mark.parametrize("op", [OpType.AND, OpType.OR, OpType.XOR])
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_stuck_cell_in_k_row_sense(self, kind, op, k):
+        """Every op x every activation count up to the MRA limit."""
+        from repro.devices import CellFault
+
+        fault = CellFault[kind]
+        m = self.fault_machine(fault)
+        values = [0b1011, 0b0111, 0b1101, 0b0110][:k]
+        for row, value in enumerate(values):
+            m.poke(CellAddr(0, row, 0), value)  # row 0 bounces: faulty
+        m.execute(ReadInst(0, (0,), tuple(range(k)), (op,)))
+        expected = apply_op(op, [fault.forced_value(m.mask), *values[1:]],
+                            m.mask)
+        assert m.rowbuf(0)[0] == expected
+
+    @pytest.mark.parametrize("kind", ["STUCK0", "STUCK1", "DEAD"])
+    def test_stuck_cell_in_plain_read_and_not(self, kind):
+        """The NOT boundary: plain read of a stuck cell, then row-buffer NOT."""
+        from repro.devices import CellFault
+
+        fault = CellFault[kind]
+        m = self.fault_machine(fault)
+        forced = fault.forced_value(m.mask)
+        m.execute(ReadInst(0, (0,), (0,)))
+        assert m.rowbuf(0)[0] == forced
+        m.execute(NotInst(0, (0,)))
+        assert m.rowbuf(0)[0] == (~forced) & m.mask
+
+    def test_healthy_rows_unaffected(self):
+        from repro.devices import CellFault
+
+        m = self.fault_machine(CellFault.STUCK1, cell=(0, 5, 5))
+        m.poke(CellAddr(0, 0, 0), 0b1010)
+        m.execute(ReadInst(0, (0,), (0,)))
+        assert m.rowbuf(0)[0] == 0b1010
+
+    def test_writes_bounce_off_faulty_cells(self):
+        from repro.devices import CellFault
+
+        m = self.fault_machine(CellFault.STUCK0)
+        m.poke(CellAddr(0, 0, 0), 0b1111)  # bounces
+        assert m.peek(CellAddr(0, 0, 0)) == 0
+        m.poke(CellAddr(0, 1, 0), 0b1111)  # healthy neighbor sticks
+        assert m.peek(CellAddr(0, 1, 0)) == 0b1111
+
+    def test_stuck_sense_is_deterministic_not_gaussian(self):
+        """Unlike decision failures, hard faults never redraw.
+
+        On a high-variability technology with an active fault RNG the
+        sensed op result still varies (transient injection), but the
+        faulty cell's contribution — what the observer sees loaded — is
+        the same forced value on every sense, and peek never wavers.
+        """
+        from repro.devices import CellFault, FaultMap
+
+        fm = FaultMap()
+        fm.set_fault(0, 0, 0, CellFault.STUCK1)
+        target = TargetSpec(STT_MRAM.with_variability(0.4, 0.4), rows=16,
+                            cols=8, data_width=32, num_arrays=1)
+        loaded = []
+
+        class Spy:
+            def on_sense(self, machine, op, k, values, result, resense):
+                loaded.append(values[0])
+                return result
+
+        m = ArrayMachine(target, lanes=64, fault_rng=random.Random(3),
+                         fault_map=fm, observer=Spy())
+        m.poke(CellAddr(0, 1, 0), 0b0110)
+        for _ in range(20):
+            m.execute(ReadInst(0, (0,), (0, 1), (OpType.XOR,)))
+        assert set(loaded) == {m.mask}  # forced on every one of 20 senses
+        assert {m.peek(CellAddr(0, 0, 0)) for _ in range(20)} == {m.mask}
