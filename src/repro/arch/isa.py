@@ -150,6 +150,17 @@ class TransferInst(Instruction):
         return f"xfer [{self.array}->{self.dst_array}][{_cols_str(self.cols)}]"
 
 
+def instruction_arrays(inst: Instruction) -> tuple[int, ...]:
+    """The array ids an instruction occupies (both ends of an ``xfer``).
+
+    The multi-array scheduler uses this to split a merged trace into
+    per-array sub-streams and to account bus/array occupancy.
+    """
+    if isinstance(inst, TransferInst):
+        return (inst.array, inst.dst_array)
+    return (inst.array,)
+
+
 def program_text(instructions: list[Instruction]) -> str:
     """The whole program in the Fig. 4 text format."""
     return "\n".join(inst.to_text() for inst in instructions)

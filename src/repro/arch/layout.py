@@ -300,6 +300,24 @@ class Layout:
         except KeyError:
             raise MappingError(f"operand {operand_id} is not placed") from None
 
+    def nearest_copy(self, operand_id: int, gcol: int) -> CellAddr:
+        """The cheapest source copy for a gather into ``gcol``.
+
+        A copy on the destination's own array avoids the inter-array bus
+        entirely (the gather lowers to read + shift + write); among those,
+        the smallest shift distance wins.  Without a local copy the primary
+        copy is used, matching the historical single-array behavior.
+        Raises if the operand is unplaced.
+        """
+        addrs = self._copies.get(operand_id)
+        if not addrs:
+            raise MappingError(f"operand {operand_id} is not placed")
+        array, col = self.split(gcol)
+        local = [a for a in addrs if a.array == array]
+        if local:
+            return min(local, key=lambda a: (abs(a.col - col), a.row, a.col))
+        return addrs[0]
+
     def copy_in_column(self, operand_id: int, gcol: int) -> CellAddr | None:
         """A copy of the operand living in the given global column, if any."""
         array, col = self.split(gcol)
@@ -351,6 +369,22 @@ class Layout:
     def arrays_used(self) -> int:
         """Number of distinct arrays holding at least one placed cell."""
         return len({gcol // self.target.cols for gcol in self._touched_cols()})
+
+    def cells_used_by_array(self) -> dict[int, int]:
+        """Operand cells held per array (array id -> count), for reporting."""
+        counts: dict[int, int] = {}
+        for addrs in self._copies.values():
+            for addr in addrs:
+                counts[addr.array] = counts.get(addr.array, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def columns_used_by_array(self) -> dict[int, int]:
+        """Touched columns per array (array id -> count), for reporting."""
+        counts: dict[int, int] = {}
+        for gcol in self._touched_cols():
+            array = gcol // self.target.cols
+            counts[array] = counts.get(array, 0) + 1
+        return dict(sorted(counts.items()))
 
     def utilization(self) -> float:
         """Fraction of the touched arrays' cells holding data."""

@@ -1,13 +1,18 @@
 """The built-in benchmark probes over the standard workloads.
 
-Eight probes cover the hot paths the roadmap optimizes against:
+Ten probes cover the hot paths the roadmap optimizes against:
 
 * ``compile.cold`` / ``compile.warm`` — the full pass pipeline on the
   bitweaving DAG with the process compile cache cleared vs primed,
 * ``compile.ladder`` — the graceful-degradation path: an oversized
   synthetic DAG that only compiles through recycling + partitioning,
+* ``compile.multiarray`` — the multi-array co-scheduler on the Sobel
+  kernel (4 arrays), including the cluster partition and assignment pass,
 * ``execute.bitweaving`` — functional array-machine execution of the
   compiled program,
+* ``execute.multiarray`` — execution of the 4-array Sobel schedule on
+  the array-set machine, with the modeled latency ratio vs the 1-array
+  compile in the metadata,
 * ``execute.verified`` — the same execution with verify-after-write on
   (per-cell read-back plus retry/remap bookkeeping), pricing the
   hard-fault detection path against the plain run,
@@ -134,6 +139,69 @@ def _compile_ladder(timer: Timer):
     return values, {"ops": 48, "size": 8, "arrays": 2,
                     "degradation": program.degradation,
                     "stages": len(program.stages or [])}
+
+
+#: array size for the multi-array probes (Sobel fits 4 arrays in one shot)
+_MULTI_SIZE = 128
+#: arrays of the co-scheduled compile the multi-array probes measure
+_MULTI_ARRAYS = 4
+
+
+def _multiarray_programs():
+    """Sobel compiled single-schedule on 1 array and co-scheduled on 4."""
+    dag = get_workload("sobel").build_dag()
+    single = compile_dag(
+        dag, TargetSpec.square(_MULTI_SIZE, RERAM, num_arrays=1),
+        CompilerConfig(mapper="sherlock"), cache=False)
+    multi = compile_dag(
+        dag, TargetSpec.square(_MULTI_SIZE, RERAM, num_arrays=_MULTI_ARRAYS),
+        CompilerConfig(mapper="sherlock", schedule="multi"), cache=False)
+    return single, multi
+
+
+@benchmark("compile.multiarray", group="compile",
+           description="multi-array co-scheduled compile of the Sobel "
+                       "kernel (cluster partition + assignment, 4 arrays)")
+def _compile_multiarray(timer: Timer):
+    dag = get_workload("sobel").build_dag()
+    target = TargetSpec.square(_MULTI_SIZE, RERAM, num_arrays=_MULTI_ARRAYS)
+    config = CompilerConfig(mapper="sherlock", schedule="multi")
+
+    def _work():
+        compile_dag(dag, target, config, cache=False)
+
+    values = timer.measure(_work)
+    program = compile_dag(dag, target, config, cache=False)
+    overlap = program.overlap
+    stats = program.mapping.stats
+    return values, {"workload": "sobel", "size": _MULTI_SIZE,
+                    "arrays": _MULTI_ARRAYS,
+                    "instructions": len(program.instructions),
+                    "makespan_cycles": overlap.makespan_cycles,
+                    "speedup": round(overlap.speedup, 3),
+                    "transfers": stats.cross_array_transfers,
+                    "recomputed_ops": stats.recomputed_ops}
+
+
+@benchmark("execute.multiarray", group="execute",
+           description="array-set execution of the 4-array Sobel schedule "
+                       "(modeled latency ratio vs 1 array in metadata)")
+def _execute_multiarray(timer: Timer):
+    single, multi = _multiarray_programs()
+    workload = get_workload("sobel")
+    inputs = workload.make_inputs(random.Random(0), _LANES)
+
+    def _work():
+        multi.execute(inputs, _LANES)
+
+    values = timer.measure(_work)
+    ratio = multi.overlap.makespan_cycles / max(
+        1, single.overlap.serial_cycles)
+    return values, {"workload": "sobel", "lanes": _LANES,
+                    "arrays": _MULTI_ARRAYS,
+                    "makespan_cycles": multi.overlap.makespan_cycles,
+                    "serial_1array_cycles": single.overlap.serial_cycles,
+                    "latency_ratio_vs_1array": round(ratio, 3)}
 
 
 @benchmark("execute.bitweaving", group="execute",

@@ -3,6 +3,7 @@
 Examples::
 
     sherlock compile kernel.c --tech reram --size 512 --mapper sherlock
+    sherlock compile kernel.c --schedule multi --arrays 4 --report
     sherlock run --workload bitweaving --tech stt-mram --size 1024
     sherlock sweep --workload bitweaving --tech reram --size 512
     sherlock campaign --synthetic 40 --trials 500 --variability 0.35
@@ -27,6 +28,7 @@ from repro.core.config import CompilerConfig
 from repro.core.passes import get_pass
 from repro.core.report import (
     CompileReport,
+    MultiArrayReport,
     PassReport,
     ProgramReport,
     RecoveryReport,
@@ -64,6 +66,11 @@ def _add_target_args(parser: argparse.ArgumentParser) -> None:
                         help="rows in multi-row activation (2 = binary DAG)")
     parser.add_argument("--mapper", default="sherlock",
                         choices=("sherlock", "naive"))
+    parser.add_argument("--schedule", default="single",
+                        choices=("single", "multi"),
+                        help="execution model: single (one logical array, "
+                             "spill for capacity) or multi (co-schedule "
+                             "the DAG across --arrays concurrent arrays)")
     parser.add_argument("--fallback", default="ladder",
                         choices=("ladder", "strict"),
                         help="on capacity failure: walk the graceful-"
@@ -116,6 +123,7 @@ def _target_of(args: argparse.Namespace) -> TargetSpec:
 def _config_of(args: argparse.Namespace) -> CompilerConfig:
     return CompilerConfig(mapper=args.mapper, mra=max(2, args.mra),
                           pipeline=getattr(args, "pipeline", None),
+                          schedule=getattr(args, "schedule", "single"),
                           fallback=getattr(args, "fallback", "ladder"),
                           recycle=getattr(args, "recycle", "auto"))
 
@@ -148,6 +156,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         dag = c_to_dfg(handle.read(), args.function)
     program = _compiler_of(args).compile(dag)
     _report_passes(args, program)
+    if args.report:
+        print(MultiArrayReport.from_program(program).render())
     if args.emit:
         print(program.text())
     if args.output:
@@ -368,6 +378,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--function", default=None, help="kernel function name")
     p.add_argument("--emit", action="store_true",
                    help="print the generated instructions")
+    p.add_argument("--report", action="store_true",
+                   help="print the per-array occupancy / transfer report "
+                        "(overlap model)")
     p.add_argument("--output", "-o", default=None,
                    help="save the compiled program as JSON")
     _add_target_args(p)

@@ -45,7 +45,13 @@ from repro.errors import CapacityError, MappingError, SherlockError
 from repro.mapping.base import MappingResult
 from repro.mapping.partition import Stage, combined_mapping, execute_staged, map_partitioned
 from repro.sim.executor import ArrayMachine, extract_outputs, preload_sources
-from repro.sim.metrics import TraceMetrics, analyze_trace
+from repro.sim.metrics import (
+    MultiArrayMetrics,
+    OverlapTimeline,
+    TraceMetrics,
+    analyze_overlap,
+    analyze_trace,
+)
 
 __all__ = [
     "NAND_LOWERING_WINDOW",
@@ -103,6 +109,29 @@ class CompiledProgram:
     def metrics(self) -> TraceMetrics:
         """Latency/energy/P_app of one run of the program (Table 2 row)."""
         return analyze_trace(self.instructions, self.target)
+
+    @cached_property
+    def overlap(self) -> MultiArrayMetrics:
+        """Overlap-model timing: per-array busy time, bus occupancy, makespan.
+
+        Replays the trace through :class:`repro.sim.metrics.OverlapTimeline`,
+        which lets independent arrays advance concurrently while ``xfer``
+        bridge copies serialize on the shared global bus.  Staged
+        (spill-and-partition) programs insert a host-synchronization
+        barrier between stages — a stage cannot start before every array
+        of the previous one drained.
+        """
+        if self.stages is None:
+            return analyze_overlap(self.instructions, self.target)
+        timeline = OverlapTimeline(self.target)
+        for index, stage in enumerate(self.stages):
+            if index:
+                timeline.barrier()
+                for inst in stage.bridge:
+                    timeline.step(inst)
+            for inst in stage.mapping.instructions:
+                timeline.step(inst)
+        return timeline.metrics
 
     def text(self) -> str:
         """The program in the Fig. 4 instruction format."""
@@ -373,6 +402,19 @@ class SherlockCompiler:
         if mapper_name == "naive":
             return lambda d: map_naive(d, self.target, recycle=recycle,
                                        fault_map=self.fault_map)
+        if mapper_name == "multiarray":
+            from repro.mapping.multiarray import (
+                MultiArrayOptions,
+                map_multiarray,
+            )
+
+            multi = MultiArrayOptions(
+                alpha=self.config.alpha,
+                beta=self.config.beta,
+                merge_instructions=self.config.merge_instructions,
+                recycle=recycle)
+            return lambda d: map_multiarray(d, self.target, multi,
+                                            fault_map=self.fault_map)
         options = SherlockOptions(
             alpha=self.config.alpha, beta=self.config.beta,
             merge_instructions=self.config.merge_instructions,
@@ -383,6 +425,9 @@ class SherlockCompiler:
     def _map_whole(self, ctx: CompilationContext, mapper_name: str,
                    recycle: bool) -> tuple[MappingResult, None]:
         mapping = self._mapper_fn(mapper_name, recycle)(ctx.dag)
+        # the multi-array mapper schedules a private copy (recompute clones
+        # mutate it); adopt that copy so the program's DAG matches the trace
+        ctx.dag = mapping.dag
         place_passthrough_outputs(ctx.dag, mapping)
         return mapping, None
 
@@ -398,7 +443,8 @@ class SherlockCompiler:
                         first_error: MappingError) -> CompiledProgram:
         """Walk the degradation rungs after the configured mapper failed."""
         ctx = self.pass_manager(terminal=False).run(self._context(dag))
-        base = self.config.mapper
+        base = ("multiarray" if self.config.schedule == "multi"
+                else self.config.mapper)
         attempts = [LadderAttempt(rung=base, succeeded=False,
                                   error=str(first_error))]
 
@@ -408,9 +454,13 @@ class SherlockCompiler:
             # rung 0 already ran with recycling when recycle == "always"
             rungs.append((f"{base}+recycle",
                           lambda: self._map_whole(ctx, base, recycle=True)))
-        rungs.append((f"{base}+partitioned",
-                      lambda: self._map_parts(ctx, base, recycle)))
-        if base != "naive":
+        # the serial spill-and-partition chain always uses the configured
+        # mapper, so a failed multi-array co-schedule still degrades to the
+        # proven staged path
+        rungs.append((f"{self.config.mapper}+partitioned",
+                      lambda: self._map_parts(ctx, self.config.mapper,
+                                              recycle)))
+        if self.config.mapper != "naive":
             rungs.append(("naive+partitioned",
                           lambda: self._map_parts(ctx, "naive", recycle)))
 
@@ -447,13 +497,50 @@ class SherlockCompiler:
         summary = "\n  ".join(f"{a.rung}: {a.error}" for a in attempts)
         fields = (first_error if isinstance(first_error, CapacityError)
                   else None)
+        suggested = fields.suggested_num_arrays if fields else None
+        validated = None
+        if fields is not None:
+            suggested, validated = self._validate_suggestion(
+                ctx.dag, suggested or self.target.num_arrays + 1)
         raise CapacityError(
             f"every degradation rung failed:\n  {summary}",
             required_cells=fields.required_cells if fields else None,
             available_cells=fields.available_cells if fields else None,
             num_arrays=self.target.num_arrays,
-            suggested_num_arrays=(fields.suggested_num_arrays
-                                  if fields else None)) from first_error
+            suggested_num_arrays=suggested,
+            suggestion_validated=validated) from first_error
+
+    def _validate_suggestion(self, dag: DataFlowGraph,
+                             suggested: int) -> tuple[int, bool]:
+        """Prove a ``suggested_num_arrays`` by retrying the schedule there.
+
+        The naive suggestion scales the array count by the cell overshoot,
+        which ignores padding, duplicate copies, and fault clustering.
+        Instead of reporting that guess unchecked, retry the multi-array
+        co-schedule at the suggested count (doubling on failure, a few
+        times); the first count that actually maps becomes the validated
+        suggestion.  Returns ``(count, True)`` on proof, or the original
+        guess with ``False`` when no probed count fit.  ``suggested`` may
+        exceed the naive estimate when the estimate was absent (the caller
+        substitutes ``num_arrays + 1``).
+        """
+        from repro.mapping.multiarray import MultiArrayOptions, map_multiarray
+
+        options = MultiArrayOptions(
+            alpha=self.config.alpha,
+            beta=self.config.beta,
+            merge_instructions=self.config.merge_instructions,
+            recycle=self.config.recycle != "never")
+        candidate = max(suggested, self.target.num_arrays + 1)
+        for _ in range(4):
+            try:
+                map_multiarray(dag, self.target.with_(num_arrays=candidate),
+                               options, fault_map=self.fault_map)
+            except MappingError:
+                candidate *= 2
+            else:
+                return candidate, True
+        return suggested, False
 
     # ------------------------------------------------------------------
     # the runtime (remap) rung

@@ -9,6 +9,7 @@ from repro.errors import SherlockError
 VALID_MAPPERS = ("sherlock", "naive")
 VALID_RECYCLE = ("auto", "always", "never")
 VALID_FALLBACK = ("ladder", "strict")
+VALID_SCHEDULES = ("single", "multi")
 
 
 @dataclass(frozen=True)
@@ -27,6 +28,14 @@ class CompilerConfig:
     map-sherlock"`` (see :mod:`repro.core.passes`).  The spec must end in
     exactly one terminal mapping pass; when given, ``mapper`` is derived
     from that terminal pass so reports stay consistent.
+
+    ``schedule`` selects the execution model the terminal mapping pass
+    targets: ``"single"`` (the default) keeps the historical behavior —
+    one logical array whose columns spill into further arrays for
+    capacity only — and ``"multi"`` partitions the DAG across
+    ``TargetSpec.num_arrays`` with the multi-array co-scheduler
+    (:mod:`repro.mapping.multiarray`), so independent regions execute
+    concurrently and ``--arrays`` changes schedules, not just capacity.
 
     ``recycle`` controls liveness-based cell recycling during code
     generation: ``"auto"`` keeps the first compile byte-identical to the
@@ -50,6 +59,9 @@ class CompilerConfig:
     merge_instructions: bool = True
     #: pass-list spec overriding the default pipeline (None = default)
     pipeline: str | None = None
+    #: execution model: "single" (spill for capacity) or "multi"
+    #: (co-schedule across arrays; see repro.mapping.multiarray)
+    schedule: str = "single"
     #: liveness-based cell recycling: "auto", "always", or "never"
     recycle: str = "auto"
     #: capacity-failure handling: "ladder" (degrade) or "strict" (raise)
@@ -68,6 +80,12 @@ class CompilerConfig:
             derived = terminal.removeprefix("map-")
             if derived in VALID_MAPPERS:
                 object.__setattr__(self, "mapper", derived)
+            elif derived == "multiarray":
+                object.__setattr__(self, "schedule", "multi")
+        if self.schedule not in VALID_SCHEDULES:
+            raise SherlockError(
+                f"unknown schedule {self.schedule!r}; "
+                f"choose from {VALID_SCHEDULES}")
         if self.mapper not in VALID_MAPPERS:
             raise SherlockError(
                 f"unknown mapper {self.mapper!r}; choose from {VALID_MAPPERS}")
@@ -92,7 +110,8 @@ class CompilerConfig:
         """The resolved pass-name list this configuration compiles with."""
         from repro.core.passes import default_pipeline, parse_pipeline
 
-        return parse_pipeline(self.pipeline or default_pipeline(self.mapper))
+        return parse_pipeline(self.pipeline
+                              or default_pipeline(self.mapper, self.schedule))
 
     def with_(self, **kwargs) -> "CompilerConfig":
         """A modified copy (convenience for sweeps)."""

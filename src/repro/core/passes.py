@@ -193,9 +193,15 @@ DEFAULT_TRANSFORM_PASSES = (
 )
 
 
-def default_pipeline(mapper: str) -> str:
-    """The spec string of the historical hardcoded pipeline for a mapper."""
-    return ",".join(DEFAULT_TRANSFORM_PASSES + (f"map-{mapper}",))
+def default_pipeline(mapper: str, schedule: str = "single") -> str:
+    """The spec string of the historical hardcoded pipeline for a mapper.
+
+    With ``schedule="multi"`` the terminal pass is the multi-array
+    co-scheduler regardless of ``mapper`` (the mapper still names the
+    single-array algorithm degradation rungs fall back to).
+    """
+    terminal = "map-multiarray" if schedule == "multi" else f"map-{mapper}"
+    return ",".join(DEFAULT_TRANSFORM_PASSES + (terminal,))
 
 
 def parse_pipeline(spec: str, require_terminal: bool = True) -> tuple[str, ...]:
@@ -420,6 +426,29 @@ def _run_map_sherlock(ctx: CompilationContext) -> dict[str, object]:
     place_passthrough_outputs(ctx.dag, ctx.mapping)
     return {"instructions": len(ctx.mapping.instructions),
             "clusters": ctx.mapping.stats.clusters}
+
+
+@_builtin("map-multiarray",
+          "multi-array co-scheduler: partition the DAG across arrays",
+          terminal=True)
+def _run_map_multiarray(ctx: CompilationContext) -> dict[str, object]:
+    from repro.mapping.multiarray import MultiArrayOptions, map_multiarray
+
+    options = MultiArrayOptions(
+        alpha=ctx.config.alpha,
+        beta=ctx.config.beta,
+        merge_instructions=ctx.config.merge_instructions,
+        recycle=_wants_recycle(ctx.config))
+    ctx.mapping = map_multiarray(ctx.dag, ctx.target, options,
+                                 fault_map=ctx.fault_map)
+    # recompute duplication mutates a private copy; adopt it as the
+    # working graph so layout, liveness and execution stay consistent
+    ctx.dag = ctx.mapping.dag
+    place_passthrough_outputs(ctx.dag, ctx.mapping)
+    return {"instructions": len(ctx.mapping.instructions),
+            "arrays_used": ctx.mapping.stats.arrays_used,
+            "transfers": ctx.mapping.stats.cross_array_transfers,
+            "recomputed_ops": ctx.mapping.stats.recomputed_ops}
 
 
 # ----------------------------------------------------------------------

@@ -8,6 +8,7 @@ from dataclasses import dataclass
 from repro.core.compiler import CompiledProgram, LadderAttempt
 from repro.core.passes import PassEvent
 from repro.reliability.campaign import CampaignResult
+from repro.sim.metrics import MultiArrayMetrics
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -174,6 +175,72 @@ class CompileReport:
         """The ladder table plus the resulting degradation level."""
         table = format_table(COMPILE_REPORT_HEADERS, self.rows())
         return f"{table}\ndegradation level: {self.degradation}"
+
+
+MULTIARRAY_REPORT_HEADERS = [
+    "array", "busy_cycles", "util_%", "cells", "cols",
+]
+
+
+@dataclass(frozen=True)
+class MultiArrayReport:
+    """Per-array occupancy of one program under the overlap model.
+
+    One row per array the program touches: modeled busy cycles, the
+    utilization of that array against the critical-path makespan, and the
+    cells/columns the layout occupies there.  The footer carries the
+    schedule-level numbers — makespan vs the serial instruction chain,
+    global-bus occupancy, cross-array transfer and recompute counts
+    (``sherlock compile --report``).
+    """
+
+    schedule: str
+    overlap: MultiArrayMetrics
+    cells_by_array: dict[int, int]
+    cols_by_array: dict[int, int]
+    transfers: int
+    recomputed_ops: int
+
+    @classmethod
+    def from_program(cls, program: CompiledProgram) -> "MultiArrayReport":
+        """Summarize a program's per-array occupancy and transfers."""
+        stats = program.mapping.stats
+        return cls(
+            schedule=program.config.schedule,
+            overlap=program.overlap,
+            cells_by_array=program.layout.cells_used_by_array(),
+            cols_by_array=program.layout.columns_used_by_array(),
+            transfers=stats.cross_array_transfers,
+            recomputed_ops=stats.recomputed_ops)
+
+    def rows(self) -> list[list[object]]:
+        """Table rows matching :data:`MULTIARRAY_REPORT_HEADERS`."""
+        arrays = sorted(set(self.overlap.busy_cycles)
+                        | set(self.cells_by_array))
+        out: list[list[object]] = []
+        for array in arrays:
+            out.append([
+                array,
+                self.overlap.busy_cycles.get(array, 0),
+                f"{self.overlap.utilization(array):.1%}",
+                self.cells_by_array.get(array, 0),
+                self.cols_by_array.get(array, 0),
+            ])
+        return out
+
+    def render(self) -> str:
+        """The per-array table plus schedule-level footer lines."""
+        table = format_table(MULTIARRAY_REPORT_HEADERS, self.rows())
+        overlap = self.overlap
+        return (f"{table}\n"
+                f"schedule {self.schedule}: makespan "
+                f"{overlap.makespan_cycles} cycles, serial chain "
+                f"{overlap.serial_cycles} cycles, speedup "
+                f"{overlap.speedup:.2f}x\n"
+                f"bus: {overlap.bus_busy_cycles} busy cycles "
+                f"({overlap.bus_occupancy:.1%} occupancy), "
+                f"{self.transfers} cross-array transfer(s), "
+                f"{self.recomputed_ops} recomputed op(s)")
 
 
 RECOVERY_REPORT_HEADERS = [

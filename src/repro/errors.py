@@ -31,14 +31,20 @@ class CapacityError(MappingError):
     estimate of the cells the failing request needed, ``available_cells``
     the capacity it had, and ``suggested_num_arrays`` a computed target
     size that would (conservatively) fit.  Any field may be ``None`` when
-    the failing site cannot estimate it.
+    the failing site cannot estimate it.  ``suggestion_validated`` records
+    whether the compiler *proved* the suggestion by retrying the
+    multi-array schedule at that array count (``True``), disproved the
+    naive estimate and corrected it (also ``True`` — the field describes
+    the final suggestion), probed without finding a fitting count
+    (``False``), or never checked (``None``).
     """
 
     def __init__(self, message: str, *,
                  required_cells: int | None = None,
                  available_cells: int | None = None,
                  num_arrays: int | None = None,
-                 suggested_num_arrays: int | None = None) -> None:
+                 suggested_num_arrays: int | None = None,
+                 suggestion_validated: bool | None = None) -> None:
         super().__init__(message)
         self.required_cells = required_cells
         self.available_cells = available_cells
@@ -52,6 +58,7 @@ class CapacityError(MappingError):
             scaled = math.ceil(num_arrays * required_cells / available_cells)
             suggested_num_arrays = max(num_arrays + 1, scaled)
         self.suggested_num_arrays = suggested_num_arrays
+        self.suggestion_validated = suggestion_validated
 
     def details(self) -> list[str]:
         """Human-readable diagnostic lines for the CLI error path."""
@@ -61,10 +68,13 @@ class CapacityError(MappingError):
         if self.available_cells is not None:
             lines.append(f"available cells: {self.available_cells}")
         if self.suggested_num_arrays is not None:
+            note = ""
+            if self.suggestion_validated:
+                note = " — validated: the multi-array schedule fits there"
             lines.append(
                 f"suggestion: retry with num_arrays >= "
                 f"{self.suggested_num_arrays} (--arrays "
-                f"{self.suggested_num_arrays})")
+                f"{self.suggested_num_arrays}){note}")
         return lines
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.arch.isa import Instruction
+from repro.arch.isa import Instruction, TransferInst
 from repro.arch.layout import Layout
 from repro.arch.target import TargetSpec
 from repro.dfg.graph import DataFlowGraph
@@ -26,6 +26,10 @@ class MappingStats:
     cells_used: int = 0
     #: placements that reused a cell released by liveness recycling
     recycled_cells: int = 0
+    #: ``xfer`` instructions in the trace (inter-array bus copies)
+    cross_array_transfers: int = 0
+    #: ops the multi-array scheduler duplicated instead of bridging
+    recomputed_ops: int = 0
 
     def as_dict(self) -> dict[str, object]:
         """All statistics as a flat dictionary."""
@@ -49,3 +53,5 @@ class MappingResult:
         self.stats.duplicates = self.layout.duplicates
         self.stats.cells_used = self.layout.cells_used
         self.stats.recycled_cells = self.layout.recycled
+        self.stats.cross_array_transfers = sum(
+            1 for inst in self.instructions if isinstance(inst, TransferInst))

@@ -43,7 +43,8 @@ class CodeGenerator:
     def __init__(self, dag: DataFlowGraph, target: TargetSpec, layout: Layout,
                  stats: MappingStats,
                  pad_budget: dict[int, int] | None = None,
-                 recycle: bool = False) -> None:
+                 recycle: bool = False,
+                 prefer_local_copies: bool = False) -> None:
         self.dag = dag
         self.target = target
         self.layout = layout
@@ -57,6 +58,11 @@ class CodeGenerator:
         #: release dead operand cells as generation advances so later
         #: placements can recycle them (register-allocation style)
         self.recycle = recycle
+        #: gather from the copy nearest the destination instead of the
+        #: primary copy, so a copy already on the destination array never
+        #: crosses the bus again.  Off by default: the multi-array scheduler
+        #: opts in, the historical mappers stay byte-identical.
+        self.prefer_local_copies = prefer_local_copies
 
     # ------------------------------------------------------------------
     # shared helpers
@@ -78,6 +84,12 @@ class CodeGenerator:
                 f"op {node.node_id} repeats an operand; normalize the DAG "
                 "(fold duplicate operands) before mapping")
         return operands
+
+    def _gather_source(self, operand_id: int, dst_gcol: int) -> CellAddr:
+        """The copy a gather into ``dst_gcol`` reads from."""
+        if self.prefer_local_copies:
+            return self.layout.nearest_copy(operand_id, dst_gcol)
+        return self.layout.primary(operand_id)
 
     def _move(self, operand_id: int, src: CellAddr, dst_gcol: int) -> CellAddr:
         """Emit one unmerged gather move and place the new copy."""
@@ -104,7 +116,7 @@ class CodeGenerator:
             # never land in a recycled cell — its previous occupant is
             # written mid-program and would clobber the value poked at t=0.
             return self.layout.place(operand_id, gcol, reuse=False)
-        return self._move(operand_id, self.layout.primary(operand_id), gcol)
+        return self._move(operand_id, self._gather_source(operand_id, gcol), gcol)
 
     def release_dying(self, liveness: Liveness, position: int) -> None:
         """Free the cells of operands whose last use is ``position``.
@@ -283,7 +295,7 @@ class CodeGenerator:
                     continue
                 key = (oid, gcol)
                 if key not in moves:
-                    moves[key] = self.layout.primary(oid)
+                    moves[key] = self._gather_source(oid, gcol)
         # group by (src array, dst array, src row, shift distance)
         groups: dict[tuple[int, int, int, int], list[tuple[int, CellAddr, int]]] = {}
         for (oid, gcol), src in sorted(moves.items()):

@@ -310,6 +310,145 @@ def parallel_latency_cycles(instructions: list[Instruction],
     return max(busy.values(), default=0)
 
 
+@dataclass
+class MultiArrayMetrics:
+    """Concurrency profile of a trace under the overlap execution model.
+
+    Where :class:`TraceMetrics` prices the paper's one-instruction-at-a-time
+    controller, this models the multi-array co-scheduler's execution: each
+    array runs its own instruction sub-stream, synchronizing with the others
+    only at ``xfer`` instructions, which serialize on the single global bus.
+    ``makespan_cycles`` is the resulting critical-path latency;
+    ``serial_cycles`` is what the same trace costs issued serially (equal to
+    :attr:`TraceMetrics.latency_cycles`), so ``speedup`` measures how much
+    inter-array parallelism the schedule actually exposes.
+    """
+
+    target: TargetSpec
+    #: overlap-model critical-path latency of the trace
+    makespan_cycles: int = 0
+    #: latency of the same trace issued one instruction at a time
+    serial_cycles: int = 0
+    #: cycles the global bus spends carrying ``xfer`` traffic
+    bus_busy_cycles: int = 0
+    transfers: int = 0
+    #: cycles each array spends executing (array id -> cycles); an ``xfer``
+    #: occupies both of its arrays for the transfer's duration
+    busy_cycles: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def arrays_used(self) -> int:
+        """Number of arrays that executed at least one instruction."""
+        return len(self.busy_cycles)
+
+    @property
+    def speedup(self) -> float:
+        """Serial latency over makespan (1.0 = no overlap exposed)."""
+        if self.makespan_cycles == 0:
+            return 1.0
+        return self.serial_cycles / self.makespan_cycles
+
+    @property
+    def bus_occupancy(self) -> float:
+        """Fraction of the makespan the global bus is busy."""
+        if self.makespan_cycles == 0:
+            return 0.0
+        return self.bus_busy_cycles / self.makespan_cycles
+
+    def utilization(self, array: int) -> float:
+        """Fraction of the makespan the given array is busy."""
+        if self.makespan_cycles == 0:
+            return 0.0
+        return self.busy_cycles.get(array, 0) / self.makespan_cycles
+
+    def summary(self) -> dict[str, float]:
+        """Flat dictionary for table printing."""
+        return {
+            "makespan_cycles": self.makespan_cycles,
+            "serial_cycles": self.serial_cycles,
+            "speedup": self.speedup,
+            "arrays_used": self.arrays_used,
+            "transfers": self.transfers,
+            "bus_occupancy": self.bus_occupancy,
+        }
+
+
+class OverlapTimeline:
+    """Event clocks of the overlap model: one per array, one for the bus.
+
+    The rules (see DESIGN.md, "Multi-array co-scheduling"):
+
+    * instructions on different arrays proceed concurrently; each array
+      executes its own sub-stream in program order,
+    * an ``xfer`` starts once its source array, destination array *and* the
+      global bus are free, and holds all three until it completes (there is
+      one bus, so concurrent transfers serialize),
+    * :meth:`barrier` models a host synchronization point (the boundary
+      between spill-and-partition stages, where the host extracts and
+      re-pokes values): no instruction after the barrier may start before
+      everything preceding it finished.
+
+    Feed instructions with :meth:`step`; read the accumulated
+    :class:`MultiArrayMetrics` from :attr:`metrics` at any point.
+    """
+
+    def __init__(self, target: TargetSpec) -> None:
+        self.target = target
+        self.metrics = MultiArrayMetrics(target=target)
+        self._clock: dict[int, int] = {}
+        self._bus_clock = 0
+        self._floor = 0
+
+    def _time(self, array: int) -> int:
+        return max(self._clock.get(array, 0), self._floor)
+
+    @property
+    def now(self) -> int:
+        """The latest event time so far (= current makespan)."""
+        return self.metrics.makespan_cycles
+
+    def step(self, inst: Instruction) -> None:
+        """Advance the clocks by one instruction."""
+        cycles, _ = instruction_cost(inst, self.target)
+        m = self.metrics
+        m.serial_cycles += cycles
+        if isinstance(inst, TransferInst):
+            start = max(self._time(inst.array), self._time(inst.dst_array),
+                        self._bus_clock, self._floor)
+            done = start + cycles
+            self._clock[inst.array] = done
+            self._clock[inst.dst_array] = done
+            self._bus_clock = done
+            m.bus_busy_cycles += cycles
+            m.transfers += 1
+            for array in (inst.array, inst.dst_array):
+                m.busy_cycles[array] = m.busy_cycles.get(array, 0) + cycles
+        else:
+            done = self._time(inst.array) + cycles
+            self._clock[inst.array] = done
+            m.busy_cycles[inst.array] = m.busy_cycles.get(inst.array, 0) + cycles
+        if done > m.makespan_cycles:
+            m.makespan_cycles = done
+
+    def barrier(self) -> None:
+        """Host synchronization point: nothing later starts before it."""
+        self._floor = max(self.metrics.makespan_cycles, self._floor)
+        self._bus_clock = max(self._bus_clock, self._floor)
+
+
+def analyze_overlap(instructions: list[Instruction],
+                    target: TargetSpec) -> MultiArrayMetrics:
+    """Concurrency profile of one uninterrupted trace (no host barriers).
+
+    Staged programs must insert :meth:`OverlapTimeline.barrier` calls at
+    stage boundaries instead (see ``CompiledProgram.overlap``).
+    """
+    timeline = OverlapTimeline(target)
+    for inst in instructions:
+        timeline.step(inst)
+    return timeline.metrics
+
+
 def operation_failures(instructions: list[Instruction], target: TargetSpec) -> list[float]:
     """Per-CIM-column-op decision-failure probabilities, in trace order."""
     failures = []

@@ -53,6 +53,7 @@ MODULES = PACKAGES + [
     "repro.mapping.base",
     "repro.mapping.clustering",
     "repro.mapping.codegen",
+    "repro.mapping.multiarray",
     "repro.mapping.naive",
     "repro.mapping.optimized",
     "repro.reliability.campaign",

@@ -70,7 +70,8 @@ class TestRegistry:
 
     def test_select_by_group(self):
         names = [probe.name for probe in select_probes(["compile"])]
-        assert names == ["compile.cold", "compile.ladder", "compile.warm"]
+        assert names == ["compile.cold", "compile.ladder",
+                         "compile.multiarray", "compile.warm"]
 
     def test_select_all_when_unspecified(self):
         assert len(select_probes(None)) == len(BENCHMARKS)

@@ -1,0 +1,305 @@
+"""Tests for the multi-array co-scheduler (assignment, mapping, ladder).
+
+The acceptance gate lives in ``TestAcceptance``: on Sobel with four
+arrays the co-scheduled program must produce outputs identical to the
+reference evaluator while reporting a strictly lower modeled
+critical-path latency than the serial spill-and-partition chain the
+single-array ladder falls back to.
+"""
+
+import random
+
+import pytest
+
+from repro.arch import TargetSpec
+from repro.arch.isa import TransferInst, instruction_arrays
+from repro.core import CompilerConfig, SherlockCompiler, compile_dag
+from repro.core.report import MultiArrayReport
+from repro.devices import RERAM, CellFault, FaultMap
+from repro.dfg.evaluate import evaluate
+from repro.errors import CapacityError, MappingError
+from repro.mapping import (
+    MultiArrayOptions,
+    apply_recompute,
+    assign_arrays,
+    find_clusters,
+    map_multiarray,
+    merge_clusters,
+)
+from repro.workloads import get_workload
+from repro.workloads.synthetic import synthetic_dag
+
+LANES = 8
+
+
+def wide_dag(num_ops=64, num_inputs=16, seed=5, name="multi-wide"):
+    """A synthetic DAG with enough parallelism to spread across arrays."""
+    return synthetic_dag(num_ops=num_ops, num_inputs=num_inputs, seed=seed,
+                         name=name)
+
+
+def dag_inputs(dag, seed=0, lanes=LANES):
+    rng = random.Random(seed)
+    return {o.name: rng.getrandbits(lanes) for o in dag.inputs()}
+
+
+class TestAssignArrays:
+    def test_parallel_dag_spreads_over_arrays(self):
+        dag = wide_dag()
+        target = TargetSpec.square(16, RERAM, num_arrays=4)
+        assignment = assign_arrays(dag, target)
+        assert set(assignment.array_of) == {op.node_id
+                                            for op in dag.op_nodes()}
+        assert assignment.arrays_used() > 1
+        assert all(0 <= a < 4 for a in assignment.array_of.values())
+
+    def test_cluster_mode_keeps_clusters_whole(self):
+        dag = wide_dag()
+        target = TargetSpec.square(16, RERAM, num_arrays=4)
+        clusters = find_clusters(dag, target.usable_rows)
+        clusters, _ = merge_clusters(clusters, 4, target.usable_rows, dag)
+        assignment = assign_arrays(dag, target, clusters=clusters)
+        for cluster in clusters:
+            homes = {assignment.array_of[op] for op in cluster.ops}
+            assert len(homes) == 1, "cluster split across arrays"
+
+    def test_cross_array_edges_are_priced(self):
+        dag = wide_dag()
+        target = TargetSpec.square(16, RERAM, num_arrays=4)
+        assignment = assign_arrays(dag, target)
+        priced = assignment.bridge_cycles + assignment.recompute_cycles
+        if assignment.arrays_used() > 1:
+            assert priced > 0
+        assert assignment.bridge_cycles >= assignment.bridge_edges
+
+    def test_recompute_disabled(self):
+        dag = wide_dag()
+        target = TargetSpec.square(16, RERAM, num_arrays=4)
+        options = MultiArrayOptions(recompute=False)
+        assignment = assign_arrays(dag, target, options)
+        assert not assignment.recomputed
+        assert assignment.recompute_cycles == 0
+
+    def test_single_array_has_no_bridges(self):
+        dag = wide_dag()
+        target = TargetSpec.square(64, RERAM, num_arrays=1)
+        assignment = assign_arrays(dag, target)
+        assert assignment.arrays_used() == 1
+        assert assignment.bridge_edges == 0
+        assert not assignment.recomputed
+
+
+class TestApplyRecompute:
+    def test_duplication_preserves_semantics(self):
+        dag = wide_dag(num_ops=96, num_inputs=12, seed=9)
+        target = TargetSpec.square(16, RERAM, num_arrays=4)
+        work = dag.copy()
+        assignment = assign_arrays(work, target)
+        before = work.num_ops
+        clones = apply_recompute(work, assignment)
+        assert work.num_ops == before + clones
+        work.validate()
+        inputs = dag_inputs(dag)
+        assert evaluate(work, inputs, LANES) == evaluate(dag, inputs, LANES)
+
+    def test_clones_are_assigned_to_their_array(self):
+        dag = wide_dag(num_ops=96, num_inputs=12, seed=9)
+        target = TargetSpec.square(16, RERAM, num_arrays=4)
+        work = dag.copy()
+        assignment = assign_arrays(work, target)
+        apply_recompute(work, assignment)
+        assert set(assignment.array_of) >= {op.node_id
+                                            for op in work.op_nodes()}
+
+
+class TestMapMultiarray:
+    def test_program_executes_correctly(self):
+        dag = wide_dag()
+        target = TargetSpec.square(32, RERAM, num_arrays=4)
+        program = compile_dag(dag, target,
+                              CompilerConfig(mapper="sherlock",
+                                             schedule="multi"), cache=False)
+        inputs = dag_inputs(dag)
+        assert program.execute(inputs, LANES) == evaluate(dag, inputs, LANES)
+
+    def test_schedule_spans_multiple_arrays(self):
+        dag = wide_dag()
+        target = TargetSpec.square(32, RERAM, num_arrays=4)
+        result = map_multiarray(dag, target)
+        touched = {a for inst in result.instructions
+                   for a in instruction_arrays(inst)}
+        assert len(touched) > 1
+        assert result.stats.mapper == "multiarray"
+        assert result.stats.clusters > 0
+
+    def test_cross_array_operands_lower_to_xfer(self):
+        dag = wide_dag()
+        target = TargetSpec.square(32, RERAM, num_arrays=4)
+        options = MultiArrayOptions(recompute=False)
+        result = map_multiarray(dag, target, options)
+        xfers = [i for i in result.instructions
+                 if isinstance(i, TransferInst)]
+        assert xfers, "multi-array schedule without recompute needs bridges"
+        assert result.stats.cross_array_transfers == len(xfers)
+
+    def test_source_dag_is_not_mutated(self):
+        dag = wide_dag()
+        before = dag.num_ops
+        map_multiarray(dag, TargetSpec.square(32, RERAM, num_arrays=4))
+        assert dag.num_ops == before
+
+    def test_fault_map_constrains_placement(self):
+        dag = wide_dag()
+        target = TargetSpec.square(32, RERAM, num_arrays=4)
+        fault_map = FaultMap.random_map(target, fraction=0.04, seed=3)
+        program = SherlockCompiler(
+            target, CompilerConfig(mapper="sherlock", schedule="multi"),
+            fault_map=fault_map).compile(dag)
+        inputs = dag_inputs(dag)
+        assert program.execute(inputs, LANES) == evaluate(dag, inputs, LANES)
+
+    def test_single_array_multi_schedule_still_works(self):
+        dag = wide_dag()
+        target = TargetSpec.square(64, RERAM, num_arrays=1)
+        program = compile_dag(dag, target,
+                              CompilerConfig(mapper="sherlock",
+                                             schedule="multi"), cache=False)
+        inputs = dag_inputs(dag)
+        assert program.execute(inputs, LANES) == evaluate(dag, inputs, LANES)
+        assert not any(isinstance(i, TransferInst)
+                       for i in program.instructions)
+
+    def test_bad_merge_headroom_rejected(self):
+        dag = wide_dag()
+        target = TargetSpec.square(32, RERAM, num_arrays=4)
+        with pytest.raises(MappingError, match="merge_headroom"):
+            map_multiarray(dag, target, MultiArrayOptions(merge_headroom=0))
+
+    def test_overlap_metrics_report_concurrency(self):
+        dag = wide_dag()
+        target = TargetSpec.square(32, RERAM, num_arrays=4)
+        program = compile_dag(dag, target,
+                              CompilerConfig(mapper="sherlock",
+                                             schedule="multi"), cache=False)
+        overlap = program.overlap
+        assert overlap.makespan_cycles < overlap.serial_cycles
+        assert len(overlap.busy_cycles) > 1
+        assert overlap.speedup > 1.0
+
+
+class TestCapacitySuggestion:
+    """Regression: ``suggested_num_arrays`` is validated, not just guessed."""
+
+    def _dead_array_target(self):
+        target = TargetSpec.square(8, RERAM, num_arrays=1)
+        fault_map = FaultMap()
+        for row in range(target.rows):
+            for col in range(target.cols):
+                fault_map.set_fault(0, row, col, CellFault.DEAD)
+        return target, fault_map
+
+    def test_exhausted_ladder_validates_its_suggestion(self):
+        dag = synthetic_dag(num_ops=48, num_inputs=8, seed=7,
+                            name="suggestion-gate")
+        target, fault_map = self._dead_array_target()
+        with pytest.raises(CapacityError) as excinfo:
+            SherlockCompiler(target, CompilerConfig(mapper="sherlock"),
+                             fault_map=fault_map).compile(dag)
+        err = excinfo.value
+        assert err.suggested_num_arrays is not None
+        assert err.suggested_num_arrays > target.num_arrays
+        assert err.suggestion_validated is True
+        assert "validated" in "\n".join(err.details())
+
+    def test_validated_suggestion_actually_compiles(self):
+        dag = synthetic_dag(num_ops=48, num_inputs=8, seed=7,
+                            name="suggestion-gate")
+        target, fault_map = self._dead_array_target()
+        with pytest.raises(CapacityError) as excinfo:
+            SherlockCompiler(target, CompilerConfig(mapper="sherlock"),
+                             fault_map=fault_map).compile(dag)
+        suggested = excinfo.value.suggested_num_arrays
+        retry = SherlockCompiler(
+            target.with_(num_arrays=suggested),
+            CompilerConfig(mapper="sherlock", schedule="multi"),
+            fault_map=fault_map).compile(dag)
+        inputs = dag_inputs(dag)
+        assert retry.execute(inputs, LANES) == evaluate(dag, inputs, LANES)
+
+
+class TestAcceptance:
+    """The issue's bar: Sobel on 4 arrays beats the serial spill chain."""
+
+    @pytest.fixture(scope="class")
+    def programs(self):
+        dag = get_workload("sobel").build_dag()
+        single = SherlockCompiler(
+            TargetSpec.square(128, RERAM, num_arrays=1),
+            CompilerConfig(mapper="sherlock"), cache=False).compile(dag)
+        multi = SherlockCompiler(
+            TargetSpec.square(128, RERAM, num_arrays=4),
+            CompilerConfig(mapper="sherlock", schedule="multi"),
+            cache=False).compile(dag)
+        return dag, single, multi
+
+    def test_single_array_baseline_is_the_spill_chain(self, programs):
+        _, single, _ = programs
+        assert single.degradation != "none"
+        assert len(single.stages or []) > 1
+
+    def test_multi_array_fits_without_degradation(self, programs):
+        _, _, multi = programs
+        assert multi.degradation == "none"
+
+    def test_outputs_identical_to_reference(self, programs):
+        dag, single, multi = programs
+        workload = get_workload("sobel")
+        inputs = workload.make_inputs(random.Random(0), LANES)
+        want = evaluate(dag, inputs, LANES)
+        assert multi.execute(inputs, LANES) == want
+        assert single.execute(inputs, LANES) == want
+
+    def test_critical_path_beats_serial_spill_chain(self, programs):
+        _, single, multi = programs
+        chain = single.overlap.serial_cycles
+        assert multi.overlap.makespan_cycles < chain
+
+
+class TestReportAndCli:
+    def test_multiarray_report_renders(self):
+        dag = wide_dag()
+        target = TargetSpec.square(32, RERAM, num_arrays=4)
+        program = compile_dag(dag, target,
+                              CompilerConfig(mapper="sherlock",
+                                             schedule="multi"), cache=False)
+        text = MultiArrayReport.from_program(program).render()
+        assert "schedule multi" in text
+        assert "makespan" in text and "bus:" in text
+        assert "util_%" in text
+
+    def test_cli_compile_report_shows_occupancy(self, tmp_path, capsys):
+        from repro.cli import main
+
+        source = tmp_path / "kernel.c"
+        source.write_text(
+            "word_t f(word_t a, word_t b, word_t c, word_t d) "
+            "{ return (a & b) ^ (c | d) ^ ~a; }")
+        assert main(["compile", str(source), "--size", "32", "--arrays", "4",
+                     "--schedule", "multi", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "transfer" in out
+
+    def test_cli_single_schedule_is_default_and_identical(self, tmp_path,
+                                                          capsys):
+        from repro.cli import main
+
+        source = tmp_path / "kernel.c"
+        source.write_text(
+            "word_t f(word_t a, word_t b) { return (a & b) ^ ~a; }")
+        assert main(["compile", str(source), "--size", "64", "--arrays", "1",
+                     "--emit"]) == 0
+        default_text = capsys.readouterr().out
+        assert main(["compile", str(source), "--size", "64", "--arrays", "1",
+                     "--schedule", "single", "--emit"]) == 0
+        assert capsys.readouterr().out == default_text

@@ -477,3 +477,66 @@ class TestStuckAtSense:
             m.execute(ReadInst(0, (0,), (0, 1), (OpType.XOR,)))
         assert set(loaded) == {m.mask}  # forced on every one of 20 senses
         assert {m.peek(CellAddr(0, 0, 0)) for _ in range(20)} == {m.mask}
+
+
+class TestTransfer:
+    """Direct coverage of the Fig. 4 ``xfer`` bridge instruction."""
+
+    def test_cross_array_copy(self):
+        """xfer carries sensed row-buffer bits onto another array."""
+        m = make_machine()
+        m.poke(CellAddr(0, 2, 3), 0b1010)
+        m.run([
+            ReadInst(0, (3,), (2,)),
+            TransferInst(0, dst_array=1, cols=(3,)),
+            WriteInst(1, (3,), 5),
+        ])
+        assert m.peek(CellAddr(1, 5, 3)) == 0b1010
+        # the source cell is untouched and the source array keeps its buffer
+        assert m.peek(CellAddr(0, 2, 3)) == 0b1010
+
+    def test_copies_only_named_columns(self):
+        m = make_machine()
+        m.poke(CellAddr(0, 0, 1), 0b01)
+        m.poke(CellAddr(0, 0, 2), 0b10)
+        m.run([ReadInst(0, (1, 2), (0,)),
+               TransferInst(0, dst_array=1, cols=(1,)),
+               WriteInst(1, (1,), 0)])
+        assert m.peek(CellAddr(1, 0, 1)) == 0b01
+        with pytest.raises(SimulationError):
+            # column 2 never crossed, so writing it on array 1 is illegal
+            m.execute(WriteInst(1, (2,), 0))
+
+    def test_same_array_is_rejected(self):
+        with pytest.raises(SimulationError):
+            TransferInst(0, dst_array=0, cols=(1,))
+
+    def test_empty_cols_is_rejected(self):
+        with pytest.raises(SimulationError):
+            TransferInst(0, dst_array=1, cols=())
+
+    def test_empty_source_buffer_raises(self):
+        m = make_machine()
+        with pytest.raises(SimulationError):
+            m.execute(TransferInst(0, dst_array=1, cols=(4,)))
+
+    def test_out_of_range_destination_raises(self):
+        m = make_machine()  # num_arrays=2
+        m.poke(CellAddr(0, 0, 0), 1)
+        m.execute(ReadInst(0, (0,), (0,)))
+        with pytest.raises(SimulationError):
+            m.execute(TransferInst(0, dst_array=5, cols=(0,)))
+
+    def test_stuck_cell_at_destination_forces_written_value(self):
+        """A bridge into a stuck destination cell lands the forced value."""
+        from repro.devices import CellFault, FaultMap
+
+        fm = FaultMap()
+        fm.set_fault(1, 5, 3, CellFault.STUCK1)
+        m = make_machine(machine_kwargs={"fault_map": fm})
+        m.poke(CellAddr(0, 2, 3), 0b0000)
+        m.run([ReadInst(0, (3,), (2,)),
+               TransferInst(0, dst_array=1, cols=(3,)),
+               WriteInst(1, (3,), 5)])
+        # the xfer itself is clean; the stuck cell corrupts the commit
+        assert m.peek(CellAddr(1, 5, 3)) == m.mask
