@@ -155,6 +155,81 @@ echo "== lifetime campaign gate (wear-leveling + remap extend life) =="
 python -m repro.cli lifetime --synthetic 30 --trials 5 --seed 0 \
     --endurance 50 --size 16 --arrays 2 --validate
 
+echo "== serve smoke (CLI batch mode + stats surface) =="
+SERVE_TMP=$(mktemp -d)
+cat > "$SERVE_TMP/requests.jsonl" <<'EOF'
+{"id": "s1", "kernel": "int f(int a, int b){return a ^ (a & b);}", "inputs": {"a": 9, "b": 12}}
+{"id": "s2", "synthetic": 20, "seed": 3}
+{"id": "s2-again", "synthetic": 20, "seed": 3}
+EOF
+python -m repro.cli serve --requests "$SERVE_TMP/requests.jsonl" \
+    --cache-dir "$SERVE_TMP/cache" --lanes 8 --size 64 --arrays 2 --stats \
+    > "$SERVE_TMP/results.jsonl"
+cat "$SERVE_TMP/results.jsonl"
+
+echo "== serve gate (corrupted cache + oversized kernel, diff vs evaluator) =="
+python - <<'EOF'
+import json
+import pathlib
+import sys
+import tempfile
+
+from repro.arch.target import TargetSpec
+from repro.devices import RERAM
+from repro.dfg.evaluate import evaluate
+from repro.serve import ArtifactCache, CompileService, handle_request_file
+from repro.serve.server import parse_request_lines
+
+tmp = pathlib.Path(tempfile.mkdtemp(prefix="sherlock-serve-gate-"))
+requests = [
+    {"id": "g1", "kernel": "int f(int a, int b){return a ^ (a & b);}",
+     "inputs": {"a": 9, "b": 12}, "lanes": 8},
+    {"id": "g2", "synthetic": 20, "seed": 3, "lanes": 8},
+    # oversized for the 16x16 arrays: rides the degradation ladder
+    {"id": "g3", "synthetic": 128, "seed": 5, "lanes": 8},
+]
+request_file = tmp / "requests.jsonl"
+request_file.write_text("\n".join(json.dumps(obj) for obj in requests))
+want = [evaluate(r.dag, r.inputs, r.lanes)
+        for r in parse_request_lines(request_file.read_text(), 8)]
+
+target = TargetSpec.square(16, RERAM, num_arrays=2)
+cache = ArtifactCache(tmp / "cache")
+with CompileService(target, cache=cache, workers=2) as service:
+    first = handle_request_file(service, request_file, 8)
+    # corrupt one published artifact mid-run: the second pass must
+    # quarantine it and transparently recompile
+    victim = next(cache.root.glob("*.json"))
+    victim.write_text(victim.read_text()[:25])
+    second = handle_request_file(service, request_file, 8)
+    stats = service.stats()
+    stats_text = service.stats_text()
+
+for batch in (first, second):
+    for result, expected in zip(batch, want):
+        if result.error is not None:
+            sys.exit(f"serve gate: request {result.request_id!r} failed: "
+                     f"{result.error}")
+        if result.outputs != expected:
+            sys.exit(f"serve gate: request {result.request_id!r} diverged "
+                     f"from the reference evaluator")
+if stats["cache"]["quarantined"] != 1:
+    sys.exit(f"serve gate: expected exactly 1 quarantined entry, stats say "
+             f"{stats['cache']}")
+if stats["errors"] != 0 or stats["completed"] != 2 * len(requests):
+    sys.exit(f"serve gate: unexpected service counters {stats}")
+for needle in ("breaker: state=closed", "quarantined=1"):
+    if needle not in stats_text:
+        sys.exit(f"serve gate: stats surface is missing {needle!r}:\n"
+                 f"{stats_text}")
+degraded = [r.degradation for r in first if r.degradation != "none"]
+if not degraded:
+    sys.exit("serve gate: the oversized request never rode the "
+             "degradation ladder; gate is not exercising it")
+print(f"serve gate passed: {2 * len(requests)} requests bit-identical "
+      f"across a corrupted cache (quarantined=1), degradations {degraded}")
+EOF
+
 echo "== paper experiments (tables land in benchmarks/results/) =="
 python -m pytest benchmarks/ 2>&1 | tee benchmarks/results/full_run.log
 

@@ -1,6 +1,6 @@
 """The built-in benchmark probes over the standard workloads.
 
-Ten probes cover the hot paths the roadmap optimizes against:
+Twelve probes cover the hot paths the roadmap optimizes against:
 
 * ``compile.cold`` / ``compile.warm`` — the full pass pipeline on the
   bitweaving DAG with the process compile cache cleared vs primed,
@@ -20,7 +20,11 @@ Ten probes cover the hot paths the roadmap optimizes against:
   trial and shadow check pays for,
 * ``campaign.serial`` / ``campaign.parallel`` — fault-injection campaign
   throughput in trials/second, single-process vs the sharded
-  process-pool mode (same master seed, so both run identical trials).
+  process-pool mode (same master seed, so both run identical trials),
+* ``serve.cold`` / ``serve.cached`` — a small request batch through the
+  :class:`repro.serve.CompileService` against an empty vs a primed
+  persistent artifact cache; the gap is the compile work the cache
+  amortizes across a serving fleet.
 
 Probe workloads are deliberately small (sub-second per repeat) so
 ``sherlock bench`` stays cheap enough to run on every change; they are
@@ -30,7 +34,10 @@ Probe workloads are deliberately small (sub-second per repeat) so
 from __future__ import annotations
 
 import os
+import pathlib
 import random
+import shutil
+import tempfile
 
 from repro.arch.target import TargetSpec
 from repro.bench.registry import Timer, benchmark
@@ -294,3 +301,76 @@ def _campaign_parallel(timer: Timer):
     values = timer.throughput(_work, CAMPAIGN_TRIALS)
     return values, {"trials": CAMPAIGN_TRIALS, "lanes": _LANES,
                     "workers": workers, "cpus": os.cpu_count()}
+
+
+#: requests per serve-probe batch (distinct DAGs, so a cold pass pays
+#: one full compile per request)
+_SERVE_REQUESTS = 3
+
+
+def _serve_batch():
+    """The fixed target + request batch both serve probes push through."""
+    from repro.serve import ServeRequest
+
+    target = TargetSpec.square(64, RERAM, num_arrays=2)
+    rng = random.Random(0)
+    requests = []
+    for index in range(_SERVE_REQUESTS):
+        dag = synthetic_dag(num_ops=16, num_inputs=6, seed=index + 1,
+                            name=f"bench-serve{index}")
+        inputs = {op.name: rng.getrandbits(_LANES) for op in dag.inputs()}
+        requests.append(ServeRequest(dag=dag, inputs=inputs, lanes=_LANES,
+                                     request_id=f"bench{index}"))
+    return target, requests
+
+
+@benchmark("serve.cold", group="serve",
+           description="compile-and-serve a 3-request batch against an "
+                       "empty artifact cache (compile + persist + execute)")
+def _serve_cold(timer: Timer):
+    from repro.serve import ArtifactCache, CompileService
+
+    target, requests = _serve_batch()
+    root = pathlib.Path(tempfile.mkdtemp(prefix="sherlock-serve-cold-"))
+    repeat = [0]
+    with CompileService(target, workers=2) as service:
+        def _setup():
+            # a fresh, empty cache directory per repeat: every request
+            # misses and pays the full compile + atomic publish
+            repeat[0] += 1
+            service.cache = ArtifactCache(root / f"repeat{repeat[0]}")
+
+        def _work():
+            service.process(requests)
+
+        values = timer.measure(_work, setup=_setup)
+        stats = service.stats()
+    shutil.rmtree(root, ignore_errors=True)
+    return values, {"requests": _SERVE_REQUESTS, "lanes": _LANES,
+                    "workers": 2, "cim_served": stats["cim_served"],
+                    "errors": stats["errors"]}
+
+
+@benchmark("serve.cached", group="serve",
+           description="serve the same 3-request batch from a primed "
+                       "artifact cache (deserialize + execute, no compile)")
+def _serve_cached(timer: Timer):
+    from repro.serve import ArtifactCache, CompileService
+
+    target, requests = _serve_batch()
+    root = pathlib.Path(tempfile.mkdtemp(prefix="sherlock-serve-cached-"))
+    with CompileService(target, cache=ArtifactCache(root),
+                        workers=2) as service:
+        service.process(requests)  # prime the cache, untimed
+
+        def _work():
+            service.process(requests)
+
+        values = timer.measure(_work)
+        cache_stats = service.cache.stats()
+        stats = service.stats()
+    shutil.rmtree(root, ignore_errors=True)
+    return values, {"requests": _SERVE_REQUESTS, "lanes": _LANES,
+                    "workers": 2, "cache_hits": cache_stats["hits"],
+                    "cache_writes": cache_stats["writes"],
+                    "errors": stats["errors"]}

@@ -1,6 +1,9 @@
-"""Command-line interface: ``sherlock compile|run|sweep|campaign|bench|workloads``.
+"""Command-line interface: ``sherlock compile|run|sweep|campaign|serve|bench|workloads``.
 
 Examples::
+
+    sherlock serve --requests requests.jsonl --cache-dir .sherlock-cache --stats
+    sherlock serve --port 7453 --workers 4 --queue-limit 32
 
     sherlock compile kernel.c --tech reram --size 512 --mapper sherlock
     sherlock compile kernel.c --schedule multi --arrays 4 --report
@@ -366,6 +369,55 @@ def _cmd_workloads(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the compile-and-serve runtime in batch or socket mode."""
+    import json
+
+    from repro.serve import (
+        ArtifactCache,
+        CompileService,
+        handle_request_file,
+        result_to_dict,
+        serve_tcp,
+    )
+
+    if (args.requests is None) == (args.port is None):
+        raise SherlockError(
+            "serve needs exactly one of --requests FILE (batch mode) or "
+            "--port N (socket mode)")
+    cache = (ArtifactCache(args.cache_dir)
+             if args.cache_dir is not None else None)
+    fault_map = _fault_map_of(args)
+    fault_maps = {0: fault_map} if fault_map is not None else None
+    service = CompileService(
+        _target_of(args), _config_of(args), cache=cache,
+        workers=args.workers, queue_limit=args.queue_limit,
+        deadline_s=args.deadline, fault_maps=fault_maps)
+    failures = 0
+    with service:
+        if args.requests is not None:
+            results = handle_request_file(service, args.requests,
+                                          default_lanes=args.lanes)
+            for result in results:
+                print(json.dumps(result_to_dict(result)))
+                if result.error is not None:
+                    failures += 1
+        else:
+            server = serve_tcp(service, args.host, args.port)
+            host, port = server.server_address[:2]
+            print(f"serving on {host}:{port}", file=sys.stderr)
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.shutdown()
+                server.server_close()
+        if args.stats:
+            print(service.stats_text(), file=sys.stderr)
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -502,6 +554,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="relative regression threshold for --compare "
                         "(default 0.25 = 25%%)")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="compile-and-serve runtime: artifact cache, worker pool, "
+             "CPU-offload circuit breaker")
+    p.add_argument("--requests", metavar="FILE", default=None,
+                   help="batch mode: serve the JSON(-lines) requests in "
+                        "FILE, one JSON result line per request on stdout")
+    p.add_argument("--port", type=int, default=None,
+                   help="socket mode: serve line-delimited JSON requests "
+                        "on this TCP port (0 = ephemeral)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address for --port mode")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="persistent artifact-cache directory (omit to "
+                        "disable persistence)")
+    p.add_argument("--workers", type=_positive_int, default=2,
+                   help="compile worker threads")
+    p.add_argument("--queue-limit", type=_positive_int, default=16,
+                   help="job-queue bound; beyond it requests are shed "
+                        "with a structured overload error")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="default per-request deadline in seconds")
+    p.add_argument("--lanes", type=int, default=16,
+                   help="default lanes for requests that do not set one")
+    p.add_argument("--stats", action="store_true",
+                   help="print the service health/stats surface (cache "
+                        "hits/misses/quarantines, queue depth, breaker "
+                        "state, latency percentiles) to stderr at exit")
+    _add_target_args(p)
+    _add_fault_map_arg(p)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("workloads", help="list available workloads")
     p.set_defaults(func=_cmd_workloads)

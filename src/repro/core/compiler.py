@@ -220,9 +220,17 @@ class CompileCache:
         self._entries: OrderedDict[tuple, CompiledProgram] = OrderedDict()
 
     def key(self, dag: DataFlowGraph, target: TargetSpec,
-            config: CompilerConfig) -> tuple:
-        """The cache key of one compilation request."""
-        return (structural_hash(dag), target, config)
+            config: CompilerConfig, fault_map=None) -> tuple:
+        """The cache key of one compilation request.
+
+        Fault-aware compiles key on the map's *content digest*
+        (:meth:`repro.devices.FaultMap.digest`), so a fleet of degraded
+        arrays with byte-identical maps shares cache entries while any
+        mutation (new wear, a remap diagnosis) changes the key and
+        recompiles.
+        """
+        digest = fault_map.digest() if fault_map is not None else None
+        return (structural_hash(dag), target, config, digest)
 
     def get(self, key: tuple) -> CompiledProgram | None:
         """Look up a prior compilation; counts a hit or miss."""
@@ -284,6 +292,8 @@ def _reissue(cached: CompiledProgram, source_dag: DataFlowGraph,
     editing its program cannot corrupt the cache.
     """
     mapping = cached.mapping
+    fault_map = (cached.fault_map.copy()
+                 if cached.fault_map is not None else None)
     return CompiledProgram(
         source_dag=source_dag, dag=cached.dag, target=cached.target,
         config=config,
@@ -295,7 +305,7 @@ def _reissue(cached: CompiledProgram, source_dag: DataFlowGraph,
         stages=cached.stages,
         ladder=list(cached.ladder),
         degradation=cached.degradation,
-        fault_map=cached.fault_map)
+        fault_map=fault_map)
 
 
 # ----------------------------------------------------------------------
@@ -311,9 +321,11 @@ class SherlockCompiler:
 
     ``fault_map`` (a :class:`repro.devices.FaultMap`) makes the whole
     compile fault-aware: the mappers place operands only on healthy cells.
-    Fault-aware compiles bypass the process-level cache — the map is
-    mutable state outside the cache key, and two compiles with different
-    maps must not alias.
+    Fault-aware compiles participate in the process-level cache through
+    the map's content digest (:meth:`~repro.devices.FaultMap.digest`):
+    identical maps hit, any mutation changes the digest and misses, and
+    cached entries hold frozen copies of the map so later mutation of a
+    live map can never poison a hit.
     """
 
     def __init__(self, target: TargetSpec,
@@ -327,7 +339,7 @@ class SherlockCompiler:
         self.validate_passes = validate_passes
         self.dump_ir_dir = dump_ir_dir
         self.fault_map = fault_map
-        self.cache = cache and fault_map is None
+        self.cache = cache
 
     # ------------------------------------------------------------------
     def _wants_nand_lowering(self) -> bool:
@@ -368,7 +380,8 @@ class SherlockCompiler:
         """
         key = None
         if self.cache:
-            key = _COMPILE_CACHE.key(dag, self.target, self.config)
+            key = _COMPILE_CACHE.key(dag, self.target, self.config,
+                                     self.fault_map)
             cached = _COMPILE_CACHE.get(key)
             if cached is not None:
                 return _reissue(cached, dag, self.config)

@@ -5,6 +5,18 @@ DAGs, target, configuration, layout and instruction stream; this module
 round-trips all of it through a single JSON document so compiled kernels can
 be archived, diffed, shipped to a device controller, and re-executed without
 recompiling.  Instructions serialize in the Fig. 4 text format.
+
+Format version 2 extends the single-layout version 1 document with the
+degraded-compile state a resilient artifact cache must hold: staged
+(spill-and-partition) programs serialize one sub-document per stage (its
+sub-DAG, per-stage layout, instruction body, bridge copies, and boundary
+import/export tables), and the degradation ``ladder``, ``degradation``
+rung name, and hard-fault map travel along.  Version 1 documents still
+load (they simply carry none of that state).
+
+The dict-level entry points (:func:`program_to_dict` /
+:func:`program_from_dict`) exist so the persistent artifact cache
+(:mod:`repro.serve.cache`) and the file round-trip share one codec.
 """
 
 from __future__ import annotations
@@ -16,15 +28,19 @@ import pathlib
 from repro.arch.layout import CellAddr, Layout
 from repro.arch.parse import parse_program
 from repro.arch.target import TargetSpec
-from repro.core.compiler import CompiledProgram
+from repro.core.compiler import CompiledProgram, LadderAttempt
 from repro.core.config import CompilerConfig
 from repro.arch.isa import program_text
+from repro.devices.faultmap import FaultMap
 from repro.devices.technology import TECHNOLOGIES, Technology
 from repro.dfg.graph import DataFlowGraph, OperandKind
 from repro.errors import SherlockError
 from repro.mapping.base import MappingResult, MappingStats
+from repro.mapping.partition import Stage, combined_mapping
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: document versions :func:`program_from_dict` accepts
+SUPPORTED_VERSIONS = (1, 2)
 
 
 # ----------------------------------------------------------------------
@@ -120,63 +136,179 @@ def target_from_dict(data: dict) -> TargetSpec:
 
 
 # ----------------------------------------------------------------------
-# program <-> file
+# layout / stage <-> dict
 # ----------------------------------------------------------------------
-def save_program(program: CompiledProgram, path: str | pathlib.Path) -> None:
-    """Write a compiled program to ``path`` as JSON.
+def _placements_to_dict(layout: Layout) -> dict:
+    """A layout's operand placements as JSON-compatible address lists."""
+    return {str(oid): [[a.array, a.row, a.col] for a in addrs]
+            for oid, addrs in layout.placements().items()}
 
-    Staged (spill-and-partition) programs are not serializable: their
-    semantics live in per-stage layouts and host-staged boundary values,
-    which this single-layout format cannot express.
-    """
-    if program.stages is not None:
-        raise SherlockError(
-            "cannot serialize a staged (spill-and-partition) program; "
-            "recompile on a larger target (see program.ladder) to save it")
-    placements = {
-        str(oid): [[a.array, a.row, a.col] for a in addrs]
-        for oid, addrs in program.layout.placements().items()
+
+def _placements_from_dict(target: TargetSpec, data: dict,
+                          id_map: dict[int, int]) -> Layout:
+    """Rebuild a layout from serialized placements via the DAG id map."""
+    layout = Layout(target)
+    # placements refer to the serialized ids; translate through id_map and
+    # restore the addresses verbatim (fill lines follow from the maxima)
+    restored: dict[int, list[CellAddr]] = {}
+    for old_id, addrs in data.items():
+        new_id = id_map.get(int(old_id))
+        if new_id is None:
+            raise SherlockError(f"placement for unknown operand {old_id}")
+        restored[new_id] = [CellAddr(a, r, c) for a, r, c in addrs]
+    _restore_layout(layout, restored)
+    return layout
+
+
+def _stage_to_dict(stage: Stage) -> dict:
+    """Serialize one spill-and-partition stage with all its glue."""
+    return {
+        "dag": dag_to_dict(stage.dag),
+        "placements": _placements_to_dict(stage.mapping.layout),
+        "instructions": program_text(stage.mapping.instructions),
+        "stats": stage.mapping.stats.as_dict(),
+        "imports": dict(stage.imports),
+        "exports": dict(stage.exports),
+        "bridge": program_text(stage.bridge),
+        "bridged": sorted(stage.bridged),
     }
+
+
+def _stage_from_dict(data: dict, target: TargetSpec,
+                     full_id_map: dict[int, int]) -> Stage:
+    """Rebuild one stage; boundary ids translate via the full DAG's map."""
+    stage_dag, stage_ids = dag_from_dict(data["dag"])
+    layout = _placements_from_dict(target, data["placements"], stage_ids)
+    mapping = MappingResult(
+        dag=stage_dag, target=target, layout=layout,
+        instructions=parse_program(data["instructions"]),
+        stats=MappingStats(**data["stats"]))
+
+    def full_id(old: object) -> int:
+        new = full_id_map.get(int(old))  # type: ignore[arg-type]
+        if new is None:
+            raise SherlockError(
+                f"stage boundary refers to unknown operand {old}")
+        return new
+
+    return Stage(
+        dag=stage_dag, mapping=mapping,
+        imports={name: full_id(oid)
+                 for name, oid in data["imports"].items()},
+        exports={name: full_id(oid)
+                 for name, oid in data["exports"].items()},
+        bridge=parse_program(data["bridge"]),
+        bridged=set(data["bridged"]))
+
+
+# ----------------------------------------------------------------------
+# program <-> dict
+# ----------------------------------------------------------------------
+def program_to_dict(program: CompiledProgram) -> dict:
+    """Serialize a compiled program — staged or not — to one JSON document.
+
+    Single-layout programs keep the version 1 shape (placements +
+    instruction text); staged programs store one sub-document per stage
+    instead, because no single layout describes a staged run.  The
+    degradation ladder and any hard-fault map the program was placed
+    around travel along, so a persistent artifact cache reproduces the
+    *degraded* compile exactly.
+    """
     document = {
         "format_version": FORMAT_VERSION,
         "source_dag": dag_to_dict(program.source_dag),
         "dag": dag_to_dict(program.dag),
         "target": target_to_dict(program.target),
         "config": dataclasses.asdict(program.config),
-        "instructions": program_text(program.instructions),
-        "placements": placements,
         "stats": program.mapping.stats.as_dict(),
+        "ladder": [dataclasses.asdict(attempt)
+                   for attempt in program.ladder],
+        "degradation": program.degradation,
+        "fault_map": (program.fault_map.to_dict()
+                      if program.fault_map is not None else None),
     }
-    pathlib.Path(path).write_text(json.dumps(document, indent=1))
+    if program.stages is None:
+        document["instructions"] = program_text(program.instructions)
+        document["placements"] = _placements_to_dict(program.layout)
+    else:
+        document["stages"] = [_stage_to_dict(stage)
+                              for stage in program.stages]
+    return document
+
+
+def program_from_dict(document: dict) -> CompiledProgram:
+    """Rebuild a program from :func:`program_to_dict`'s document.
+
+    Accepts every version in :data:`SUPPORTED_VERSIONS`; raises
+    :class:`~repro.errors.SherlockError` on anything else (including
+    documents that are not dictionaries at all — the artifact cache
+    feeds this arbitrary on-disk bytes).
+    """
+    if not isinstance(document, dict):
+        raise SherlockError("program document must be a JSON object")
+    if document.get("format_version") not in SUPPORTED_VERSIONS:
+        raise SherlockError(
+            f"unsupported program format {document.get('format_version')!r}")
+    try:
+        source_dag, _ = dag_from_dict(document["source_dag"])
+        dag, id_map = dag_from_dict(document["dag"])
+        target = target_from_dict(document["target"])
+        config = CompilerConfig(**document["config"])
+        stats = MappingStats(**document["stats"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise SherlockError(
+            f"malformed program document: {error!r}") from error
+    fault_doc = document.get("fault_map")
+    fault_map = FaultMap.from_dict(fault_doc) if fault_doc else None
+    ladder = [LadderAttempt(**attempt)
+              for attempt in document.get("ladder", [])]
+    degradation = document.get("degradation", "none")
+    stage_docs = document.get("stages")
+    if stage_docs is None:
+        try:
+            layout = _placements_from_dict(target, document["placements"],
+                                           id_map)
+            instructions = parse_program(document["instructions"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise SherlockError(
+                f"malformed program document: {error!r}") from error
+        mapping = MappingResult(dag=dag, target=target, layout=layout,
+                                instructions=instructions, stats=stats)
+        stages = None
+    else:
+        stages = [_stage_from_dict(stage_doc, target, id_map)
+                  for stage_doc in stage_docs]
+        if not stages:
+            raise SherlockError("staged program document has no stages")
+        mapping = combined_mapping(dag, target, stages, stats.mapper)
+        mapping.stats = stats  # keep the exact as-compiled statistics
+    return CompiledProgram(source_dag=source_dag, dag=dag, target=target,
+                           config=config, mapping=mapping, stages=stages,
+                           ladder=ladder, degradation=degradation,
+                           fault_map=fault_map)
+
+
+# ----------------------------------------------------------------------
+# program <-> file
+# ----------------------------------------------------------------------
+def save_program(program: CompiledProgram, path: str | pathlib.Path) -> None:
+    """Write a compiled program to ``path`` as JSON.
+
+    Staged (spill-and-partition) and multi-array programs round-trip too
+    (format version 2); see :func:`program_to_dict`.
+    """
+    pathlib.Path(path).write_text(
+        json.dumps(program_to_dict(program), indent=1))
 
 
 def load_program(path: str | pathlib.Path) -> CompiledProgram:
     """Reload a program saved by :func:`save_program`."""
-    document = json.loads(pathlib.Path(path).read_text())
-    if document.get("format_version") != FORMAT_VERSION:
+    try:
+        document = json.loads(pathlib.Path(path).read_text())
+    except json.JSONDecodeError as error:
         raise SherlockError(
-            f"unsupported program format {document.get('format_version')!r}")
-    source_dag, _ = dag_from_dict(document["source_dag"])
-    dag, id_map = dag_from_dict(document["dag"])
-    target = target_from_dict(document["target"])
-    layout = Layout(target)
-    # placements refer to the serialized ids; translate through id_map and
-    # restore the addresses verbatim (fill lines follow from the maxima)
-    restored: dict[int, list[CellAddr]] = {}
-    for old_id, addrs in document["placements"].items():
-        new_id = id_map.get(int(old_id))
-        if new_id is None:
-            raise SherlockError(f"placement for unknown operand {old_id}")
-        restored[new_id] = [CellAddr(a, r, c) for a, r, c in addrs]
-    _restore_layout(layout, restored)
-    stats_data = document["stats"]
-    stats = MappingStats(**stats_data)
-    instructions = parse_program(document["instructions"])
-    mapping = MappingResult(dag=dag, target=target, layout=layout,
-                            instructions=instructions, stats=stats)
-    config = CompilerConfig(**document["config"])
-    return CompiledProgram(source_dag=source_dag, dag=dag, target=target,
-                           config=config, mapping=mapping)
+            f"program file {path} is not valid JSON: {error}") from None
+    return program_from_dict(document)
 
 
 def _restore_layout(layout: Layout, placements: dict[int, list[CellAddr]]) -> None:

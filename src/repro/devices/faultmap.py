@@ -25,6 +25,7 @@ per-die bad-block tables.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
 import random
@@ -90,6 +91,21 @@ class FaultMap:
     def cells(self) -> list[tuple[_Cell, CellFault]]:
         """All faulty cells with their fault kinds, deterministically sorted."""
         return sorted(self._faults.items())
+
+    def digest(self) -> str:
+        """A stable hex digest of the map's exact per-cell fault content.
+
+        Two maps with identical faults digest equal regardless of
+        insertion order, so the digest is a sound *content* cache key:
+        the process compile cache and the persistent artifact cache key
+        fault-aware compiles on it, giving a fleet of arrays with
+        byte-identical maps shared cache hits.  Mutating the map (new
+        wear, a remap diagnosis) changes the digest and thereby misses.
+        """
+        hasher = hashlib.sha256()
+        for (array, row, col), fault in self.cells():
+            hasher.update(f"{array},{row},{col},{fault.value}\n".encode())
+        return hasher.hexdigest()
 
     def counts(self) -> dict[str, int]:
         """Number of faulty cells per fault kind (``{"dead": 3, ...}``)."""

@@ -117,3 +117,63 @@ class DeviceError(SherlockError):
 
 class BenchError(SherlockError):
     """Invalid benchmark probe, report schema, or comparison request."""
+
+
+class RetryExhaustedError(SherlockError):
+    """A retried operation kept failing until its attempt budget ran out.
+
+    Raised by :func:`repro.util.retry.retry_call` after ``max_attempts``
+    retryable failures.  ``attempts`` counts every attempt made and
+    ``last_error`` keeps the final failure (also chained as ``__cause__``),
+    so callers can distinguish "gave up" from "fatal on first try" — a
+    fatal (non-retryable) error propagates unchanged instead.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0,
+                 last_error: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class ServeError(SherlockError):
+    """Base class for compile-and-serve runtime failures (:mod:`repro.serve`)."""
+
+
+class ServiceOverloadError(ServeError):
+    """Admission control shed a request: the service job queue is full.
+
+    Carries the structured load-shedding diagnostics a client needs to
+    back off sensibly: ``queue_depth`` jobs were already waiting against a
+    ``queue_limit`` bound, and ``retry_after_s`` is the service's hint for
+    when capacity is likely to free up (derived from recent per-job
+    latency; best-effort, never authoritative).
+    """
+
+    def __init__(self, message: str, *, queue_depth: int = 0,
+                 queue_limit: int = 0,
+                 retry_after_s: float | None = None) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.queue_limit = queue_limit
+        self.retry_after_s = retry_after_s
+
+    def details(self) -> list[str]:
+        """Human-readable diagnostic lines for CLI/server error paths."""
+        lines = [f"queue depth: {self.queue_depth} (limit {self.queue_limit})"]
+        if self.retry_after_s is not None:
+            lines.append(f"retry after: {self.retry_after_s:.3f} s")
+        return lines
+
+
+class WorkerCrashError(ServeError):
+    """A compile worker died mid-job (or chaos injection simulated it).
+
+    This is the canonical *retryable* service failure: the job itself is
+    assumed healthy, so the worker pool re-runs it under the retry policy
+    instead of failing the request.
+    """
+
+
+class DeadlineExceededError(ServeError):
+    """A job missed its per-request deadline in the service loop."""

@@ -30,8 +30,9 @@ are embarrassingly parallel: every trial derives its RNG streams purely from
 ``(seed, trial_index)``, so :func:`run_campaign` can shard the trial range
 across a :class:`concurrent.futures.ProcessPoolExecutor` (``workers=N``)
 and still produce **bit-identical** failure counts to a serial run on the
-same master seed.  Shards that time out or die are retried once in-process,
-and any platform/pickling failure degrades gracefully to the serial path.
+same master seed.  Shards that time out or die are re-run in-process under
+the shared bounded-retry policy of :mod:`repro.util.retry`, and any
+platform/pickling failure degrades gracefully to the serial path.
 """
 
 from __future__ import annotations
@@ -48,6 +49,7 @@ from repro.dfg.ops import OpType
 from repro.errors import SimulationError
 from repro.reliability.recovery import RecoveryStats, get_policy
 from repro.sim.metrics import cached_p_df
+from repro.util.retry import RetryPolicy, retry_call
 
 __all__ = [
     "CampaignResult",
@@ -64,6 +66,17 @@ __all__ = [
 # per-trial streams derived from one campaign seed
 _MIX_A = 0x9E3779B1
 _MIX_B = 0x85EBCA77
+
+#: recovery schedule for shards that failed or timed out in the pool: the
+#: in-process re-run is itself retried (bounded, jittered backoff) on
+#: transient OS-level failures; everything else propagates immediately.
+#: ``run_trial_block`` derives all randomness from ``(seed, trial range)``,
+#: so however many attempts recovery takes, the merged counters stay
+#: bit-identical to a serial run.  The jitter seed is pinned so the retry
+#: schedule itself replays deterministically.
+_SHARD_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.01,
+                           max_delay_s=0.25,
+                           retryable=(OSError, MemoryError), seed=0)
 
 
 def _trial_rng(seed: int, trial: int, salt: int) -> random.Random:
@@ -372,10 +385,12 @@ def run_campaign(program, trials: int = 1000, seed: int = 0,
     ``workers > 1`` shards the trial range across a process pool.  Because
     per-trial RNG streams depend only on ``(seed, trial_index)``, the
     parallel result is bit-identical to the serial one.  Each shard may be
-    bounded by ``shard_timeout_s``; failed or timed-out shards are retried
-    once in-process, and if the pool cannot be used at all (e.g. an
-    unpicklable custom policy) the campaign silently degrades to serial
-    execution with a :class:`RuntimeWarning`.
+    bounded by ``shard_timeout_s``; failed or timed-out shards are re-run
+    in-process under the bounded-retry policy of :mod:`repro.util.retry`
+    (transient OS failures backed off and re-attempted, anything else
+    propagated), and if the pool cannot be used at all (e.g. an unpicklable
+    custom policy) the campaign silently degrades to serial execution with
+    a :class:`RuntimeWarning`.
     """
     if trials < 1:
         raise SimulationError(f"trial count must be positive, got {trials}")
@@ -397,9 +412,13 @@ def run_campaign(program, trials: int = 1000, seed: int = 0,
                                         lanes, kwargs, inputs)
         else:
             for (first, count), outcome in zip(ranges, outcomes):
-                if outcome is None:  # retry-once: re-run the shard here
-                    outcome = run_trial_block(program, first, count, seed,
-                                              policy, lanes, kwargs, inputs)
+                if outcome is None:  # pool shard failed: recover in-process
+                    outcome = retry_call(
+                        lambda first=first, count=count: run_trial_block(
+                            program, first, count, seed, policy, lanes,
+                            kwargs, inputs),
+                        policy=_SHARD_RETRY,
+                        label=f"campaign shard [{first}, {first + count})")
                 aggregate.merge(outcome)
     metrics = program.metrics
     return CampaignResult(

@@ -1,0 +1,47 @@
+"""Resilient compile-and-serve runtime for CIM programs (:mod:`repro.serve`).
+
+The TDO-CIM line of work compiles offload candidates ahead of time and
+decides at run time whether a request executes on the CIM fabric or falls
+back to the CPU.  This package is that runtime for the Sherlock compiler:
+
+* :mod:`repro.serve.cache` — a persistent on-disk artifact cache of
+  serialized compiled programs, keyed by DAG structure, target,
+  configuration and fault-map content, tolerant of corrupted entries;
+* :mod:`repro.serve.breaker` — a circuit breaker that trips the service
+  to the CPU baseline after consecutive CIM failures and probes half-open;
+* :mod:`repro.serve.service` — the job queue + compile-worker pool with
+  admission control, per-job deadlines, retries, and the remap rung run
+  inside the service loop;
+* :mod:`repro.serve.server` — request parsing, the batch request-file
+  runner, and the line-delimited-JSON TCP server behind ``sherlock serve``.
+"""
+
+from repro.serve.breaker import BreakerState, CircuitBreaker
+from repro.serve.cache import ARTIFACT_SCHEMA, ArtifactCache
+from repro.serve.server import (
+    handle_request_file,
+    parse_request,
+    result_to_dict,
+    serve_tcp,
+)
+from repro.serve.service import (
+    CompileService,
+    ServeRequest,
+    ServeResult,
+    ServiceStats,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ArtifactCache",
+    "BreakerState",
+    "CircuitBreaker",
+    "CompileService",
+    "ServeRequest",
+    "ServeResult",
+    "ServiceStats",
+    "handle_request_file",
+    "parse_request",
+    "result_to_dict",
+    "serve_tcp",
+]

@@ -1,0 +1,131 @@
+"""Circuit breaker gating CIM execution in the compile-and-serve loop.
+
+TDO-CIM-style offload needs a cheap, local decision: is the CIM path
+currently trustworthy enough to send a request to, or should the service
+fall back to the CPU baseline?  :class:`CircuitBreaker` is the standard
+three-state machine:
+
+* **CLOSED** — healthy; every request may use the CIM path.  Each failure
+  increments a consecutive-failure counter, each success resets it; when
+  the counter reaches ``failure_threshold`` the breaker *trips* to OPEN.
+* **OPEN** — tripped; :meth:`allow` answers ``False`` (the service serves
+  from the CPU baseline) until ``recovery_time_s`` has elapsed.
+* **HALF_OPEN** — the recovery window elapsed; exactly one probe request
+  is allowed through.  A probe success closes the breaker, a probe
+  failure re-trips it for another full recovery window.
+
+The clock is injectable so tests drive the state machine deterministically
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from enum import Enum
+
+from repro.errors import ServeError
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(Enum):
+    """The three classic circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probing; thread-safe."""
+
+    def __init__(self, *, failure_threshold: int = 3,
+                 recovery_time_s: float = 1.0,
+                 clock=time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ServeError(
+                f"failure threshold must be >= 1, got {failure_threshold}")
+        if recovery_time_s < 0:
+            raise ServeError(
+                f"recovery time must be >= 0, got {recovery_time_s}")
+        self.failure_threshold = failure_threshold
+        self.recovery_time_s = recovery_time_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self.trips = 0
+
+    @property
+    def state(self) -> BreakerState:
+        """The current state (OPEN may lazily become HALF_OPEN on allow)."""
+        with self._lock:
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Failures recorded since the last success (CLOSED state only)."""
+        with self._lock:
+            return self._consecutive_failures
+
+    def allow(self) -> bool:
+        """Whether the next request may take the CIM path.
+
+        In OPEN, the first call after the recovery window transitions to
+        HALF_OPEN and admits exactly one probe; further calls answer
+        ``False`` until that probe's outcome is recorded.
+        """
+        with self._lock:
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.OPEN:
+                if self._clock() - self._opened_at < self.recovery_time_s:
+                    return False
+                self._state = BreakerState.HALF_OPEN
+                self._probe_inflight = True
+                return True
+            # HALF_OPEN: one probe at a time
+            if self._probe_inflight:
+                return False
+            self._probe_inflight = True
+            return True
+
+    def record_success(self) -> None:
+        """A CIM request succeeded: reset (and close a half-open breaker)."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            self._state = BreakerState.CLOSED
+
+    def record_failure(self) -> None:
+        """A CIM request failed: count, and trip when the budget is spent."""
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if (self._state is BreakerState.CLOSED
+                    and self._consecutive_failures >= self.failure_threshold):
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self._probe_inflight = False
+        self.trips += 1
+
+    def force_open(self) -> None:
+        """Trip the breaker immediately (capacity-based offload)."""
+        with self._lock:
+            if self._state is not BreakerState.OPEN:
+                self._trip()
+
+    def snapshot(self) -> dict:
+        """State, trip count and failure counter for the stats surface."""
+        with self._lock:
+            return {"state": self._state.value, "trips": self.trips,
+                    "consecutive_failures": self._consecutive_failures}

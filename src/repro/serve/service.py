@@ -1,0 +1,618 @@
+"""The compile-and-serve job queue, worker pool, and offload policy.
+
+:class:`CompileService` accepts :class:`ServeRequest`\\ s (a DAG, one set of
+lane-bitmask inputs, and the array the request targets), pushes them through
+a bounded job queue into a pool of compile workers, and answers with
+:class:`ServeResult`\\ s.  Per request the pipeline is:
+
+1. **admission control** — a full queue sheds the request with a structured
+   :class:`~repro.errors.ServiceOverloadError` (queue depth, limit, and a
+   retry-after hint derived from recent service latency);
+2. **compile** — resolve the program through the persistent
+   :class:`~repro.serve.cache.ArtifactCache` (corrupt entries quarantine
+   and recompile transparently), keyed by the requesting array's current
+   fault map, falling back to a fresh fault-aware compile;
+3. **execute** — run on the fault-honoring array machine with
+   verify-after-write; a :class:`~repro.errors.HardFaultError` triggers the
+   remap rung *inside the service loop*: the discovered faults merge into
+   the fleet's per-array map, the program recompiles around them, the new
+   artifact is published for the whole fleet, and the request re-executes;
+4. **offload** — a :class:`~repro.serve.breaker.CircuitBreaker` counts CIM
+   failures (compile errors, exhausted retries, deadline misses); while it
+   is open — or when an array's healthy capacity drops below threshold —
+   requests are served from the CPU baseline
+   (:func:`repro.dfg.evaluate.evaluate` for values,
+   :func:`repro.sim.cpu.dag_events` + :func:`repro.sim.cpu.run_model` for
+   pricing).  Healthy requests are priced CIM-vs-CPU per request.
+
+Worker crashes (or the injectable ``chaos`` hook standing in for them) are
+retried with :func:`repro.util.retry.retry_call` under a bounded
+exponential-backoff policy; fatal compiler errors are not retried.  Every
+stage is timed, and :meth:`CompileService.stats` exposes the counters and
+per-stage latency percentiles behind ``sherlock serve --stats``.
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.compiler import SherlockCompiler
+from repro.core.config import CompilerConfig
+from repro.devices.faultmap import FaultMap
+from repro.dfg.evaluate import evaluate
+from repro.errors import (
+    DeadlineExceededError,
+    HardFaultError,
+    ServeError,
+    ServiceOverloadError,
+    SherlockError,
+    WorkerCrashError,
+)
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.cache import ArtifactCache
+from repro.sim.cpu import CpuSpec, dag_events, run_model
+from repro.sim.executor import ArrayMachine, extract_outputs, preload_sources
+from repro.util.retry import RetryPolicy, retry_call
+
+__all__ = [
+    "CompileService",
+    "ServeRequest",
+    "ServeResult",
+    "ServiceStats",
+]
+
+
+@dataclass
+class ServeRequest:
+    """One unit of work: execute ``dag`` on ``inputs`` for one array."""
+
+    dag: object
+    inputs: dict[str, int]
+    lanes: int = 16
+    request_id: str = ""
+    #: which array of the served fleet the request targets (its fault map
+    #: keys the compile)
+    array_id: int = 0
+    #: wall-clock budget from submission; ``None`` = no deadline
+    deadline_s: float | None = None
+
+
+@dataclass
+class ServeResult:
+    """The service's answer for one request."""
+
+    request_id: str
+    outputs: dict[str, int] | None
+    #: which engine produced the outputs: "cim" or "cpu"
+    engine: str = "cim"
+    #: whether the program came from the persistent artifact cache
+    cached: bool = False
+    #: whether the remap rung ran inside the service loop for this request
+    remapped: bool = False
+    #: the compile's degradation rung ("none" = clean compile)
+    degradation: str = "none"
+    #: why the request was served from the CPU baseline (None = CIM)
+    offload_reason: str | None = None
+    #: failure description when not even the CPU baseline could answer
+    error: str | None = None
+    compile_s: float = 0.0
+    execute_s: float = 0.0
+    total_s: float = 0.0
+    #: modeled one-run CIM latency (None when the CIM path did not run)
+    cim_latency_us: float | None = None
+    #: modeled CPU-baseline latency for the same work (priced per request)
+    cpu_latency_us: float | None = None
+    array_id: int = 0
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """The ``q``-th percentile (nearest-rank) of a latency sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+#: latency samples kept per stage (a bounded window so a long-lived server
+#: does not grow without bound)
+_LATENCY_WINDOW = 2048
+
+
+class ServiceStats:
+    """Thread-safe counters and latency windows of one service instance."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.completed = 0
+        self.cim_served = 0
+        self.cpu_served = 0
+        self.shed = 0
+        self.retries = 0
+        self.remaps = 0
+        self.deadline_misses = 0
+        self.cim_failures = 0
+        self.errors = 0
+        self.queue_high_water = 0
+        self._compile_s: list[float] = []
+        self._execute_s: list[float] = []
+        self._total_s: list[float] = []
+
+    def note_enqueue(self, depth: int) -> None:
+        """Record an admitted request and the queue depth it saw."""
+        with self._lock:
+            self.requests += 1
+            self.queue_high_water = max(self.queue_high_water, depth)
+
+    def note_shed(self) -> None:
+        """Record a request shed by admission control."""
+        with self._lock:
+            self.shed += 1
+
+    def note_retry(self) -> None:
+        """Record one worker-crash retry."""
+        with self._lock:
+            self.retries += 1
+
+    def note_remap(self) -> None:
+        """Record one in-service remap recompile."""
+        with self._lock:
+            self.remaps += 1
+
+    def note_result(self, result: ServeResult) -> None:
+        """Fold one finished request into the counters and windows."""
+        with self._lock:
+            self.completed += 1
+            if result.error is not None:
+                self.errors += 1
+            elif result.engine == "cim":
+                self.cim_served += 1
+            else:
+                self.cpu_served += 1
+            for window, value in ((self._compile_s, result.compile_s),
+                                  (self._execute_s, result.execute_s),
+                                  (self._total_s, result.total_s)):
+                window.append(value)
+                if len(window) > _LATENCY_WINDOW:
+                    del window[:len(window) - _LATENCY_WINDOW]
+
+    def note_deadline_miss(self) -> None:
+        """Record one per-job deadline miss."""
+        with self._lock:
+            self.deadline_misses += 1
+
+    def note_cim_failure(self) -> None:
+        """Record one CIM-path failure (what feeds the breaker)."""
+        with self._lock:
+            self.cim_failures += 1
+
+    def typical_latency_s(self) -> float:
+        """Median end-to-end service time of recent requests (0 if none)."""
+        with self._lock:
+            return _percentile(self._total_s, 50)
+
+    def snapshot(self) -> dict:
+        """All counters plus p50/p90/p99 of every stage window."""
+        with self._lock:
+            out = {
+                "requests": self.requests,
+                "completed": self.completed,
+                "cim_served": self.cim_served,
+                "cpu_served": self.cpu_served,
+                "shed": self.shed,
+                "retries": self.retries,
+                "remaps": self.remaps,
+                "deadline_misses": self.deadline_misses,
+                "cim_failures": self.cim_failures,
+                "errors": self.errors,
+                "queue_high_water": self.queue_high_water,
+            }
+            for stage, window in (("compile", self._compile_s),
+                                  ("execute", self._execute_s),
+                                  ("total", self._total_s)):
+                for q in (50, 90, 99):
+                    out[f"{stage}_p{q}_ms"] = round(
+                        _percentile(window, q) * 1e3, 3)
+            return out
+
+
+class _Job:
+    """One queued request with its completion event and result slot."""
+
+    __slots__ = ("request", "enqueued_at", "event", "result")
+
+    def __init__(self, request: ServeRequest, enqueued_at: float) -> None:
+        self.request = request
+        self.enqueued_at = enqueued_at
+        self.event = threading.Event()
+        self.result: ServeResult | None = None
+
+    def wait(self, timeout: float | None = None) -> ServeResult:
+        """Block until the worker pool finished this job."""
+        if not self.event.wait(timeout):
+            raise ServeError(
+                f"request {self.request.request_id!r} did not complete "
+                f"within {timeout} s")
+        assert self.result is not None
+        return self.result
+
+
+#: default retry policy: worker crashes and transient I/O are retryable,
+#: everything the compiler raises is fatal for the attempt
+_DEFAULT_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.001,
+                             max_delay_s=0.05,
+                             retryable=(WorkerCrashError, OSError))
+
+
+class CompileService:
+    """Compile-and-serve runtime for one target/config over a fleet of arrays.
+
+    ``cache`` is the persistent :class:`ArtifactCache` shared by the fleet
+    (``None`` disables persistence).  ``fault_maps`` seeds the per-array
+    *known* fault maps that key compiles; ``machine_faults`` optionally
+    provides per-array ground-truth maps the simulated machines honor —
+    faults present there but absent from the known map are what
+    verify-after-write discovers and the in-loop remap rung repairs.
+
+    ``chaos`` is a test hook called as ``chaos(stage, request)`` at the
+    start of the compile and execute stages; raising
+    :class:`~repro.errors.WorkerCrashError` from it simulates a worker
+    killed mid-job (the retry policy re-runs the job).  ``clock`` and
+    ``sleep`` are injectable for deterministic tests.
+    """
+
+    def __init__(self, target, config: CompilerConfig | None = None, *,
+                 cache: ArtifactCache | None = None,
+                 workers: int = 2,
+                 queue_limit: int = 16,
+                 deadline_s: float | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 cpu_spec: CpuSpec | None = None,
+                 fault_maps: dict[int, FaultMap] | None = None,
+                 machine_faults: dict[int, FaultMap] | None = None,
+                 min_healthy_fraction: float = 0.5,
+                 spare_cells: bool = True,
+                 verify_writes: bool = True,
+                 chaos=None,
+                 clock=time.monotonic,
+                 sleep=time.sleep) -> None:
+        if workers < 1:
+            raise ServeError(f"worker count must be >= 1, got {workers}")
+        if queue_limit < 1:
+            raise ServeError(f"queue limit must be >= 1, got {queue_limit}")
+        self.target = target
+        self.config = config or CompilerConfig()
+        self.cache = cache
+        self.deadline_s = deadline_s
+        self.retry_policy = retry_policy or _DEFAULT_RETRY
+        self.breaker = breaker or CircuitBreaker(clock=clock)
+        self.cpu_spec = cpu_spec or CpuSpec()
+        self.min_healthy_fraction = min_healthy_fraction
+        self.stats_counters = ServiceStats()
+        self._fault_maps = dict(fault_maps or {})
+        self._machine_faults = dict(machine_faults or {})
+        self._spare_cells = spare_cells
+        self._verify_writes = verify_writes
+        self._chaos = chaos
+        self._clock = clock
+        self._sleep = sleep
+        self._queue_limit = queue_limit
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
+        self._closed = False
+        self._lock = threading.Lock()
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"sherlock-serve-{i}", daemon=True)
+            for i in range(workers)]
+        for thread in self._workers:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain the queue and stop the worker pool (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._workers:
+            self._queue.put(None)
+        for thread in self._workers:
+            thread.join()
+
+    def __enter__(self) -> "CompileService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, request: ServeRequest) -> _Job:
+        """Enqueue one request; sheds with ``ServiceOverloadError`` on a
+        full queue.  The returned job's :meth:`_Job.wait` blocks for the
+        result.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServeError("service is closed")
+        if request.deadline_s is None and self.deadline_s is not None:
+            request.deadline_s = self.deadline_s
+        job = _Job(request, self._clock())
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            self.stats_counters.note_shed()
+            depth = self._queue.qsize()
+            raise ServiceOverloadError(
+                f"service queue is full ({depth}/{self._queue_limit}); "
+                f"request {request.request_id!r} shed",
+                queue_depth=depth, queue_limit=self._queue_limit,
+                retry_after_s=self._retry_after_hint()) from None
+        self.stats_counters.note_enqueue(self._queue.qsize())
+        return job
+
+    def process(self, requests: list[ServeRequest],
+                timeout_s: float | None = 60.0) -> list[ServeResult]:
+        """Serve a batch, applying backpressure instead of failing.
+
+        Requests shed by admission control are re-submitted after the
+        overload error's retry-after hint (the worker pool is draining the
+        queue, so a bounded number of waits always gets them in).  Results
+        come back in request order.
+        """
+        jobs: list[_Job] = []
+        for request in requests:
+            while True:
+                try:
+                    jobs.append(self.submit(request))
+                    break
+                except ServiceOverloadError as error:
+                    self._sleep(error.retry_after_s or 0.01)
+        return [job.wait(timeout_s) for job in jobs]
+
+    def _retry_after_hint(self) -> float:
+        """When a shed client should try again (best-effort, never 0)."""
+        typical = self.stats_counters.typical_latency_s()
+        depth = self._queue.qsize()
+        return max(0.005, typical * max(1, depth) / max(1, len(self._workers)))
+
+    # ------------------------------------------------------------------
+    # the worker pool
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                self._queue.task_done()
+                return
+            try:
+                job.result = self._process(job)
+            except Exception as error:  # never kill a worker thread
+                job.result = ServeResult(
+                    request_id=job.request.request_id, outputs=None,
+                    engine="cpu", error=f"{type(error).__name__}: {error}",
+                    array_id=job.request.array_id)
+            finally:
+                self.stats_counters.note_result(job.result)
+                job.event.set()
+                self._queue.task_done()
+
+    def _check_deadline(self, job: _Job) -> None:
+        deadline = job.request.deadline_s
+        if deadline is None:
+            return
+        elapsed = self._clock() - job.enqueued_at
+        if elapsed > deadline:
+            raise DeadlineExceededError(
+                f"request {job.request.request_id!r} exceeded its "
+                f"{deadline:.3f} s deadline ({elapsed:.3f} s elapsed)")
+
+    def _chaos_hook(self, stage: str, request: ServeRequest) -> None:
+        if self._chaos is not None:
+            self._chaos(stage, request)
+
+    def _process(self, job: _Job) -> ServeResult:
+        request = job.request
+        started = self._clock()
+        offload_reason = self._offload_reason(request)
+        result = ServeResult(request_id=request.request_id, outputs=None,
+                             array_id=request.array_id)
+        if offload_reason is None:
+            try:
+                (program, cached, outputs, remapped,
+                 result.compile_s, result.execute_s) = self._serve_cim(job)
+            except SherlockError as error:
+                self.stats_counters.note_cim_failure()
+                if isinstance(error, DeadlineExceededError):
+                    self.stats_counters.note_deadline_miss()
+                self.breaker.record_failure()
+                offload_reason = f"{type(error).__name__}: {error}"
+            else:
+                self.breaker.record_success()
+                result.engine = "cim"
+                result.outputs = outputs
+                result.cached = cached
+                result.remapped = remapped
+                result.degradation = program.degradation
+                result.cim_latency_us = program.metrics.latency_us
+        if offload_reason is not None:
+            t0 = self._clock()
+            result.engine = "cpu"
+            result.offload_reason = offload_reason
+            result.outputs = evaluate(request.dag, request.inputs,
+                                      request.lanes)
+            result.execute_s = self._clock() - t0
+        result.cpu_latency_us = run_model(
+            dag_events(request.dag, request.lanes), self.cpu_spec).latency_us
+        result.total_s = self._clock() - started
+        return result
+
+    def _offload_reason(self, request: ServeRequest) -> str | None:
+        """Why this request must go to the CPU baseline (None = CIM ok)."""
+        healthy = self._healthy_fraction(request.array_id)
+        if healthy < self.min_healthy_fraction:
+            self.breaker.force_open()
+            return (f"degraded-capacity: array {request.array_id} has only "
+                    f"{healthy:.1%} healthy cells")
+        if not self.breaker.allow():
+            return "breaker-open"
+        return None
+
+    def _healthy_fraction(self, array_id: int) -> float:
+        known = self._fault_maps.get(array_id)
+        if not known:
+            return 1.0
+        total = self.target.num_arrays * self.target.rows * self.target.cols
+        return 1.0 - len(known) / total
+
+    # ------------------------------------------------------------------
+    # the CIM path
+    # ------------------------------------------------------------------
+    def _serve_cim(self, job: _Job):
+        request = job.request
+
+        def attempt():
+            self._check_deadline(job)
+            self._chaos_hook("compile", request)
+            t0 = self._clock()
+            program, cached = self._compiled(request)
+            compile_s = self._clock() - t0
+            self._check_deadline(job)
+            self._chaos_hook("execute", request)
+            t1 = self._clock()
+            outputs, program_used = self._execute(program, request)
+            execute_s = self._clock() - t1
+            return (program_used, cached, outputs,
+                    program_used is not program, compile_s, execute_s)
+
+        return retry_call(
+            attempt, policy=self.retry_policy, sleep=self._sleep,
+            on_retry=lambda *_: self.stats_counters.note_retry(),
+            label=f"serve:{request.request_id or 'request'}")
+
+    def _known_map(self, array_id: int) -> FaultMap | None:
+        with self._lock:
+            known = self._fault_maps.get(array_id)
+            return known.copy() if known else None
+
+    def _compiled(self, request: ServeRequest):
+        """Resolve the request's program: artifact cache, then compile."""
+        fault_map = self._known_map(request.array_id)
+        key = None
+        if self.cache is not None:
+            key = ArtifactCache.key_for(request.dag, self.target,
+                                        self.config, fault_map)
+            program = self.cache.get(key)
+            if program is not None:
+                return program, True
+        compiler = SherlockCompiler(self.target, self.config,
+                                    fault_map=fault_map)
+        program = compiler.compile(request.dag)
+        if self.cache is not None:
+            self.cache.put(key, program)
+        return program, False
+
+    def _machine_for(self, program, request: ServeRequest) -> ArrayMachine:
+        ground = self._machine_faults.get(request.array_id)
+        fault_map = ground if ground is not None else program.fault_map
+        spare_pool = None
+        if self._verify_writes:
+            spare_pool = []
+            if self._spare_cells and program.stages is None:
+                spare_pool = program.layout.spare_cells()
+        return ArrayMachine(
+            program.target, request.lanes, strict_shift=True,
+            fault_map=fault_map, verify_writes=self._verify_writes,
+            write_retries=self.config.write_retries, spare_pool=spare_pool)
+
+    def _run_on(self, machine: ArrayMachine, program,
+                request: ServeRequest) -> dict[str, int]:
+        if program.stages is not None:
+            from repro.mapping.partition import execute_staged
+
+            return execute_staged(program.stages, program.dag,
+                                  program.target, request.inputs,
+                                  request.lanes, machine=machine)
+        preload_sources(machine, program.layout, program.dag, request.inputs)
+        machine.run(program.instructions)
+        return extract_outputs(machine, program.layout, program.dag)
+
+    def _execute(self, program, request: ServeRequest):
+        """Run the program; a hard fault triggers the in-loop remap rung.
+
+        Returns ``(outputs, program_used)`` — the latter is the remapped
+        program when the rung ran, the original otherwise.
+        """
+        machine = self._machine_for(program, request)
+        try:
+            return self._run_on(machine, program, request), program
+        except HardFaultError:
+            remapped = self._remap(program, request,
+                                   machine.discovered_faults)
+            retry_machine = self._machine_for(remapped, request)
+            return self._run_on(retry_machine, remapped, request), remapped
+
+    def _remap(self, program, request: ServeRequest, discovered: FaultMap):
+        """The remap rung inside the service loop.
+
+        Merges the machine-discovered faults into the fleet's known map
+        for the array, recompiles the request around them, and publishes
+        the new artifact under the merged map's key so every array with
+        the same map shares it.
+        """
+        compiler = SherlockCompiler(self.target, self.config,
+                                    fault_map=self._known_map(
+                                        request.array_id))
+        remapped = compiler.remap(program, discovered)
+        with self._lock:
+            self._fault_maps[request.array_id] = remapped.fault_map.copy()
+        if self.cache is not None:
+            key = ArtifactCache.key_for(request.dag, self.target,
+                                        self.config, remapped.fault_map)
+            self.cache.put(key, remapped)
+        self.stats_counters.note_remap()
+        return remapped
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def fault_map_of(self, array_id: int) -> FaultMap | None:
+        """A copy of the fleet's current known map for one array."""
+        return self._known_map(array_id)
+
+    def stats(self) -> dict:
+        """Counters, latency percentiles, cache stats, breaker snapshot."""
+        out = self.stats_counters.snapshot()
+        out["queue_depth"] = self._queue.qsize()
+        out["queue_limit"] = self._queue_limit
+        out["workers"] = len(self._workers)
+        out["breaker"] = self.breaker.snapshot()
+        out["cache"] = (self.cache.stats() if self.cache is not None
+                        else None)
+        return out
+
+    def stats_text(self) -> str:
+        """The ``sherlock serve --stats`` rendering of :meth:`stats`."""
+        stats = self.stats()
+        breaker = stats.pop("breaker")
+        cache = stats.pop("cache")
+        lines = ["service:"]
+        lines += [f"  {key}: {stats[key]}" for key in sorted(stats)]
+        lines.append(f"breaker: state={breaker['state']} "
+                     f"trips={breaker['trips']} "
+                     f"consecutive_failures={breaker['consecutive_failures']}")
+        if cache is None:
+            lines.append("artifact cache: disabled")
+        else:
+            lines.append("artifact cache: "
+                         + " ".join(f"{k}={cache[k]}" for k in sorted(cache)))
+        return "\n".join(lines)

@@ -127,6 +127,29 @@ def _words(lanes: int) -> int:
     return max(1, math.ceil(lanes / 64))
 
 
+def dag_events(dag, lanes: int) -> CpuEvents:
+    """Generic event model for an arbitrary bulk-bitwise DAG.
+
+    The compile-and-serve offload path (:mod:`repro.serve`) prices *any*
+    request — not just the three named kernels — on the CPU baseline: a
+    scalar implementation evaluates each DAG op over the 64-bit words
+    covering ``lanes`` lanes (load every operand word, one bitwise ALU op
+    per word, store the result word), and streams each named output back
+    out.  This is deliberately the same work the reference evaluator
+    (:func:`repro.dfg.evaluate`) performs, so CIM-vs-CPU pricing stays
+    apples to apples per request.
+    """
+    words = _words(lanes)
+    alu = loads = stores = 0
+    for node in dag.op_nodes():
+        loads += len(node.operands) * words
+        alu += words
+        stores += words
+    loads += len(dag.outputs) * words
+    stores += len(dag.outputs) * words
+    return CpuEvents(alu_ops=alu, loads=loads, stores=stores)
+
+
 def bitweaving_events(lanes: int, bits: int = 8, segments: int = 1) -> CpuEvents:
     """BitWeaving-V BETWEEN scan over ``lanes`` records per segment.
 

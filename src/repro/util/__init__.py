@@ -1,0 +1,15 @@
+"""Cross-cutting utilities shared by the runtime subsystems.
+
+Currently one module: :mod:`repro.util.retry`, the bounded-retry /
+exponential-backoff helper used by the serve worker pool
+(:mod:`repro.serve.service`) and the parallel campaign shard recovery
+(:mod:`repro.reliability.campaign`).
+"""
+
+from repro.util.retry import RetryPolicy, compute_backoff, retry_call
+
+__all__ = [
+    "RetryPolicy",
+    "compute_backoff",
+    "retry_call",
+]

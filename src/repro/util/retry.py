@@ -1,0 +1,158 @@
+"""Bounded retries with exponential backoff and decorrelated jitter.
+
+Transient failures — a compile worker killed mid-job, a shard that timed
+out, a pool that briefly could not spawn — deserve a bounded number of
+re-attempts with growing, jittered pauses; *fatal* failures (a malformed
+kernel, a capacity overflow that would fail identically every time) must
+propagate immediately.  :func:`retry_call` packages that policy once so
+every subsystem retries the same way:
+
+* **bounded attempts** — at most :attr:`RetryPolicy.max_attempts` calls,
+  after which :class:`repro.errors.RetryExhaustedError` wraps the final
+  failure (chained as ``__cause__``),
+* **decorrelated jitter** — each pause is drawn uniformly from
+  ``[base_delay_s, 3 * previous_delay]`` and clamped to ``max_delay_s``
+  (the AWS architecture-blog "decorrelated jitter" schedule), so a
+  thundering herd of retries spreads out instead of synchronizing,
+* **retryable-vs-fatal classification** — ``policy.retryable`` is the
+  exception allowlist; anything else re-raises unchanged.  A ``classify``
+  callable can refine the decision per error instance (e.g. "an OSError
+  is retryable unless it is ENOSPC").
+
+Both the RNG and the sleep function are injectable, so tests (and the
+deterministic campaign shard path, which must stay bit-identical) can run
+the full policy without wall-clock pauses or nondeterminism.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import RetryExhaustedError, SherlockError
+
+__all__ = [
+    "RetryPolicy",
+    "compute_backoff",
+    "retry_call",
+]
+
+
+def compute_backoff(attempt: int, previous_delay: float, *,
+                    base_delay_s: float, max_delay_s: float,
+                    rng: random.Random) -> float:
+    """The pause before retry ``attempt`` (1-based), decorrelated jitter.
+
+    Draws uniformly from ``[base_delay_s, 3 * previous_delay]`` (using
+    ``base_delay_s`` as the floor for the first retry, when there is no
+    previous delay) and clamps to ``max_delay_s``.  Exposed separately so
+    tests can pin the schedule's bounds without sleeping.
+    """
+    if attempt < 1:
+        raise SherlockError(f"retry attempt must be >= 1, got {attempt}")
+    if base_delay_s < 0 or max_delay_s < base_delay_s:
+        raise SherlockError(
+            f"backoff window [{base_delay_s}, {max_delay_s}] is invalid")
+    ceiling = max(base_delay_s, 3.0 * previous_delay)
+    return min(max_delay_s, rng.uniform(base_delay_s, ceiling))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a transient operation is retried.
+
+    ``max_attempts`` counts *total* calls (1 = never retry).  ``retryable``
+    is the exception-type allowlist; an optional ``classify`` callable gets
+    the caught (allowlisted) exception and may veto the retry by returning
+    ``False``.  ``base_delay_s``/``max_delay_s`` bound the decorrelated-
+    jitter schedule of :func:`compute_backoff`.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    retryable: tuple[type[BaseException], ...] = (Exception,)
+    classify: Callable[[BaseException], bool] | None = None
+    #: RNG seed for the jitter stream (None = nondeterministic)
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SherlockError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0:
+            raise SherlockError(
+                f"base_delay_s must be >= 0, got {self.base_delay_s}")
+        if self.max_delay_s < self.base_delay_s:
+            raise SherlockError(
+                f"max_delay_s {self.max_delay_s} is below base_delay_s "
+                f"{self.base_delay_s}")
+
+    def is_retryable(self, error: BaseException) -> bool:
+        """Whether ``error`` is transient under this policy."""
+        if not isinstance(error, self.retryable):
+            return False
+        if self.classify is not None and not self.classify(error):
+            return False
+        return True
+
+
+@dataclass
+class _Attempts:
+    """Mutable bookkeeping :func:`retry_call` shares with ``on_retry``."""
+
+    count: int = 0
+    delays: list[float] = field(default_factory=list)
+
+
+def retry_call(fn: Callable[[], object], *,
+               policy: RetryPolicy | None = None,
+               sleep: Callable[[float], None] | None = None,
+               rng: random.Random | None = None,
+               on_retry: Callable[[int, BaseException, float], None] | None
+               = None,
+               label: str = "operation") -> object:
+    """Call ``fn`` under ``policy``, retrying transient failures.
+
+    Returns ``fn()``'s result on the first success.  Non-retryable errors
+    propagate unchanged; retryable ones are re-attempted up to
+    ``policy.max_attempts`` total calls with decorrelated-jitter pauses,
+    then wrapped in :class:`repro.errors.RetryExhaustedError`.
+
+    ``sleep`` defaults to :func:`time.sleep` (inject a no-op for
+    deterministic in-process retries), ``rng`` seeds the jitter stream
+    (``policy.seed`` is used when neither is given), and ``on_retry`` is
+    called as ``on_retry(attempt, error, delay_s)`` before each pause —
+    the hook services use to count retries in their stats.
+    """
+    policy = policy or RetryPolicy()
+    do_sleep = time.sleep if sleep is None else sleep
+    jitter = rng if rng is not None else random.Random(policy.seed)
+    state = _Attempts()
+    previous_delay = 0.0
+    last_error: BaseException | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        state.count = attempt
+        try:
+            return fn()
+        except BaseException as error:
+            if not policy.is_retryable(error):
+                raise
+            last_error = error
+            if attempt == policy.max_attempts:
+                break
+            delay = compute_backoff(
+                attempt, previous_delay,
+                base_delay_s=policy.base_delay_s,
+                max_delay_s=policy.max_delay_s, rng=jitter)
+            previous_delay = delay
+            state.delays.append(delay)
+            if on_retry is not None:
+                on_retry(attempt, error, delay)
+            if delay > 0:
+                do_sleep(delay)
+    raise RetryExhaustedError(
+        f"{label} failed after {state.count} attempts: {last_error}",
+        attempts=state.count, last_error=last_error) from last_error

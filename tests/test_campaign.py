@@ -240,6 +240,45 @@ class TestParallelCampaigns:
         assert retried == run_campaign(program, trials=25, seed=4, lanes=8,
                                        workers=1)
 
+    def test_shard_recovery_retries_transient_failures(self, program,
+                                                       monkeypatch):
+        """The in-process shard re-run rides ``repro.util.retry``: a
+        transient OSError on the first recovery attempt is re-attempted,
+        and the merged counters stay bit-identical to the serial run."""
+        serial = run_campaign(program, trials=25, seed=4, lanes=8, workers=1)
+        real_block = campaign_module.run_trial_block
+        flaky = {"raised": False}
+
+        def flaky_block(*args, **kwargs):
+            if not flaky["raised"]:
+                flaky["raised"] = True
+                raise OSError("transient recovery failure")
+            return real_block(*args, **kwargs)
+
+        monkeypatch.setattr(
+            campaign_module, "_parallel_outcomes",
+            lambda program, ranges, *args, **kwargs: [None] * len(ranges))
+        monkeypatch.setattr(campaign_module, "run_trial_block", flaky_block)
+        recovered = run_campaign(program, trials=25, seed=4, lanes=8,
+                                 workers=2)
+        assert flaky["raised"]
+        assert recovered == serial
+
+    def test_shard_recovery_propagates_fatal_errors(self, program,
+                                                    monkeypatch):
+        """Errors outside the retryable allowlist fail the campaign
+        immediately instead of burning the bounded retry budget."""
+        monkeypatch.setattr(
+            campaign_module, "_parallel_outcomes",
+            lambda program, ranges, *args, **kwargs: [None] * len(ranges))
+
+        def fatal_block(*args, **kwargs):
+            raise SimulationError("shard is deterministically broken")
+
+        monkeypatch.setattr(campaign_module, "run_trial_block", fatal_block)
+        with pytest.raises(SimulationError, match="deterministically"):
+            run_campaign(program, trials=10, seed=1, lanes=8, workers=2)
+
 
 @pytest.mark.campaign
 class TestFullCampaign:

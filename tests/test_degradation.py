@@ -267,11 +267,25 @@ class TestPartitioning:
             assert program.degradation == f"{mapper}+partitioned"
             assert program.verify(random_inputs(dag), lanes=8)
 
-    def test_staged_program_cannot_be_serialized(self, tmp_path):
+    def test_staged_program_round_trips_through_serialization(self, tmp_path):
+        """Staged programs serialize (format v2) and reload bit-identically."""
+        from repro.core import load_program
+
         dag, target = self.oversized()
         program = compile_dag(dag, target, cache=False)
-        with pytest.raises(SherlockError, match="staged"):
-            save_program(program, tmp_path / "staged.json")
+        assert program.stages  # the gate: this must exercise staging
+        path = tmp_path / "staged.json"
+        save_program(program, path)
+        loaded = load_program(path)
+        assert loaded.stages is not None
+        assert len(loaded.stages) == len(program.stages)
+        assert loaded.instructions == program.instructions
+        assert loaded.degradation == program.degradation
+        assert [a.rung for a in loaded.ladder] == \
+            [a.rung for a in program.ladder]
+        inputs = random_inputs(dag, seed=9)
+        assert loaded.execute(inputs, lanes=8) == \
+            program.execute(inputs, lanes=8)
 
     def test_combined_mapping_prices_the_bridges(self):
         dag, target = self.oversized()

@@ -117,6 +117,118 @@ class TestSerialization:
             original.execute({"x": 0b1100, "y": 0b1010}, 4)
 
 
+class TestDegradedSerialization:
+    """Format v2: staged, multi-array and fault-aware programs round-trip."""
+
+    def oversized(self):
+        from repro.workloads.synthetic import synthetic_dag
+
+        dag = synthetic_dag(num_ops=48, num_inputs=8, seed=7, name="big")
+        return dag, TargetSpec.square(8, RERAM, num_arrays=2)
+
+    def golden_fixed_point(self, tmp_path, program):
+        """After one id-normalizing roundtrip the codec is byte-stable.
+
+        Loading renumbers DAG node ids compactly (as v1 always did), so
+        the golden property is: the *second* and *third* serializations
+        are byte-identical — the codec reaches a fixed point.
+        """
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        third = tmp_path / "third.json"
+        save_program(program, first)
+        save_program(load_program(first), second)
+        save_program(load_program(second), third)
+        assert second.read_text() == third.read_text()
+        return load_program(third)
+
+    def test_golden_staged_roundtrip_is_byte_stable(self, tmp_path):
+        dag, t = self.oversized()
+        program = compile_dag(dag, t, cache=False)
+        assert program.stages  # exercises the staged branch of the codec
+        final = self.golden_fixed_point(tmp_path, program)
+        assert final.instructions == program.instructions
+
+    def test_golden_single_roundtrip_is_byte_stable(self, tmp_path):
+        dag = bitweaving.between_dag(bits=4)
+        program = compile_dag(dag, target())
+        final = self.golden_fixed_point(tmp_path, program)
+        assert final.instructions == program.instructions
+
+    def test_multiarray_program_round_trips(self, tmp_path):
+        from repro.workloads.synthetic import synthetic_dag
+
+        dag = synthetic_dag(num_ops=32, num_inputs=8, seed=3, name="multi")
+        t = TargetSpec.square(32, RERAM, num_arrays=4)
+        program = compile_dag(dag, t, CompilerConfig(schedule="multi"),
+                              cache=False)
+        path = tmp_path / "multi.json"
+        save_program(program, path)
+        loaded = load_program(path)
+        assert loaded.instructions == program.instructions
+        rng = random.Random(0)
+        inputs = {o.name: rng.getrandbits(8) for o in dag.inputs()}
+        assert loaded.execute(inputs, 8) == program.execute(inputs, 8)
+
+    def test_fault_map_travels_with_the_program(self, tmp_path):
+        from repro.core import SherlockCompiler
+        from repro.devices import FaultMap
+        from repro.workloads.synthetic import synthetic_dag
+
+        dag = synthetic_dag(num_ops=24, num_inputs=8, seed=4)
+        t = TargetSpec.square(16, RERAM, num_arrays=2)
+        fm = FaultMap.random_map(t, fraction=0.03, seed=5)
+        program = SherlockCompiler(t, CompilerConfig(),
+                                   fault_map=fm).compile(dag)
+        path = tmp_path / "faulty.json"
+        save_program(program, path)
+        loaded = load_program(path)
+        assert loaded.fault_map is not None
+        assert loaded.fault_map.cells() == fm.cells()
+        rng = random.Random(1)
+        inputs = {o.name: rng.getrandbits(8) for o in dag.inputs()}
+        assert loaded.execute(inputs, 8, verify_writes=True) == \
+            program.execute(inputs, 8, verify_writes=True)
+
+    def test_ladder_and_degradation_survive(self, tmp_path):
+        dag, t = self.oversized()
+        program = compile_dag(dag, t, cache=False)
+        path = tmp_path / "ladder.json"
+        save_program(program, path)
+        loaded = load_program(path)
+        assert loaded.degradation == program.degradation != "none"
+        assert [(a.rung, a.succeeded, a.stages) for a in loaded.ladder] == \
+            [(a.rung, a.succeeded, a.stages) for a in program.ladder]
+
+    def test_staged_metrics_survive_roundtrip(self, tmp_path):
+        dag, t = self.oversized()
+        program = compile_dag(dag, t, cache=False)
+        path = tmp_path / "staged.json"
+        save_program(program, path)
+        loaded = load_program(path)
+        assert loaded.metrics.latency_cycles == program.metrics.latency_cycles
+        assert loaded.overlap.makespan_cycles == \
+            program.overlap.makespan_cycles
+
+    def test_version_1_documents_still_load(self, tmp_path):
+        """A v1 document (no stages/ladder/fault map keys) loads fine."""
+        import json
+
+        dag = bitweaving.between_dag(bits=4)
+        program = compile_dag(dag, target())
+        path = tmp_path / "v1.json"
+        save_program(program, path)
+        document = json.loads(path.read_text())
+        document["format_version"] = 1
+        for key in ("ladder", "degradation", "fault_map"):
+            document.pop(key, None)
+        path.write_text(json.dumps(document))
+        loaded = load_program(path)
+        assert loaded.instructions == program.instructions
+        assert loaded.fault_map is None
+        assert loaded.degradation == "none"
+
+
 class TestSerializationErrors:
     def test_bad_format_version(self, tmp_path):
         import json

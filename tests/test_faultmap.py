@@ -190,13 +190,59 @@ class TestFaultAwarePlacement:
         inputs = {o.name: rng.getrandbits(lanes) for o in dag.inputs()}
         assert program.execute(inputs, lanes) == evaluate(dag, inputs, lanes)
 
-    def test_fault_aware_compiles_bypass_cache(self):
-        target = small_target()
-        fm = FaultMap()
-        fm.mark_dead(0, 0, 0)
-        assert SherlockCompiler(target, CompilerConfig(),
-                                fault_map=fm).cache is False
-        assert SherlockCompiler(target, CompilerConfig()).cache is True
+    def test_fault_aware_compiles_hit_the_cache_by_digest(self):
+        """Equal-content maps share cache entries; different maps miss."""
+        from repro.core.compiler import _COMPILE_CACHE, clear_compile_cache
+
+        clear_compile_cache()
+        try:
+            target = small_target()
+            dag = synthetic_dag(num_ops=24, num_inputs=8, seed=4)
+            fm_a = FaultMap()
+            fm_a.mark_dead(0, 0, 0)
+            fm_b = fm_a.copy()  # same content, different object
+            first = SherlockCompiler(target, CompilerConfig(),
+                                     fault_map=fm_a).compile(dag)
+            assert _COMPILE_CACHE.misses == 1
+            second = SherlockCompiler(target, CompilerConfig(),
+                                      fault_map=fm_b).compile(dag)
+            assert _COMPILE_CACHE.hits == 1
+            assert second.instructions == first.instructions
+            # a different map is a different key
+            fm_c = FaultMap()
+            fm_c.mark_dead(0, 1, 1)
+            third = SherlockCompiler(target, CompilerConfig(),
+                                     fault_map=fm_c).compile(dag)
+            assert _COMPILE_CACHE.misses == 2
+            assert third.fault_map.fault_at(0, 1, 1) is not None
+            # fault-blind compiles never collide with fault-aware ones
+            SherlockCompiler(target, CompilerConfig()).compile(dag)
+            assert _COMPILE_CACHE.misses == 3
+        finally:
+            clear_compile_cache()
+
+    def test_cache_hits_cannot_be_poisoned_by_later_map_mutation(self):
+        """Cached fault maps are frozen copies of the compile-time content."""
+        from repro.core.compiler import clear_compile_cache
+
+        clear_compile_cache()
+        try:
+            target = small_target()
+            dag = synthetic_dag(num_ops=24, num_inputs=8, seed=4)
+            fm = FaultMap()
+            fm.mark_dead(0, 0, 0)
+            SherlockCompiler(target, CompilerConfig(),
+                             fault_map=fm).compile(dag)
+            fm.mark_dead(0, 5, 5)  # mutate the live map after compiling
+            # an equal-content requester still gets the compile-time map
+            fresh = FaultMap()
+            fresh.mark_dead(0, 0, 0)
+            hit = SherlockCompiler(target, CompilerConfig(),
+                                   fault_map=fresh).compile(dag)
+            assert len(hit.fault_map) == 1
+            assert hit.fault_map.fault_at(0, 5, 5) is None
+        finally:
+            clear_compile_cache()
 
 
 def failing_write_target(probability, **kwargs):

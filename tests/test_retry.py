@@ -1,0 +1,153 @@
+"""Tests for the shared bounded-retry/backoff helper (repro.util.retry)."""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    RetryExhaustedError,
+    SherlockError,
+    WorkerCrashError,
+)
+from repro.util import RetryPolicy, compute_backoff, retry_call
+
+
+class Flaky:
+    """Callable failing ``failures`` times before returning ``value``."""
+
+    def __init__(self, failures, value="ok", error=WorkerCrashError):
+        self.failures = failures
+        self.value = value
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error(f"transient #{self.calls}")
+        return self.value
+
+
+def no_sleep(_delay):
+    pass
+
+
+class TestComputeBackoff:
+    def test_first_retry_draws_from_base_floor(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            delay = compute_backoff(1, 0.0, base_delay_s=0.05,
+                                    max_delay_s=2.0, rng=rng)
+            assert 0.05 <= delay <= 2.0
+
+    def test_decorrelated_window_grows_with_previous_delay(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            delay = compute_backoff(2, 0.4, base_delay_s=0.05,
+                                    max_delay_s=10.0, rng=rng)
+            assert 0.05 <= delay <= 3 * 0.4
+
+    def test_max_delay_clamps(self):
+        rng = random.Random(2)
+        for _ in range(50):
+            delay = compute_backoff(3, 100.0, base_delay_s=0.05,
+                                    max_delay_s=1.5, rng=rng)
+            assert delay <= 1.5
+
+    def test_invalid_inputs_raise(self):
+        rng = random.Random(0)
+        with pytest.raises(SherlockError):
+            compute_backoff(0, 0.0, base_delay_s=0.1, max_delay_s=1.0,
+                            rng=rng)
+        with pytest.raises(SherlockError):
+            compute_backoff(1, 0.0, base_delay_s=2.0, max_delay_s=1.0,
+                            rng=rng)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(SherlockError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(SherlockError):
+            RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(SherlockError):
+            RetryPolicy(base_delay_s=1.0, max_delay_s=0.5)
+
+    def test_classification_by_type(self):
+        policy = RetryPolicy(retryable=(WorkerCrashError,))
+        assert policy.is_retryable(WorkerCrashError("x"))
+        assert not policy.is_retryable(ValueError("x"))
+
+    def test_classify_callable_can_veto(self):
+        policy = RetryPolicy(
+            retryable=(OSError,),
+            classify=lambda e: getattr(e, "errno", None) != 28)
+        assert policy.is_retryable(OSError(5, "io"))
+        assert not policy.is_retryable(OSError(28, "enospc"))
+
+
+class TestRetryCall:
+    def test_success_first_try(self):
+        flaky = Flaky(0)
+        assert retry_call(flaky, sleep=no_sleep) == "ok"
+        assert flaky.calls == 1
+
+    def test_transient_failures_are_retried(self):
+        flaky = Flaky(2)
+        policy = RetryPolicy(max_attempts=3, retryable=(WorkerCrashError,))
+        assert retry_call(flaky, policy=policy, sleep=no_sleep) == "ok"
+        assert flaky.calls == 3
+
+    def test_fatal_error_propagates_unchanged(self):
+        def fatal():
+            raise SherlockError("bad kernel")
+
+        policy = RetryPolicy(max_attempts=5, retryable=(WorkerCrashError,))
+        with pytest.raises(SherlockError, match="bad kernel"):
+            retry_call(fatal, policy=policy, sleep=no_sleep)
+
+    def test_exhaustion_wraps_last_error(self):
+        flaky = Flaky(10)
+        policy = RetryPolicy(max_attempts=3, retryable=(WorkerCrashError,))
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            retry_call(flaky, policy=policy, sleep=no_sleep, label="job 7")
+        assert flaky.calls == 3
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last_error, WorkerCrashError)
+        assert isinstance(excinfo.value.__cause__, WorkerCrashError)
+        assert "job 7" in str(excinfo.value)
+
+    def test_max_attempts_one_never_retries(self):
+        flaky = Flaky(1)
+        policy = RetryPolicy(max_attempts=1, retryable=(WorkerCrashError,))
+        with pytest.raises(RetryExhaustedError):
+            retry_call(flaky, policy=policy, sleep=no_sleep)
+        assert flaky.calls == 1
+
+    def test_sleep_receives_backoff_delays(self):
+        delays = []
+        flaky = Flaky(3)
+        policy = RetryPolicy(max_attempts=4, retryable=(WorkerCrashError,),
+                             base_delay_s=0.01, max_delay_s=0.5, seed=42)
+        retry_call(flaky, policy=policy, sleep=delays.append)
+        assert len(delays) == 3
+        assert all(0.01 <= d <= 0.5 for d in delays)
+
+    def test_seeded_policy_is_deterministic(self):
+        policy = RetryPolicy(max_attempts=4, retryable=(WorkerCrashError,),
+                             base_delay_s=0.01, max_delay_s=0.5, seed=7)
+        runs = []
+        for _ in range(2):
+            delays = []
+            retry_call(Flaky(3), policy=policy, sleep=delays.append)
+            runs.append(delays)
+        assert runs[0] == runs[1]
+
+    def test_on_retry_hook_observes_each_retry(self):
+        events = []
+        flaky = Flaky(2)
+        policy = RetryPolicy(max_attempts=3, retryable=(WorkerCrashError,))
+        retry_call(flaky, policy=policy, sleep=no_sleep,
+                   on_retry=lambda a, e, d: events.append((a, str(e))))
+        assert [a for a, _ in events] == [1, 2]
+        assert "transient #1" in events[0][1]

@@ -1,0 +1,556 @@
+"""Tests for the resilient compile-and-serve subsystem (repro.serve)."""
+
+import json
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.arch.target import TargetSpec
+from repro.cli import main
+from repro.core.compiler import SherlockCompiler, clear_compile_cache
+from repro.core.config import CompilerConfig
+from repro.devices import RERAM, CellFault, FaultMap
+from repro.dfg.evaluate import evaluate
+from repro.errors import (
+    ServeError,
+    ServiceOverloadError,
+    SherlockError,
+    WorkerCrashError,
+)
+from repro.serve import (
+    ARTIFACT_SCHEMA,
+    ArtifactCache,
+    BreakerState,
+    CircuitBreaker,
+    CompileService,
+    ServeRequest,
+    handle_request_file,
+    parse_request,
+    serve_tcp,
+)
+from repro.sim.cpu import dag_events, run_model
+from repro.workloads.synthetic import synthetic_dag
+
+
+def small_target(**kwargs):
+    kwargs.setdefault("num_arrays", 2)
+    return TargetSpec.square(64, RERAM, **kwargs)
+
+
+def small_dag(seed=1, ops=16):
+    return synthetic_dag(num_ops=ops, num_inputs=6, seed=seed,
+                         name=f"serve{seed}")
+
+
+def inputs_for(dag, lanes=8, seed=0):
+    rng = random.Random(seed)
+    return {o.name: rng.getrandbits(lanes) for o in dag.inputs()}
+
+
+def request_for(dag, lanes=8, seed=0, **kwargs):
+    return ServeRequest(dag=dag, inputs=inputs_for(dag, lanes, seed),
+                        lanes=lanes, **kwargs)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for breaker/deadline tests."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# artifact cache
+# ----------------------------------------------------------------------
+class TestArtifactCache:
+    def test_round_trip_hit_and_counters(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        target, config = small_target(), CompilerConfig()
+        dag = small_dag()
+        program = SherlockCompiler(target, config, cache=False).compile(dag)
+        key = ArtifactCache.key_for(dag, target, config)
+        assert cache.get(key) is None  # cold miss
+        cache.put(key, program)
+        reloaded = cache.get(key)
+        assert reloaded is not None
+        assert reloaded.instructions == program.instructions
+        inputs = inputs_for(dag)
+        assert reloaded.execute(inputs, 8) == program.execute(inputs, 8)
+        assert cache.stats() == {"hits": 1, "misses": 1, "quarantined": 0,
+                                 "writes": 1, "entries": 1}
+
+    def test_fault_map_content_changes_the_key(self):
+        target, config, dag = small_target(), CompilerConfig(), small_dag()
+        fm = FaultMap()
+        fm.mark_dead(0, 0, 0)
+        blank = ArtifactCache.key_for(dag, target, config)
+        faulty = ArtifactCache.key_for(dag, target, config, fm)
+        same = ArtifactCache.key_for(dag, target, config, fm.copy())
+        assert blank != faulty
+        assert faulty == same
+        fm.mark_dead(0, 1, 1)
+        assert ArtifactCache.key_for(dag, target, config, fm) != faulty
+
+    @pytest.mark.parametrize("corruption", [
+        "truncated", "garbage", "wrong-schema", "version-mismatch"])
+    def test_corrupt_entries_quarantine_and_recompile(self, tmp_path,
+                                                      corruption):
+        cache = ArtifactCache(tmp_path)
+        target, config, dag = small_target(), CompilerConfig(), small_dag()
+        program = SherlockCompiler(target, config, cache=False).compile(dag)
+        key = ArtifactCache.key_for(dag, target, config)
+        cache.put(key, program)
+        path = cache.path_for(key)
+        if corruption == "truncated":
+            path.write_text(path.read_text()[:40])
+        elif corruption == "garbage":
+            path.write_bytes(b"\x00\xffnot json at all")
+        elif corruption == "wrong-schema":
+            document = json.loads(path.read_text())
+            document["schema"] = "someone-elses-cache/v9"
+            path.write_text(json.dumps(document))
+        else:  # version-mismatch inside the program document
+            document = json.loads(path.read_text())
+            document["program"]["format_version"] = 99
+            path.write_text(json.dumps(document))
+        assert cache.get(key) is None  # tolerated, reported as a miss
+        assert cache.quarantined == 1
+        assert not path.exists()
+        assert len(list(cache.quarantine_dir.iterdir())) == 1
+        # the service would now recompile and overwrite; prove that works
+        cache.put(key, program)
+        assert cache.get(key) is not None
+
+    def test_quarantine_can_discard_instead_of_keep(self, tmp_path):
+        cache = ArtifactCache(tmp_path, keep_quarantined=False)
+        key = "0" * 64
+        cache.path_for(key).write_text("{broken")
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+        assert not cache.quarantine_dir.exists()
+
+    def test_concurrent_readers_never_see_partial_entries(self, tmp_path):
+        """Hammer one key from writer and reader threads concurrently."""
+        cache = ArtifactCache(tmp_path)
+        target, config, dag = small_target(), CompilerConfig(), small_dag()
+        program = SherlockCompiler(target, config, cache=False).compile(dag)
+        key = ArtifactCache.key_for(dag, target, config)
+        cache.put(key, program)
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            while not stop.is_set():
+                cache.put(key, program)
+
+        def reader():
+            while not stop.is_set():
+                got = cache.get(key)
+                if got is None:
+                    failures.append("reader saw a missing/partial entry")
+                    return
+
+        threads = ([threading.Thread(target=writer) for _ in range(2)]
+                   + [threading.Thread(target=reader) for _ in range(3)])
+        for t in threads:
+            t.start()
+        for t in threads[2:]:
+            t.join(timeout=1.5)
+        stop.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert not failures
+        assert cache.quarantined == 0
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures_only(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, recovery_time_s=10,
+                                 clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # resets the consecutive count
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow()
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_time_s=5,
+                                 clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(5.1)
+        assert breaker.allow()  # the probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.allow()  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_retrips(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_time_s=5,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(5.1)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow()
+        clock.advance(5.1)
+        assert breaker.allow()
+
+    def test_validation_and_force_open(self):
+        with pytest.raises(ServeError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ServeError):
+            CircuitBreaker(recovery_time_s=-1)
+        breaker = CircuitBreaker()
+        breaker.force_open()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+        breaker.force_open()  # idempotent while open
+        assert breaker.trips == 1
+
+
+# ----------------------------------------------------------------------
+# the service
+# ----------------------------------------------------------------------
+class TestCompileService:
+    def test_serves_correct_outputs_and_caches(self, tmp_path):
+        dag = small_dag()
+        cache = ArtifactCache(tmp_path)
+        with CompileService(small_target(), CompilerConfig(),
+                            cache=cache, workers=2) as service:
+            first = service.submit(request_for(dag, request_id="a")).wait(30)
+            second = service.submit(request_for(dag, request_id="b")).wait(30)
+        expected = evaluate(dag, inputs_for(dag), 8)
+        assert first.outputs == expected and second.outputs == expected
+        assert first.engine == "cim" and second.engine == "cim"
+        assert not first.cached and second.cached
+        assert first.cim_latency_us is not None
+        assert first.cpu_latency_us == pytest.approx(
+            run_model(dag_events(dag, 8)).latency_us)
+
+    def test_killed_worker_is_retried_and_request_still_served(self):
+        dag = small_dag()
+        crashes = {"left": 2}
+
+        def chaos(stage, request):
+            if stage == "compile" and crashes["left"] > 0:
+                crashes["left"] -= 1
+                raise WorkerCrashError("worker killed mid-job (chaos)")
+
+        with CompileService(small_target(), CompilerConfig(), workers=1,
+                            chaos=chaos, sleep=lambda _s: None) as service:
+            result = service.submit(request_for(dag)).wait(30)
+        assert result.error is None
+        assert result.engine == "cim"
+        assert result.outputs == evaluate(dag, inputs_for(dag), 8)
+        assert service.stats()["retries"] == 2
+
+    def test_persistent_crash_falls_back_to_cpu_with_correct_outputs(self):
+        dag = small_dag()
+
+        def chaos(stage, request):
+            raise WorkerCrashError("worker keeps dying")
+
+        with CompileService(small_target(), CompilerConfig(), workers=1,
+                            chaos=chaos, sleep=lambda _s: None) as service:
+            result = service.submit(request_for(dag)).wait(30)
+        assert result.engine == "cpu"
+        assert "RetryExhaustedError" in result.offload_reason
+        assert result.outputs == evaluate(dag, inputs_for(dag), 8)
+        assert service.stats()["cim_failures"] == 1
+
+    def test_overload_sheds_with_structured_error(self):
+        dag = small_dag()
+        gate = threading.Event()
+
+        def chaos(stage, request):
+            gate.wait(10)  # stall the single worker
+
+        service = CompileService(small_target(), CompilerConfig(),
+                                 workers=1, queue_limit=1, chaos=chaos)
+        try:
+            admitted = [service.submit(request_for(dag, request_id="run"))]
+            with pytest.raises(ServiceOverloadError) as excinfo:
+                for index in range(4):  # worker holds 1, queue holds 1
+                    admitted.append(service.submit(
+                        request_for(dag, request_id=f"q{index}")))
+            error = excinfo.value
+            assert error.queue_limit == 1
+            assert error.queue_depth >= 1
+            assert error.retry_after_s > 0
+            assert any("queue depth" in line for line in error.details())
+            gate.set()
+            for job in admitted:
+                assert job.wait(30).outputs is not None
+            assert service.stats()["shed"] >= 1
+        finally:
+            gate.set()
+            service.close()
+
+    def test_deadline_miss_counts_and_offloads(self):
+        dag = small_dag()
+        with CompileService(small_target(), CompilerConfig(), workers=1,
+                            deadline_s=0.0) as service:
+            result = service.submit(request_for(dag)).wait(30)
+        assert result.engine == "cpu"
+        assert "DeadlineExceededError" in result.offload_reason
+        assert result.outputs == evaluate(dag, inputs_for(dag), 8)
+        stats = service.stats()
+        assert stats["deadline_misses"] == 1
+        assert stats["cim_failures"] == 1
+
+    def test_breaker_trips_to_cpu_and_recovers_half_open(self):
+        clock = FakeClock()
+        target = TargetSpec.square(8, RERAM, num_arrays=1)
+        big = synthetic_dag(num_ops=120, num_inputs=8, seed=2, name="big")
+        ok = synthetic_dag(num_ops=4, num_inputs=3, seed=3, name="ok")
+        config = CompilerConfig(fallback="strict")
+        with CompileService(target, config, workers=1,
+                            breaker=CircuitBreaker(failure_threshold=1,
+                                                   recovery_time_s=30,
+                                                   clock=clock),
+                            clock=clock, sleep=lambda _s: None) as service:
+            failed = service.submit(request_for(big, request_id="f")).wait(30)
+            assert failed.engine == "cpu"  # compile failed, CPU answered
+            assert "Error" in failed.offload_reason
+            assert failed.outputs == evaluate(big, inputs_for(big), 8)
+            assert service.breaker.state is BreakerState.OPEN
+            shunted = service.submit(
+                request_for(ok, request_id="s")).wait(30)
+            assert shunted.engine == "cpu"
+            assert shunted.offload_reason == "breaker-open"
+            assert shunted.outputs == evaluate(ok, inputs_for(ok), 8)
+            clock.advance(31)  # recovery window elapsed: half-open probe
+            probe = service.submit(request_for(ok, request_id="p")).wait(30)
+            assert probe.engine == "cim"
+            assert probe.outputs == evaluate(ok, inputs_for(ok), 8)
+            assert service.breaker.state is BreakerState.CLOSED
+        assert service.stats()["breaker"]["trips"] == 1
+
+    def test_degraded_capacity_offloads(self):
+        dag = small_dag()
+        target = small_target()
+        mostly_dead = FaultMap.random_map(target, 0.6, seed=1)
+        with CompileService(target, CompilerConfig(), workers=1,
+                            fault_maps={0: mostly_dead}) as service:
+            result = service.submit(request_for(dag)).wait(30)
+        assert result.engine == "cpu"
+        assert result.offload_reason.startswith("degraded-capacity")
+        assert result.outputs == evaluate(dag, inputs_for(dag), 8)
+        assert service.breaker.state is BreakerState.OPEN
+
+    def test_remap_rung_runs_inside_the_service_loop(self, tmp_path):
+        """A runtime hard fault remaps, republishes, and still answers."""
+        clear_compile_cache()
+        target, config, dag = small_target(), CompilerConfig(), small_dag()
+        reference = SherlockCompiler(target, config,
+                                     cache=False).compile(dag)
+        # ground truth: a cell holding a *programmed* output value is
+        # stuck, at the opposite polarity of the value the schedule
+        # writes there, so verify-after-write fails its read-back
+        # deterministically (input preloads bounce off faulty cells
+        # silently by design, so an input cell would not do)
+        inputs = inputs_for(dag)
+        expected = evaluate(dag, inputs, 8)
+        name, value = next((n, v) for n, v in expected.items()
+                           if v not in (0, 0xFF))
+        victim = reference.layout.placements()[dag.outputs[name]][0]
+        ground = FaultMap()
+        ground.set_fault(victim.array, victim.row, victim.col,
+                         CellFault.STUCK0 if value else CellFault.STUCK1)
+        cache = ArtifactCache(tmp_path)
+        with CompileService(target, config, cache=cache, workers=1,
+                            machine_faults={0: ground},
+                            spare_cells=False) as service:
+            request = ServeRequest(dag=dag, inputs=inputs, lanes=8,
+                                   request_id="remap-me")
+            result = service.submit(request).wait(30)
+            assert result.error is None
+            assert result.engine == "cim"
+            assert result.remapped
+            assert result.degradation == "remap"
+            assert result.outputs == evaluate(dag, inputs, 8)
+            # the fleet's known map learned the discovered fault
+            learned = service.fault_map_of(0)
+            assert learned is not None
+            assert not learned.is_healthy(victim.array, victim.row,
+                                          victim.col)
+            # the remapped artifact was published for the whole fleet:
+            # the next identical request is a cache hit, no second remap
+            again = service.submit(ServeRequest(
+                dag=dag, inputs=inputs, lanes=8,
+                request_id="cached")).wait(30)
+            assert again.error is None
+            assert again.cached and not again.remapped
+            assert again.outputs == evaluate(dag, inputs, 8)
+        assert service.stats()["remaps"] == 1
+
+    def test_chaos_acceptance(self, tmp_path):
+        """Corrupt the cache mid-run AND kill a worker mid-job.
+
+        Every request must still come back bit-identical to the reference
+        evaluator, and the stats surface must show the quarantine and the
+        retry.
+        """
+        dags = [small_dag(seed=s, ops=12 + s) for s in (1, 2, 3)]
+        cache = ArtifactCache(tmp_path)
+        target, config = small_target(), CompilerConfig()
+        kills = {"left": 1}
+
+        def chaos(stage, request):
+            if stage == "execute" and kills["left"] > 0:
+                kills["left"] -= 1
+                raise WorkerCrashError("chaos kill mid-job")
+
+        def check(results, dags):
+            for result, dag in zip(results, dags):
+                assert result.error is None
+                assert result.outputs == evaluate(dag, inputs_for(dag), 8)
+
+        with CompileService(target, config, cache=cache, workers=2,
+                            chaos=chaos, sleep=lambda _s: None) as service:
+            check(service.process([request_for(d) for d in dags]), dags)
+            # corrupt one published entry mid-run
+            key = ArtifactCache.key_for(dags[0], target, config)
+            path = cache.path_for(key)
+            path.write_text(path.read_text()[:25])
+            check(service.process([request_for(d) for d in dags]), dags)
+            check(service.process([request_for(d) for d in dags]), dags)
+        stats = service.stats()
+        assert stats["cache"]["quarantined"] == 1
+        assert stats["retries"] == 1
+        assert stats["cache"]["hits"] >= 3  # cached serving did happen
+        assert stats["errors"] == 0
+        assert stats["completed"] == 9
+
+
+# ----------------------------------------------------------------------
+# request parsing, batch mode, TCP mode, CLI
+# ----------------------------------------------------------------------
+class TestServer:
+    def test_parse_kernel_request(self):
+        request = parse_request({
+            "id": "k1",
+            "kernel": "int f(int a, int b) { return a & (b | a); }",
+            "inputs": {"a": 5, "b": 3}, "lanes": 8, "array_id": 2})
+        assert request.request_id == "k1"
+        assert request.array_id == 2
+        assert request.inputs == {"a": 5, "b": 3}
+        assert evaluate(request.dag, request.inputs, 8)
+
+    def test_parse_fills_missing_inputs_reproducibly(self):
+        obj = {"synthetic": 10, "seed": 5}
+        first = parse_request(obj)
+        second = parse_request(obj)
+        assert first.inputs == second.inputs
+        assert len(first.inputs) == len(list(first.dag.inputs()))
+
+    @pytest.mark.parametrize("bad", [
+        {},  # no kernel source at all
+        {"kernel": "int f(int a){return a;}", "workload": "bitweaving"},
+        {"synthetic": 0},
+        {"synthetic": 4, "lanes": 0},
+        {"synthetic": 4, "inputs": {"i0": "not-a-bitmask"}},
+        "not an object",
+    ])
+    def test_parse_rejects_malformed_requests(self, bad):
+        with pytest.raises(ServeError):
+            parse_request(bad)
+
+    def test_request_file_batch_mode(self, tmp_path):
+        requests_path = tmp_path / "requests.jsonl"
+        requests_path.write_text(
+            "# two requests, one per line\n"
+            '{"id": "r1", "synthetic": 10, "seed": 4, "lanes": 8}\n'
+            '{"id": "r2", "kernel": "int f(int a, int b)'
+            ' { return a ^ b; }", "inputs": {"a": 9, "b": 12},'
+            ' "lanes": 8}\n')
+        with CompileService(small_target(), CompilerConfig(),
+                            workers=2) as service:
+            results = handle_request_file(service, requests_path)
+        assert [r.request_id for r in results] == ["r1", "r2"]
+        assert results[1].outputs == {"return": 9 ^ 12}
+        assert all(r.error is None for r in results)
+
+    def test_tcp_server_round_trip(self):
+        with CompileService(small_target(), CompilerConfig(),
+                            workers=1) as service:
+            server = serve_tcp(service, port=0)
+            thread = threading.Thread(target=server.serve_forever,
+                                      daemon=True)
+            thread.start()
+            try:
+                host, port = server.server_address[:2]
+                with socket.create_connection((host, port), timeout=10) as s:
+                    handle = s.makefile("rw", encoding="utf-8")
+                    handle.write(json.dumps(
+                        {"id": "t1", "kernel":
+                         "int f(int a, int b) { return a | b; }",
+                         "inputs": {"a": 1, "b": 6}, "lanes": 8}) + "\n")
+                    handle.flush()
+                    answer = json.loads(handle.readline())
+                    assert answer["outputs"] == {"return": 7}
+                    assert answer["error"] is None
+                    handle.write(json.dumps({"cmd": "stats"}) + "\n")
+                    handle.flush()
+                    stats = json.loads(handle.readline())
+                    assert stats["completed"] == 1
+                    handle.write("nonsense\n")
+                    handle.flush()
+                    broken = json.loads(handle.readline())
+                    assert "error" in broken
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=10)
+
+    def test_cli_serve_batch_with_stats(self, tmp_path, capsys):
+        requests_path = tmp_path / "requests.jsonl"
+        requests_path.write_text(
+            '{"id": "c1", "synthetic": 10, "seed": 2, "lanes": 8}\n'
+            '{"id": "c2", "synthetic": 10, "seed": 2, "lanes": 8}\n')
+        # one worker: the identical requests resolve in queue order, so
+        # c1 deterministically compiles and c2 deterministically hits
+        code = main(["serve", "--requests", str(requests_path),
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--size", "64", "--arrays", "2", "--workers", "1",
+                     "--stats"])
+        assert code == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in
+                 captured.out.strip().splitlines()]
+        assert [r["request_id"] for r in lines] == ["c1", "c2"]
+        assert lines[0]["outputs"] == lines[1]["outputs"]
+        assert not lines[0]["cached"] and lines[1]["cached"]
+        assert "breaker: state=closed" in captured.err
+        assert "artifact cache:" in captured.err
+
+    def test_cli_serve_needs_exactly_one_mode(self, capsys):
+        assert main(["serve"]) == 1
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_artifact_schema_tag_is_stable(self):
+        assert ARTIFACT_SCHEMA == "sherlock-artifact/v1"
