@@ -30,10 +30,22 @@ fi
 echo "== unit / integration / property tests =="
 python -m pytest tests/ 2>&1 | tee test_output.txt
 
+echo "== executable-docs gate (fenced snippets in README.md + docs/API.md) =="
+python -m pytest tests/test_docsnippets.py -q
+
 echo "== smoke fault-injection campaign (50 trials, fixed seed) =="
 python -m repro.cli campaign --synthetic 24 --trials 50 --seed 0 \
     --lanes 8 --tech stt-mram --size 64 --arrays 4 --mra 4 \
     --variability 0.12
+
+echo "== vectorized campaign + batch execution smoke =="
+python -m repro.cli campaign --synthetic 24 --trials 200 --seed 0 \
+    --lanes 8 --tech stt-mram --size 64 --arrays 4 --mra 4 \
+    --variability 0.12 --engine vectorized
+BATCH_TMP=$(mktemp -d)
+printf '[{}, {"s0_x[0]": 5}, {"s1_x[3]": 255}]\n' > "$BATCH_TMP/batch.json"
+python -m repro.cli run --workload bitweaving \
+    --batch "$BATCH_TMP/batch.json" --engine vectorized
 
 echo "== full fault-injection campaigns (marker-gated tests) =="
 python -m pytest tests/ -m campaign 2>&1 | tee campaign_output.txt

@@ -1,6 +1,6 @@
 """The built-in benchmark probes over the standard workloads.
 
-Twelve probes cover the hot paths the roadmap optimizes against:
+Fourteen probes cover the hot paths the roadmap optimizes against:
 
 * ``compile.cold`` / ``compile.warm`` — the full pass pipeline on the
   bitweaving DAG with the process compile cache cleared vs primed,
@@ -8,8 +8,12 @@ Twelve probes cover the hot paths the roadmap optimizes against:
   synthetic DAG that only compiles through recycling + partitioning,
 * ``compile.multiarray`` — the multi-array co-scheduler on the Sobel
   kernel (4 arrays), including the cluster partition and assignment pass,
-* ``execute.bitweaving`` — functional array-machine execution of the
-  compiled program,
+* ``execute.bitweaving`` — functional execution of the compiled program
+  through the default engine resolution (vectorized since PR 8),
+* ``execute.vectorized`` — the bit-packed op-table backend head-to-head
+  against the interpreted reference (speedup ratio in the metadata),
+* ``batch.execute_many`` — compile-once/execute-many throughput of the
+  batch API in input sets per second,
 * ``execute.multiarray`` — execution of the 4-array Sobel schedule on
   the array-set machine, with the modeled latency ratio vs the 1-array
   compile in the metadata,
@@ -38,6 +42,7 @@ import pathlib
 import random
 import shutil
 import tempfile
+import time
 
 from repro.arch.target import TargetSpec
 from repro.bench.registry import Timer, benchmark
@@ -212,13 +217,14 @@ def _execute_multiarray(timer: Timer):
 
 
 @benchmark("execute.bitweaving", group="execute",
-           description="functional array-machine execution of the compiled "
-                       "bitweaving program")
+           description="functional execution of the compiled bitweaving "
+                       "program (default engine resolution)")
 def _execute_bitweaving(timer: Timer):
     workload = get_workload("bitweaving")
     program = compile_dag(workload.build_dag(), _compile_target(),
                           cache=False)
     inputs = workload.make_inputs(random.Random(0), _LANES)
+    program.execute(inputs, _LANES)  # warm the one-time lowering, untimed
 
     def _work():
         program.execute(inputs, _LANES)
@@ -226,6 +232,67 @@ def _execute_bitweaving(timer: Timer):
     values = timer.measure(_work)
     return values, {"workload": "bitweaving", "lanes": _LANES,
                     "instructions": len(program.instructions)}
+
+
+@benchmark("execute.vectorized", group="execute",
+           description="bit-packed vectorized execution of the compiled "
+                       "bitweaving program (speedup vs the interpreted "
+                       "reference in metadata)")
+def _execute_vectorized(timer: Timer):
+    workload = get_workload("bitweaving")
+    program = compile_dag(workload.build_dag(), _compile_target(),
+                          cache=False)
+    inputs = workload.make_inputs(random.Random(0), _LANES)
+    program.execute(inputs, _LANES, engine="vectorized")  # warm lowering
+
+    def _work():
+        program.execute(inputs, _LANES, engine="vectorized")
+
+    values = timer.measure(_work)
+    t0 = time.perf_counter()
+    program.execute(inputs, _LANES, engine="interpreted")
+    interpreted_s = time.perf_counter() - t0
+    vectorized_s = min(values)
+    return values, {"workload": "bitweaving", "lanes": _LANES,
+                    "instructions": len(program.instructions),
+                    "interpreted_s": round(interpreted_s, 6),
+                    "speedup_vs_interpreted": round(
+                        interpreted_s / vectorized_s, 2)
+                    if vectorized_s > 0 else None}
+
+
+#: input sets per batch-probe repeat
+_BATCH_SETS = 128
+
+
+@benchmark("batch.execute_many", group="execute", unit="sets/s",
+           better="higher",
+           description="compile-once/execute-many batch throughput on the "
+                       "bitweaving program (speedup vs an interpreted "
+                       "per-set loop in metadata)")
+def _batch_execute_many(timer: Timer):
+    workload = get_workload("bitweaving")
+    program = compile_dag(workload.build_dag(), _compile_target(),
+                          cache=False)
+    rng = random.Random(0)
+    sets = [workload.make_inputs(rng, _LANES) for _ in range(_BATCH_SETS)]
+    program.execute_many(sets[:2], _LANES)  # warm the lowering, untimed
+
+    def _work():
+        program.execute_many(sets, _LANES)
+
+    values = timer.throughput(_work, _BATCH_SETS)
+    sample = sets[:4]
+    t0 = time.perf_counter()
+    program.execute_many(sample, _LANES, engine="interpreted")
+    interpreted_rate = len(sample) / (time.perf_counter() - t0)
+    batch_rate = max(values)
+    return values, {"workload": "bitweaving", "lanes": _LANES,
+                    "sets": _BATCH_SETS,
+                    "interpreted_sets_per_s": round(interpreted_rate, 1),
+                    "speedup_vs_interpreted": round(
+                        batch_rate / interpreted_rate, 2)
+                    if interpreted_rate > 0 else None}
 
 
 @benchmark("execute.verified", group="execute",
@@ -280,10 +347,11 @@ def _campaign_serial(timer: Timer):
 
     def _work():
         run_campaign(program, trials=CAMPAIGN_TRIALS, seed=0, lanes=_LANES,
-                     workers=1)
+                     workers=1, engine="vectorized")
 
     values = timer.throughput(_work, CAMPAIGN_TRIALS)
-    return values, {"trials": CAMPAIGN_TRIALS, "lanes": _LANES, "workers": 1}
+    return values, {"trials": CAMPAIGN_TRIALS, "lanes": _LANES, "workers": 1,
+                    "engine": "vectorized"}
 
 
 @benchmark("campaign.parallel", group="campaign", unit="trials/s",
@@ -296,11 +364,12 @@ def _campaign_parallel(timer: Timer):
 
     def _work():
         run_campaign(program, trials=CAMPAIGN_TRIALS, seed=0, lanes=_LANES,
-                     workers=workers)
+                     workers=workers, engine="vectorized")
 
     values = timer.throughput(_work, CAMPAIGN_TRIALS)
     return values, {"trials": CAMPAIGN_TRIALS, "lanes": _LANES,
-                    "workers": workers, "cpus": os.cpu_count()}
+                    "workers": workers, "cpus": os.cpu_count(),
+                    "engine": "vectorized"}
 
 
 #: requests per serve-probe batch (distinct DAGs, so a cold pass pays

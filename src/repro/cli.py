@@ -22,8 +22,11 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import random
 import sys
+import time
 
 from repro.arch.target import TargetSpec
 from repro.core.compiler import SherlockCompiler
@@ -42,6 +45,7 @@ from repro.devices import FaultMap, get_technology
 from repro.errors import CapacityError, SherlockError
 from repro.frontend import c_to_dfg
 from repro.reliability import POLICIES, mra_sweep, run_campaign
+from repro.sim.vectorized import validate_engine
 from repro.workloads import WORKLOADS, get_workload
 
 
@@ -56,6 +60,14 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(
             f"expected a positive integer (>= 1), got {value}")
     return value
+
+
+def _engine_arg(text: str) -> str:
+    """Argparse type for ``--engine``: reject unknown names with exit 2."""
+    try:
+        return validate_engine(text)
+    except SherlockError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def _add_target_args(parser: argparse.ArgumentParser) -> None:
@@ -189,14 +201,66 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_input_sets(path: str, workload, lanes: int,
+                      rng: random.Random) -> list[dict[str, int]]:
+    """Load ``--batch FILE``: a JSON list of input objects.
+
+    Each entry overrides a fresh ``workload.make_inputs`` draw, so ``{}``
+    is a valid set (fully random but structurally well-formed for the
+    workload) and explicit keys pin individual operands.
+    """
+    try:
+        raw = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise SherlockError(f"cannot read batch file {path!r}: {error}"
+                            ) from None
+    if not isinstance(raw, list) or not raw:
+        raise SherlockError(
+            f"batch file {path!r} must hold a non-empty JSON list of "
+            "input objects")
+    sets = []
+    for index, entry in enumerate(raw):
+        if not isinstance(entry, dict):
+            raise SherlockError(
+                f"batch entry {index} must be a JSON object, "
+                f"got {type(entry).__name__}")
+        for name, value in entry.items():
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise SherlockError(
+                    f"batch entry {index} input {name!r} must be an "
+                    f"integer lane bitmask, got {value!r}")
+        inputs = workload.make_inputs(rng, lanes)
+        inputs.update(entry)
+        sets.append(inputs)
+    return sets
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload)
     program = _compiler_of(args).compile(workload.build_dag())
     _report_passes(args, program)
     rng = random.Random(args.seed)
     lanes = args.lanes
+    if args.batch is not None:
+        from repro.dfg.evaluate import evaluate
+
+        sets = _batch_input_sets(args.batch, workload, lanes, rng)
+        t0 = time.perf_counter()
+        outputs = program.execute_many(sets, lanes, engine=args.engine)
+        elapsed = time.perf_counter() - t0
+        for index, (inputs, out) in enumerate(zip(sets, outputs)):
+            if out != evaluate(program.source_dag, inputs, lanes):
+                raise SherlockError(
+                    f"batch entry {index} mismatches the reference "
+                    "evaluation")
+        rate = len(sets) / elapsed if elapsed > 0 else float("inf")
+        print(f"functional check passed on {len(sets)} input sets "
+              f"x {lanes} lanes ({rate:.0f} sets/s, engine={args.engine})")
+        print(render_reports(
+            [ProgramReport.from_program(program, workload.name)]))
+        return 0
     inputs = workload.make_inputs(rng, lanes)
-    outputs = program.execute(inputs, lanes)
+    outputs = program.execute(inputs, lanes, engine=args.engine)
     workload.check(inputs, outputs, lanes)
     print(f"functional check passed on {lanes} lanes")
     print(render_reports([ProgramReport.from_program(program, workload.name)]))
@@ -244,7 +308,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                                fault_map=_fault_map_of(args)).compile(dag)
     results = [run_campaign(program, trials=args.trials, seed=args.seed,
                             policy=name, lanes=args.lanes,
-                            workers=args.workers)
+                            workers=args.workers, engine=args.engine)
                for name in policies]
     print(RecoveryReport.from_results(results).render())
     return 0
@@ -297,7 +361,7 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
         wear_leveling=not args.no_wear_leveling,
         rotation_stride=args.stride, horizon=args.horizon,
         fault_map=_fault_map_of(args), validate=args.validate,
-        lanes=args.lanes)
+        lanes=args.lanes, engine=args.engine)
     summary = result.summary()
     print(f"lifetime campaign: {result.program_name} on "
           f"{result.technology.lower()} "
@@ -371,8 +435,6 @@ def _cmd_workloads(_args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the compile-and-serve runtime in batch or socket mode."""
-    import json
-
     from repro.serve import (
         ArtifactCache,
         CompileService,
@@ -452,6 +514,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
     p.add_argument("--lanes", type=int, default=16)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", type=_engine_arg, default="auto",
+                   help="execution backend: auto | interpreted | vectorized")
+    p.add_argument("--batch", metavar="FILE", default=None,
+                   help="execute every input set in FILE (a JSON list of "
+                        "input objects; missing operands filled from "
+                        "--seed) through one compile")
     _add_target_args(p)
     _add_pipeline_args(p)
     _add_fault_map_arg(p)
@@ -485,6 +553,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--variability", type=float, default=None,
                    help="override the technology's relative resistance "
                         "spread (e.g. 0.35) to stress the fault model")
+    p.add_argument("--engine", type=_engine_arg, default="interpreted",
+                   help="trial execution backend: auto | interpreted | "
+                        "vectorized (vectorized batches 'none'-policy "
+                        "trials through the bit-packed op-table)")
     _add_target_args(p)
     _add_fault_map_arg(p)
     p.set_defaults(func=_cmd_campaign)
@@ -531,6 +603,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(exit 1 on any mismatch)")
     p.add_argument("--lanes", type=int, default=16,
                    help="lanes for --validate executions")
+    p.add_argument("--engine", type=_engine_arg, default="auto",
+                   help="backend for --validate executions: auto | "
+                        "interpreted | vectorized")
     _add_target_args(p)
     _add_fault_map_arg(p)
     p.set_defaults(func=_cmd_lifetime)

@@ -45,6 +45,7 @@ from repro.errors import CapacityError, MappingError, SherlockError
 from repro.mapping.base import MappingResult
 from repro.mapping.partition import Stage, combined_mapping, execute_staged, map_partitioned
 from repro.sim.executor import ArrayMachine, extract_outputs, preload_sources
+from repro.sim.vectorized import resolve_engine
 from repro.sim.metrics import (
     MultiArrayMetrics,
     OverlapTimeline,
@@ -162,7 +163,8 @@ class CompiledProgram:
 
     def execute(self, inputs: dict[str, int], lanes: int = 64,
                 fault_rng: random.Random | int | None = None,
-                observer=None, verify_writes: bool = False) -> dict[str, int]:
+                observer=None, verify_writes: bool = False,
+                engine: str = "auto") -> dict[str, int]:
         """Functionally execute the program on lane-bitmask inputs.
 
         Compiled programs run with ``strict_shift`` on: a schedule that
@@ -173,7 +175,27 @@ class CompiledProgram:
 
         Staged (spill-and-partition) programs run their stages back to
         back on one shared machine, carrying boundary values across.
+
+        ``engine`` selects the execution backend: ``"interpreted"`` (the
+        :class:`ArrayMachine` reference), ``"vectorized"`` (the bit-packed
+        numpy op-table of :mod:`repro.sim.vectorized` — bit-identical on
+        deterministic runs, an order of magnitude faster), or ``"auto"``
+        (vectorized whenever nothing requires the interpreter: no
+        observer, no fault RNG, no verify-after-write).
         """
+        engine = resolve_engine(engine, observer=observer,
+                                fault_rng=fault_rng,
+                                verify_writes=verify_writes)
+        if engine == "vectorized":
+            if observer is not None:
+                raise SherlockError(
+                    "the vectorized engine does not support sense "
+                    "observers; use engine='interpreted'")
+            from repro.sim.vectorized import execute as vector_execute
+
+            return vector_execute(self, inputs, lanes=lanes,
+                                  fault_rng=fault_rng,
+                                  verify_writes=verify_writes)
         machine = self.machine(lanes, fault_rng, observer=observer,
                                verify_writes=verify_writes)
         if self.stages is not None:
@@ -182,6 +204,26 @@ class CompiledProgram:
         preload_sources(machine, self.layout, self.dag, inputs)
         machine.run(self.instructions)
         return extract_outputs(machine, self.layout, self.dag)
+
+    def execute_many(self, input_sets, lanes: int = 64,
+                     engine: str = "auto",
+                     chunk: int = 256) -> list[dict[str, int]]:
+        """Execute many independent input sets through one compiled program.
+
+        The batch API of the compile-once/execute-many serving story: the
+        program is lowered once (cached on the instance) and the input
+        sets stream through the vectorized op-table in memory-bounded
+        chunks.  ``engine="interpreted"`` runs the reference executor per
+        set instead (slow — for cross-checking).  Returns one output
+        dictionary per input set, in order.
+        """
+        engine = resolve_engine(engine)
+        if engine == "interpreted":
+            return [self.execute(inputs, lanes, engine="interpreted")
+                    for inputs in input_sets]
+        from repro.sim.vectorized import execute_many as vector_many
+
+        return vector_many(self, input_sets, lanes=lanes, chunk=chunk)
 
     def verify(self, inputs: dict[str, int], lanes: int = 64) -> bool:
         """Execute and compare against the source DAG's reference semantics.

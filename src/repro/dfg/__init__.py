@@ -4,7 +4,7 @@ from repro.dfg.blevel import blevel_order, compute_blevels, critical_path_length
 from repro.dfg.builder import DFGBuilder, Wire
 from repro.dfg.compose import union
 from repro.dfg.dot import to_dot
-from repro.dfg.evaluate import evaluate, evaluate_all
+from repro.dfg.evaluate import evaluate, evaluate_all, evaluate_many
 from repro.dfg.graph import DataFlowGraph, OperandKind, OperandNode, OpNode
 from repro.dfg.liveness import Liveness, compute_liveness, schedule_liveness
 from repro.dfg.ops import OpType, apply_op
@@ -43,6 +43,7 @@ __all__ = [
     "evaluate",
     "fold_duplicate_operands",
     "evaluate_all",
+    "evaluate_many",
     "nand_lower",
     "split_multi_operand",
     "substitute_nodes",

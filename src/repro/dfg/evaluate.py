@@ -51,6 +51,16 @@ def evaluate(dag: DataFlowGraph, inputs: Mapping[str, int], lanes: int) -> dict[
     return results
 
 
+def evaluate_many(dag: DataFlowGraph, input_sets, lanes: int) -> list[dict[str, int]]:
+    """Evaluate the DAG on each input set in turn (same checks as :func:`evaluate`).
+
+    The reference counterpart of :meth:`CompiledProgram.execute_many`: a
+    plain loop, kept simple on purpose so differential tests have an
+    unambiguous oracle for batch semantics.
+    """
+    return [evaluate(dag, inputs, lanes) for inputs in input_sets]
+
+
 def evaluate_all(dag: DataFlowGraph, inputs: Mapping[str, int], lanes: int) -> dict[int, int]:
     """Like :func:`evaluate` but return the value of *every* operand node."""
     mask = (1 << lanes) - 1

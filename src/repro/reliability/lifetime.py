@@ -42,6 +42,7 @@ from repro.dfg.graph import DataFlowGraph
 from repro.errors import MappingError, SimulationError
 from repro.reliability.campaign import wilson_interval
 from repro.sim.endurance import static_write_counts
+from repro.sim.vectorized import validate_engine
 from repro.sim.wearlevel import (
     placement_conflicts,
     rotate_instructions,
@@ -280,7 +281,7 @@ def _baseline_death(program, state: _WearState, horizon: int) -> int | None:
 
 
 def _validate_once(program, dag: DataFlowGraph, lanes: int, seed: int,
-                   trial: int) -> bool:
+                   trial: int, engine: str = "auto") -> bool:
     """One verified functional execution against the reference semantics.
 
     Runs without a fault RNG: the point is that the recompiled (and
@@ -294,7 +295,8 @@ def _validate_once(program, dag: DataFlowGraph, lanes: int, seed: int,
               for operand in dag.inputs()}
     expected = evaluate(dag, inputs, lanes)
     try:
-        actual = program.execute(inputs, lanes=lanes, verify_writes=True)
+        actual = program.execute(inputs, lanes=lanes, verify_writes=True,
+                                 engine=engine)
     except SimulationError:
         return False
     return actual == expected
@@ -307,7 +309,8 @@ def run_lifetime(dag: DataFlowGraph, target: TargetSpec,
                  wear_leveling: bool = True, rotation_stride: int = 1,
                  horizon: int = 1_000_000,
                  fault_map: FaultMap | None = None,
-                 validate: bool = False, lanes: int = 16) -> LifetimeResult:
+                 validate: bool = False, lanes: int = 16,
+                 engine: str = "auto") -> LifetimeResult:
     """Run a seeded lifetime campaign (wear → remap → recompile → death).
 
     Each trial ages the arrays twice on identical per-cell endurance draws:
@@ -320,8 +323,11 @@ def run_lifetime(dag: DataFlowGraph, target: TargetSpec,
     ``fault_map`` seeds both agings with pre-existing (manufacturing)
     faults.  ``validate`` additionally executes every recompiled program
     once with verify-after-write against the reference semantics; any
-    mismatch is counted in ``validation_failures``.
+    mismatch is counted in ``validation_failures``.  ``engine`` selects
+    the execution backend used by those validation runs (``"auto"``
+    keeps the interpreted reference, since they verify writes).
     """
+    validate_engine(engine)
     if trials < 1:
         raise SimulationError(f"trial count must be positive, got {trials}")
     if horizon < 1:
@@ -400,9 +406,11 @@ def run_lifetime(dag: DataFlowGraph, target: TargetSpec,
             if validate:
                 if program.stages is None and wear_leveling:
                     probe = rotate_program(program, offsets[epoch % period])
-                    ok = _validate_once(probe, dag, lanes, seed, trial)
+                    ok = _validate_once(probe, dag, lanes, seed, trial,
+                                        engine)
                 else:
-                    ok = _validate_once(program, dag, lanes, seed, trial)
+                    ok = _validate_once(program, dag, lanes, seed, trial,
+                                        engine)
                 if not ok:
                     validation_failures += 1
         mitigated_deaths.append(death)

@@ -70,30 +70,52 @@ def _request_dag(obj: dict):
                          name=f"synthetic{ops}")
 
 
+def _checked_inputs(obj_inputs, dag, lanes: int,
+                    rng: random.Random) -> dict[str, int]:
+    """One validated input mapping, missing operands filled from ``rng``."""
+    inputs = dict(obj_inputs or {})
+    for name, value in inputs.items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ServeError(
+                f"input {name!r} must be an integer lane bitmask, "
+                f"got {value!r}")
+    for operand in dag.inputs():
+        if operand.name not in inputs:
+            inputs[operand.name] = rng.getrandbits(lanes)
+    return inputs
+
+
 def parse_request(obj: dict, default_lanes: int = 16) -> ServeRequest:
-    """Turn one JSON request object into a :class:`ServeRequest`."""
+    """Turn one JSON request object into a :class:`ServeRequest`.
+
+    ``"input_sets": [{...}, ...]`` makes a batch request (one compile,
+    many executions; see :attr:`ServeRequest.input_sets`); ``"engine"``
+    picks the execution backend for the CIM path.
+    """
     if not isinstance(obj, dict):
         raise ServeError(f"request must be a JSON object, got {type(obj).__name__}")
     dag = _request_dag(obj)
     lanes = int(obj.get("lanes", default_lanes))
     if lanes < 1:
         raise ServeError(f"lanes must be >= 1, got {lanes}")
-    inputs = dict(obj.get("inputs") or {})
-    for name, value in inputs.items():
-        if not isinstance(value, int) or isinstance(value, bool):
-            raise ServeError(
-                f"input {name!r} must be an integer lane bitmask, "
-                f"got {value!r}")
     rng = random.Random(int(obj.get("seed", 0)))
-    for operand in dag.inputs():
-        if operand.name not in inputs:
-            inputs[operand.name] = rng.getrandbits(lanes)
+    inputs = _checked_inputs(obj.get("inputs"), dag, lanes, rng)
+    input_sets = None
+    if obj.get("input_sets") is not None:
+        raw_sets = obj["input_sets"]
+        if not isinstance(raw_sets, list) or not raw_sets:
+            raise ServeError(
+                f"'input_sets' must be a non-empty list, got {raw_sets!r}")
+        input_sets = [_checked_inputs(entry, dag, lanes, rng)
+                      for entry in raw_sets]
     deadline = obj.get("deadline_s")
     return ServeRequest(
         dag=dag, inputs=inputs, lanes=lanes,
         request_id=str(obj.get("id", "")),
         array_id=int(obj.get("array_id", 0)),
-        deadline_s=float(deadline) if deadline is not None else None)
+        deadline_s=float(deadline) if deadline is not None else None,
+        input_sets=input_sets,
+        engine=str(obj.get("engine", "auto")))
 
 
 def parse_request_lines(text: str, default_lanes: int = 16,

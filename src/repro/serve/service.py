@@ -43,7 +43,7 @@ from dataclasses import dataclass, field
 from repro.core.compiler import SherlockCompiler
 from repro.core.config import CompilerConfig
 from repro.devices.faultmap import FaultMap
-from repro.dfg.evaluate import evaluate
+from repro.dfg.evaluate import evaluate, evaluate_many
 from repro.errors import (
     DeadlineExceededError,
     HardFaultError,
@@ -56,6 +56,7 @@ from repro.serve.breaker import CircuitBreaker
 from repro.serve.cache import ArtifactCache
 from repro.sim.cpu import CpuSpec, dag_events, run_model
 from repro.sim.executor import ArrayMachine, extract_outputs, preload_sources
+from repro.sim.vectorized import validate_engine
 from repro.util.retry import RetryPolicy, retry_call
 
 __all__ = [
@@ -79,6 +80,14 @@ class ServeRequest:
     array_id: int = 0
     #: wall-clock budget from submission; ``None`` = no deadline
     deadline_s: float | None = None
+    #: batch mode: many independent input sets through one compile
+    #: (``inputs`` is ignored when set; answers land in
+    #: :attr:`ServeResult.batch_outputs`)
+    input_sets: list[dict[str, int]] | None = None
+    #: execution backend for the CIM path ("auto" | "interpreted" |
+    #: "vectorized"); batch requests resolve "auto" to the vectorized
+    #: op-table
+    engine: str = "auto"
 
 
 @dataclass
@@ -89,6 +98,8 @@ class ServeResult:
     outputs: dict[str, int] | None
     #: which engine produced the outputs: "cim" or "cpu"
     engine: str = "cim"
+    #: per-set outputs of a batch request (None for single-input requests)
+    batch_outputs: list[dict[str, int]] | None = None
     #: whether the program came from the persistent artifact cache
     cached: bool = False
     #: whether the remap rung ran inside the service loop for this request
@@ -344,6 +355,10 @@ class CompileService:
         with self._lock:
             if self._closed:
                 raise ServeError("service is closed")
+        validate_engine(request.engine)
+        if request.input_sets is not None and not request.input_sets:
+            raise ServeError(
+                f"batch request {request.request_id!r} has no input sets")
         if request.deadline_s is None and self.deadline_s is not None:
             request.deadline_s = self.deadline_s
         job = _Job(request, self._clock())
@@ -439,7 +454,10 @@ class CompileService:
             else:
                 self.breaker.record_success()
                 result.engine = "cim"
-                result.outputs = outputs
+                if request.input_sets is not None:
+                    result.batch_outputs = outputs
+                else:
+                    result.outputs = outputs
                 result.cached = cached
                 result.remapped = remapped
                 result.degradation = program.degradation
@@ -448,8 +466,12 @@ class CompileService:
             t0 = self._clock()
             result.engine = "cpu"
             result.offload_reason = offload_reason
-            result.outputs = evaluate(request.dag, request.inputs,
-                                      request.lanes)
+            if request.input_sets is not None:
+                result.batch_outputs = evaluate_many(
+                    request.dag, request.input_sets, request.lanes)
+            else:
+                result.outputs = evaluate(request.dag, request.inputs,
+                                          request.lanes)
             result.execute_s = self._clock() - t0
         result.cpu_latency_us = run_model(
             dag_events(request.dag, request.lanes), self.cpu_spec).latency_us
@@ -550,8 +572,16 @@ class CompileService:
         """Run the program; a hard fault triggers the in-loop remap rung.
 
         Returns ``(outputs, program_used)`` — the latter is the remapped
-        program when the rung ran, the original otherwise.
+        program when the rung ran, the original otherwise.  Batch requests
+        (``input_sets``) take the compile-once/execute-many fast path
+        instead: the lowered op-table streams every set through in bulk
+        (no per-write verification — the throughput trade-off is
+        documented in ``docs/PERFORMANCE.md``).
         """
+        if request.input_sets is not None:
+            return program.execute_many(
+                request.input_sets, lanes=request.lanes,
+                engine=request.engine), program
         machine = self._machine_for(program, request)
         try:
             return self._run_on(machine, program, request), program

@@ -123,6 +123,33 @@ class RotatedProgram:
     #: healthy spare cells of the rotated footprint (same-column remapping)
     spare_pool: list[CellAddr]
 
+    # the CompiledProgram surface the execution engines read, so a rotated
+    # program runs anywhere the base program does
+    @property
+    def stages(self):
+        """Always ``None``: staged programs cannot rotate."""
+        return None
+
+    @property
+    def dag(self):
+        """The base program's (transformed) data-flow graph."""
+        return self.base.dag
+
+    @property
+    def target(self):
+        """The base program's hardware target."""
+        return self.base.target
+
+    @property
+    def fault_map(self):
+        """The base program's persistent fault map."""
+        return self.base.fault_map
+
+    @property
+    def config(self):
+        """The base program's compiler configuration."""
+        return self.base.config
+
     def machine(self, lanes: int = 64,
                 fault_rng: random.Random | int | None = None,
                 observer=None, verify_writes: bool = False) -> ArrayMachine:
@@ -136,8 +163,24 @@ class RotatedProgram:
 
     def execute(self, inputs: dict[str, int], lanes: int = 64,
                 fault_rng: random.Random | int | None = None,
-                observer=None, verify_writes: bool = False) -> dict[str, int]:
+                observer=None, verify_writes: bool = False,
+                engine: str = "auto") -> dict[str, int]:
         """Functionally execute the rotated trace (cf. the base program)."""
+        from repro.sim.vectorized import resolve_engine
+
+        engine = resolve_engine(engine, observer=observer,
+                                fault_rng=fault_rng,
+                                verify_writes=verify_writes)
+        if engine == "vectorized":
+            if observer is not None:
+                raise SimulationError(
+                    "the vectorized engine does not support sense "
+                    "observers; use engine='interpreted'")
+            from repro.sim.vectorized import execute as vector_execute
+
+            return vector_execute(self, inputs, lanes=lanes,
+                                  fault_rng=fault_rng,
+                                  verify_writes=verify_writes)
         machine = self.machine(lanes, fault_rng, observer=observer,
                                verify_writes=verify_writes)
         preload_sources(machine, self.layout, self.base.dag, inputs)

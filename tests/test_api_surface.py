@@ -64,6 +64,7 @@ MODULES = PACKAGES + [
     "repro.sim.endurance",
     "repro.sim.executor",
     "repro.sim.metrics",
+    "repro.sim.vectorized",
     "repro.sim.wearlevel",
     "repro.workloads.aes",
     "repro.workloads.bfs",
