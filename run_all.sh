@@ -242,6 +242,131 @@ print(f"serve gate passed: {2 * len(requests)} requests bit-identical "
       f"across a corrupted cache (quarantined=1), degradations {degraded}")
 EOF
 
+echo "== chaos gate (seeded kills + corruption + fault burst, diff vs evaluator) =="
+python - <<'EOF'
+import random
+import sys
+
+from repro.arch.target import TargetSpec
+from repro.core import CompilerConfig, SherlockCompiler
+from repro.devices import RERAM, FaultMap
+from repro.dfg.evaluate import evaluate
+from repro.serve import (
+    ArrayHealth,
+    ArtifactCache,
+    CompileService,
+    HealthPolicy,
+    ServeRequest,
+)
+from repro.util import ChaosEvent, ChaosInjector, ChaosSchedule, write_victims
+from repro.workloads.synthetic import synthetic_dag
+
+import pathlib
+import tempfile
+
+
+class Clock:
+    now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+clock = Clock()
+lanes = 8
+target = TargetSpec.square(64, RERAM, num_arrays=2)
+config = CompilerConfig()
+dag_a = synthetic_dag(num_ops=16, num_inputs=6, seed=1, name="chaos-a")
+dag_b = synthetic_dag(num_ops=16, num_inputs=6, seed=2, name="chaos-b")
+rng = random.Random(0)
+inputs = {d.name: {o.name: rng.getrandbits(lanes) for o in d.inputs()}
+          for d in (dag_a, dag_b)}
+want = {d.name: evaluate(d, inputs[d.name], lanes) for d in (dag_a, dag_b)}
+victims = write_victims(
+    SherlockCompiler(target, config, cache=False).compile(dag_a),
+    dag_a, inputs[dag_a.name], lanes, count=2)
+
+tmp = pathlib.Path(tempfile.mkdtemp(prefix="sherlock-chaos-gate-"))
+cache = ArtifactCache(tmp / "cache")
+ground = {0: FaultMap(), 1: FaultMap()}
+schedule = ChaosSchedule((
+    ChaosEvent(at=2, kind="worker-kill", stage="execute"),
+    ChaosEvent(at=4, kind="cache-corrupt", stage="compile"),
+    ChaosEvent(at=6, kind="fault-burst", stage="execute",
+               array_id=0, cells=victims, duration=4),
+))
+injector = ChaosInjector(schedule, cache=cache, machine_faults=ground)
+policy = HealthPolicy(min_samples=2, probation_period_s=5.0,
+                      probation_successes=2)
+
+
+def serve(service, dag, array_id):
+    result = service.process([ServeRequest(
+        dag=dag, inputs=inputs[dag.name], lanes=lanes,
+        request_id=dag.name, array_id=array_id)])[0]
+    if result.error is not None:
+        sys.exit(f"chaos gate: {dag.name} failed: {result.error}")
+    if result.outputs != want[dag.name]:
+        sys.exit(f"chaos gate: {dag.name} diverged from the reference "
+                 f"evaluator under chaos")
+    return result
+
+
+with CompileService(target, config, cache=cache, workers=1,
+                    machine_faults=ground, health_policy=policy,
+                    chaos=injector, clock=clock,
+                    sleep=lambda _s: None) as service:
+    serve(service, dag_a, 0)
+    serve(service, dag_b, 1)
+    serve(service, dag_b, 1)      # worker kill + retry
+    serve(service, dag_a, 0)      # cache corruption fires
+    serve(service, dag_b, 1)      # corrupted entry quarantined
+    serve(service, dag_a, 0)      # fault burst: dirty -> quarantined
+    if service.health.state_of(0) is not ArrayHealth.QUARANTINED:
+        sys.exit(f"chaos gate: array 0 is "
+                 f"{service.health.state_of(0).value}, expected quarantined")
+    offloaded = serve(service, dag_a, 0)
+    if offloaded.engine != "cpu" or "quarantined" not in (
+            offloaded.offload_reason or ""):
+        sys.exit("chaos gate: quarantined array was not offloaded to CPU")
+    for _ in range(4):            # B traffic advances past the heal ordinal
+        serve(service, dag_b, 1)
+    clock.now += 5.1              # probation cool-down elapses
+    serve(service, dag_a, 0)
+    serve(service, dag_a, 0)      # two clean probes restore the array
+    if service.health.state_of(0) is not ArrayHealth.HEALTHY:
+        sys.exit("chaos gate: array 0 did not recover after probation")
+    snap = service.stats()["health"]
+    stats_text = service.stats_text()
+
+if snap["degraded"] < 1 or snap["quarantined"] < 1 or snap["recovered"] < 1:
+    sys.exit(f"chaos gate: transition counters incomplete: {snap}")
+if cache.stats()["quarantined"] != 1:
+    sys.exit(f"chaos gate: expected 1 quarantined cache entry, got "
+             f"{cache.stats()}")
+for needle in ("health: baseline=", "array 0: state=healthy",
+               "transition: array 0 degraded -> quarantined"):
+    if needle not in stats_text:
+        sys.exit(f"chaos gate: stats surface is missing {needle!r}:\n"
+                 f"{stats_text}")
+print(f"chaos gate passed: 12 requests bit-identical through a worker "
+      f"kill, cache corruption, and a {len(victims)}-cell fault burst; "
+      f"array 0 walked healthy -> degraded -> quarantined -> healthy "
+      f"(fired: {injector.fired})")
+EOF
+
+echo "== health smoke (static fault-map assessment CLI) =="
+HEALTH_TMP=$(mktemp -d)
+python - <<EOF
+from repro.arch.target import TargetSpec
+from repro.devices import RERAM, FaultMap
+fm = FaultMap.random_map(TargetSpec.square(16, RERAM, num_arrays=4),
+                         fraction=0.08, seed=3)
+fm.save("$HEALTH_TMP/faults.json")
+EOF
+python -m repro.cli health --tech reram --size 16 --arrays 4 \
+    --fault-map "$HEALTH_TMP/faults.json"
+
 echo "== paper experiments (tables land in benchmarks/results/) =="
 python -m pytest benchmarks/ 2>&1 | tee benchmarks/results/full_run.log
 

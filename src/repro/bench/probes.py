@@ -443,3 +443,28 @@ def _serve_cached(timer: Timer):
                     "workers": 2, "cache_hits": cache_stats["hits"],
                     "cache_writes": cache_stats["writes"],
                     "errors": stats["errors"]}
+
+
+@benchmark("serve.degraded", group="serve",
+           description="serve the 3-request batch with one fleet array "
+                       "quarantined (health-driven CPU offload path)")
+def _serve_degraded(timer: Timer):
+    from repro.serve import ArrayHealth, CompileService
+
+    target, requests = _serve_batch()
+    with CompileService(target, workers=2) as service:
+        service.process(requests)  # warm the compile cache, untimed
+        # quarantine the array every request targets: the health registry
+        # diverts the batch onto the circuit-breaker CPU-offload path
+        service.health.force_state(requests[0].array_id,
+                                   ArrayHealth.QUARANTINED)
+
+        def _work():
+            service.process(requests)
+
+        values = timer.measure(_work)
+        stats = service.stats()
+    return values, {"requests": _SERVE_REQUESTS, "lanes": _LANES,
+                    "workers": 2, "cpu_served": stats["cpu_served"],
+                    "cim_served": stats["cim_served"],
+                    "errors": stats["errors"]}

@@ -62,6 +62,19 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    """Argparse type for float options that must be > 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {text!r}") from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number of seconds (> 0), got {value}")
+    return value
+
+
 def _engine_arg(text: str) -> str:
     """Argparse type for ``--engine``: reject unknown names with exit 2."""
     try:
@@ -297,6 +310,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             raise SherlockError(
                 f"unknown recovery policy {name!r}; valid policies: "
                 f"{', '.join(sorted(POLICIES))}")
+    if args.checkpoint is not None and len(policies) != 1:
+        raise SherlockError(
+            "--checkpoint journals one run; pick exactly one --policy "
+            f"(got {len(policies)}: {', '.join(policies)})")
     target = _target_of(args)
     if args.variability is not None:
         tech = target.technology.with_variability(args.variability,
@@ -308,7 +325,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                                fault_map=_fault_map_of(args)).compile(dag)
     results = [run_campaign(program, trials=args.trials, seed=args.seed,
                             policy=name, lanes=args.lanes,
-                            workers=args.workers, engine=args.engine)
+                            workers=args.workers, engine=args.engine,
+                            checkpoint=args.checkpoint)
                for name in policies]
     print(RecoveryReport.from_results(results).render())
     return 0
@@ -361,7 +379,8 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
         wear_leveling=not args.no_wear_leveling,
         rotation_stride=args.stride, horizon=args.horizon,
         fault_map=_fault_map_of(args), validate=args.validate,
-        lanes=args.lanes, engine=args.engine)
+        lanes=args.lanes, engine=args.engine,
+        checkpoint=args.checkpoint)
     summary = result.summary()
     print(f"lifetime campaign: {result.program_name} on "
           f"{result.technology.lower()} "
@@ -480,6 +499,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_health(args: argparse.Namespace) -> int:
+    """Static health assessment of a target's sub-arrays from a fault map."""
+    from repro.serve import assess_fault_map, subarray_exclusions
+
+    target = _target_of(args)
+    fault_map = _fault_map_of(args) or FaultMap()
+    assessment = assess_fault_map(fault_map, target)
+    print(f"target: {target.num_arrays} x {target.rows}x{target.cols} "
+          f"{target.technology.name.lower()}")
+    print(f"baseline soft write-failure probability: "
+          f"{target.technology.write_failure_probability:.2e}")
+    rows = [[array, entry["faults"], f"{entry['density']:.2%}",
+             entry["state"].value]
+            for array, entry in sorted(assessment.items())]
+    print(format_table(["array", "hard faults", "density", "state"], rows))
+    excluded = subarray_exclusions(fault_map, target)
+    if excluded:
+        print(f"suggested multi-array exclusions: "
+              f"{', '.join(str(a) for a in excluded)}")
+    else:
+        print("suggested multi-array exclusions: none")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -557,6 +600,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trial execution backend: auto | interpreted | "
                         "vectorized (vectorized batches 'none'-policy "
                         "trials through the bit-packed op-table)")
+    p.add_argument("--checkpoint", metavar="FILE", default=None,
+                   help="journal completed trial blocks to FILE; rerunning "
+                        "with the same seed resumes where the last run "
+                        "stopped, bit-identical to an uninterrupted run "
+                        "(requires exactly one --policy)")
     _add_target_args(p)
     _add_fault_map_arg(p)
     p.set_defaults(func=_cmd_campaign)
@@ -606,6 +654,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", type=_engine_arg, default="auto",
                    help="backend for --validate executions: auto | "
                         "interpreted | vectorized")
+    p.add_argument("--checkpoint", metavar="FILE", default=None,
+                   help="journal completed aging trials to FILE; rerunning "
+                        "with the same seed resumes the campaign "
+                        "bit-identically")
     _add_target_args(p)
     _add_fault_map_arg(p)
     p.set_defaults(func=_cmd_lifetime)
@@ -650,8 +702,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queue-limit", type=_positive_int, default=16,
                    help="job-queue bound; beyond it requests are shed "
                         "with a structured overload error")
-    p.add_argument("--deadline", type=float, default=None,
-                   help="default per-request deadline in seconds")
+    p.add_argument("--deadline", type=_positive_float, default=None,
+                   help="default per-request deadline in seconds (> 0)")
     p.add_argument("--lanes", type=int, default=16,
                    help="default lanes for requests that do not set one")
     p.add_argument("--stats", action="store_true",
@@ -661,6 +713,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_target_args(p)
     _add_fault_map_arg(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "health",
+        help="assess per-sub-array health of a target from a fault map")
+    _add_target_args(p)
+    _add_fault_map_arg(p)
+    p.set_defaults(func=_cmd_health)
 
     p = sub.add_parser("workloads", help="list available workloads")
     p.set_defaults(func=_cmd_workloads)

@@ -467,7 +467,8 @@ class SherlockCompiler:
                 alpha=self.config.alpha,
                 beta=self.config.beta,
                 merge_instructions=self.config.merge_instructions,
-                recycle=recycle)
+                recycle=recycle,
+                exclude_arrays=self.config.exclude_arrays)
             return lambda d: map_multiarray(d, self.target, multi,
                                             fault_map=self.fault_map)
         options = SherlockOptions(
@@ -585,7 +586,8 @@ class SherlockCompiler:
             alpha=self.config.alpha,
             beta=self.config.beta,
             merge_instructions=self.config.merge_instructions,
-            recycle=self.config.recycle != "never")
+            recycle=self.config.recycle != "never",
+            exclude_arrays=self.config.exclude_arrays)
         candidate = max(suggested, self.target.num_arrays + 1)
         for _ in range(4):
             try:

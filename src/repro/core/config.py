@@ -69,8 +69,22 @@ class CompilerConfig:
     #: verify-after-write re-attempts before a cell is declared dead and
     #: remapped to a spare (runtime-only; never changes codegen)
     write_retries: int = 2
+    #: sub-arrays the multi-array co-scheduler must not place onto —
+    #: the health registry's quarantine decision expressed as a compile
+    #: constraint (ignored by schedule="single", which spills in array
+    #: order for capacity only)
+    exclude_arrays: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
+        # normalize so serialized configs (JSON lists) and unsorted
+        # caller input hash/compare identically
+        object.__setattr__(
+            self, "exclude_arrays",
+            tuple(sorted({int(a) for a in self.exclude_arrays})))
+        if self.exclude_arrays and self.exclude_arrays[0] < 0:
+            raise SherlockError(
+                f"exclude_arrays must be non-negative array indices, "
+                f"got {self.exclude_arrays}")
         if self.pipeline is not None:
             from repro.core.passes import get_pass, parse_pipeline
 

@@ -438,7 +438,8 @@ def _run_map_multiarray(ctx: CompilationContext) -> dict[str, object]:
         alpha=ctx.config.alpha,
         beta=ctx.config.beta,
         merge_instructions=ctx.config.merge_instructions,
-        recycle=_wants_recycle(ctx.config))
+        recycle=_wants_recycle(ctx.config),
+        exclude_arrays=ctx.config.exclude_arrays)
     ctx.mapping = map_multiarray(ctx.dag, ctx.target, options,
                                  fault_map=ctx.fault_map)
     # recompute duplication mutates a private copy; adopt it as the

@@ -128,6 +128,17 @@ class FaultMap:
         """Record a cell as worn out / unprogrammable."""
         self._faults[(array, row, col)] = CellFault.DEAD
 
+    def clear(self, array: int, row: int, col: int) -> bool:
+        """Forget one cell's fault; ``True`` if the cell was recorded.
+
+        The inverse of :meth:`set_fault`, for faults that turn out to be
+        transient — e.g. a chaos-injected write-failure burst healing
+        after its scheduled duration.  Genuine wear-out diagnoses should
+        never be cleared: a controller only un-marks a cell after
+        re-qualifying it.
+        """
+        return self._faults.pop((array, row, col), None) is not None
+
     def merge(self, other: "FaultMap") -> int:
         """Fold another map's faults into this one; returns cells added.
 

@@ -136,6 +136,17 @@ class RetryExhaustedError(SherlockError):
         self.last_error = last_error
 
 
+class CheckpointError(SherlockError):
+    """A checkpoint journal is unusable for the requested resume.
+
+    Raised by :mod:`repro.reliability.checkpoint` when a journal file is
+    corrupt, carries an unknown schema, or was written by a run with a
+    different identity (program, trials, seed, policy...) than the one
+    trying to resume from it — silently mixing those would break the
+    bit-identical-resume guarantee.
+    """
+
+
 class ServeError(SherlockError):
     """Base class for compile-and-serve runtime failures (:mod:`repro.serve`)."""
 

@@ -81,6 +81,9 @@ class MultiArrayOptions:
     merge_headroom: float = 0.6
     #: release dead operand cells during generation (ladder rung)
     recycle: bool = False
+    #: array ids the assignment must not place onto (health quarantine);
+    #: excluding every array is a MappingError
+    exclude_arrays: tuple[int, ...] = ()
 
 
 @dataclass
@@ -127,10 +130,20 @@ def _recompute_cycles(target: TargetSpec, arity: int) -> int:
             + cycles(cost.write_latency_ns()))
 
 
-def _healthy_capacity(target: TargetSpec, fault_map) -> dict[int, int]:
-    """Usable cells per array, discounting permanently faulty cells."""
+def _healthy_capacity(target: TargetSpec, fault_map,
+                      exclude: tuple[int, ...] = ()) -> dict[int, int]:
+    """Usable cells per array, discounting permanently faulty cells.
+
+    Arrays in ``exclude`` (quarantined by the health registry) are
+    dropped from the capacity map entirely, so neither the cluster
+    assignment nor the capacity check ever considers them.
+    """
     capacity = {a: target.cols * target.usable_rows
-                for a in range(target.num_arrays)}
+                for a in range(target.num_arrays) if a not in exclude}
+    if not capacity:
+        raise MappingError(
+            f"exclude_arrays {tuple(sorted(exclude))} leaves none of the "
+            f"target's {target.num_arrays} arrays schedulable")
     if fault_map is not None:
         for (array, row, col), _fault in fault_map.cells():
             if (array in capacity and row < target.usable_rows
@@ -198,7 +211,8 @@ def assign_arrays(dag: DataFlowGraph, target: TargetSpec,
     """
     options = options or MultiArrayOptions()
     assignment = ArrayAssignment()
-    capacity = _healthy_capacity(target, fault_map)
+    capacity = _healthy_capacity(target, fault_map,
+                                 exclude=options.exclude_arrays)
     arrays = sorted(capacity)
     scale = max(1, sum(capacity.values()) // max(1, len(arrays)))
     bridge = _bridge_cycles(target)
@@ -418,7 +432,8 @@ def map_multiarray(dag: DataFlowGraph, target: TargetSpec,
     assignment = assign_arrays(work, target, options, fault_map=fault_map,
                                clusters=clusters)
     clones = apply_recompute(work, assignment)
-    available = sum(_healthy_capacity(target, fault_map).values())
+    available = sum(_healthy_capacity(
+        target, fault_map, exclude=options.exclude_arrays).values())
     if work.num_operands > available:
         raise CapacityError(
             f"DAG needs at least {work.num_operands} cells but the target's "

@@ -8,7 +8,10 @@ detect-and-recover execution policies that act on detected failures
 (:mod:`repro.reliability.recovery`).  A fourth layer goes beyond transient
 faults: :mod:`repro.reliability.lifetime` ages the arrays until cells wear
 out for good and measures how far wear-leveling plus fault-aware
-recompilation stretch the array's useful life.
+recompilation stretch the array's useful life.  Long campaign and
+lifetime runs are resumable through the atomic checkpoint journals of
+:mod:`repro.reliability.checkpoint` (bit-identical resume on the same
+master seed).
 """
 
 from repro.devices.failure import application_failure_probability
@@ -21,6 +24,12 @@ from repro.reliability.campaign import (
     sense_failure_probabilities,
     shard_ranges,
     wilson_interval,
+)
+from repro.reliability.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointJournal,
+    program_digest,
+    remaining_ranges,
 )
 from repro.reliability.lifetime import (
     LifetimeResult,
@@ -47,9 +56,11 @@ from repro.reliability.sweep import (
 )
 
 __all__ = [
+    "CHECKPOINT_SCHEMA",
     "DEFAULT_FRACTIONS",
     "POLICIES",
     "CampaignResult",
+    "CheckpointJournal",
     "CheckpointReplay",
     "DegradeMra",
     "LifetimeResult",
@@ -66,7 +77,9 @@ __all__ = [
     "get_policy",
     "mra_sweep",
     "pareto_front",
+    "program_digest",
     "register_policy",
+    "remaining_ranges",
     "run_campaign",
     "run_lifetime",
     "run_trial_block",

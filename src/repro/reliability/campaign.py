@@ -37,6 +37,7 @@ platform/pickling failure degrades gracefully to the serial path.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import random
 import warnings
@@ -47,6 +48,7 @@ from repro.arch.isa import ReadInst
 from repro.dfg.evaluate import evaluate
 from repro.dfg.ops import OpType
 from repro.errors import SimulationError
+from repro.reliability.checkpoint import CheckpointJournal, program_digest
 from repro.reliability.recovery import RecoveryStats, get_policy
 from repro.sim.metrics import cached_p_df
 from repro.sim.vectorized import validate_engine
@@ -412,13 +414,91 @@ def _parallel_outcomes(program, ranges: list[tuple[int, int]], seed: int,
     return outcomes
 
 
+def _outcome_to_record(first: int, count: int,
+                       outcome: ShardOutcome) -> dict:
+    """One journaled shard block (JSON-safe, loss-free for resume)."""
+    return {"first": first, "count": count,
+            "decision_failures": outcome.decision_failures,
+            "output_failures": outcome.output_failures,
+            "injected_faults": outcome.injected_faults,
+            "stats": dataclasses.asdict(outcome.stats)}
+
+
+def _record_to_outcome(record: dict) -> ShardOutcome:
+    return ShardOutcome(
+        decision_failures=record["decision_failures"],
+        output_failures=record["output_failures"],
+        injected_faults=record["injected_faults"],
+        stats=RecoveryStats(**record["stats"]))
+
+
+def _campaign_identity(program, trials: int, seed: int, policy: str,
+                       lanes: int, engine: str, kwargs: dict,
+                       inputs: dict[str, int] | None) -> dict:
+    """Everything that must match for journaled blocks to be mergeable."""
+    return {"program": program_digest(program), "trials": trials,
+            "seed": seed, "policy": policy, "lanes": lanes,
+            "engine": engine,
+            "policy_kwargs": repr(sorted(kwargs.items())),
+            "inputs": repr(sorted(inputs.items())) if inputs else None}
+
+
+def _checkpointed_outcome(program, trials, seed, policy, lanes, kwargs,
+                          inputs, workers, shard_timeout_s, engine,
+                          journal: CheckpointJournal) -> ShardOutcome:
+    """The resumable campaign body: journaled blocks skip, gaps re-run.
+
+    Checkpointed campaigns always run over the canonical block partition
+    ``shard_ranges(trials, workers)`` — even serially — so that an
+    interrupted-and-resumed run merges its counters in exactly the block
+    order an uninterrupted run uses (float accumulators included).  A
+    journal whose blocks do not align with the canonical partition
+    (resumed with a different ``workers``) still merges exactly: the gaps
+    between journaled blocks are re-run as their own blocks, and only the
+    float addition *grouping* can differ from an uninterrupted run.
+    """
+    from repro.reliability.checkpoint import remaining_ranges
+
+    done = {(record["first"], record["count"]): _record_to_outcome(record)
+            for record in journal.records}
+    canonical = shard_ranges(trials, workers)
+    if set(done) <= set(canonical):
+        blocks = canonical
+    else:
+        blocks = sorted(set(done)
+                        | set(remaining_ranges(trials, sorted(done))))
+    pending = [block for block in blocks if block not in done]
+    fresh: dict[tuple[int, int], ShardOutcome] = {}
+    slots: list[ShardOutcome | None] | None = None
+    if pending and workers > 1 and trials > 1:
+        slots = _parallel_outcomes(program, pending, seed, policy, lanes,
+                                   kwargs, inputs, workers,
+                                   shard_timeout_s, engine)
+    for index, (first, count) in enumerate(pending):
+        outcome = slots[index] if slots is not None else None
+        if outcome is None:
+            outcome = retry_call(
+                lambda first=first, count=count: run_trial_block(
+                    program, first, count, seed, policy, lanes, kwargs,
+                    inputs, engine),
+                policy=_SHARD_RETRY,
+                label=f"campaign shard [{first}, {first + count})")
+        fresh[(first, count)] = outcome
+        journal.append(_outcome_to_record(first, count, outcome))
+    aggregate = ShardOutcome()
+    for block in blocks:
+        aggregate.merge(done.get(block) or fresh[block])
+    return aggregate
+
+
 def run_campaign(program, trials: int = 1000, seed: int = 0,
                  policy: str = "none", lanes: int = 64,
                  policy_kwargs: dict | None = None,
                  inputs: dict[str, int] | None = None,
                  workers: int = 1,
                  shard_timeout_s: float | None = None,
-                 engine: str = "interpreted") -> CampaignResult:
+                 engine: str = "interpreted",
+                 checkpoint=None) -> CampaignResult:
     """Run a seeded Monte-Carlo fault-injection campaign.
 
     Every trial gets decorrelated input and fault RNG streams derived from
@@ -444,6 +524,15 @@ def run_campaign(program, trials: int = 1000, seed: int = 0,
     Recovery policies always run interpreted.  The default (and
     ``"auto"``) stays interpreted so existing campaign streams replay
     bit-identically.
+
+    ``checkpoint`` names a journal file making the campaign resumable:
+    each completed trial block is appended atomically, and re-running the
+    same invocation against an existing journal skips the journaled
+    blocks — bit-identical to an uninterrupted checkpointed run on the
+    same master seed.  A journal from a *different* run (program, trials,
+    seed, policy, lanes, engine, inputs) raises
+    :class:`~repro.errors.CheckpointError`.  The finished journal is left
+    on disk (re-running is then a no-op merge of journaled blocks).
     """
     engine = validate_engine(engine)
     if engine == "auto":
@@ -454,6 +543,25 @@ def run_campaign(program, trials: int = 1000, seed: int = 0,
         raise SimulationError(f"worker count must be positive, got {workers}")
     kwargs = dict(policy_kwargs or {})
     get_policy(policy, **kwargs)  # fail fast on bad name / kwargs
+    if checkpoint is not None:
+        journal = CheckpointJournal(
+            checkpoint, "campaign",
+            _campaign_identity(program, trials, seed, policy, lanes,
+                               engine, kwargs, inputs))
+        aggregate = _checkpointed_outcome(
+            program, trials, seed, policy, lanes, kwargs, inputs, workers,
+            shard_timeout_s, engine, journal)
+        metrics = program.metrics
+        return CampaignResult(
+            program_name=program.source_dag.name,
+            policy=policy, trials=trials, lanes=lanes, seed=seed,
+            decision_failures=aggregate.decision_failures,
+            output_failures=aggregate.output_failures,
+            analytic_p_app=analytic_failure_probability(program, lanes),
+            injected_faults=aggregate.injected_faults,
+            stats=aggregate.stats,
+            base_latency_cycles=metrics.latency_cycles,
+            base_energy_pj=metrics.energy_pj)
     aggregate = ShardOutcome()
     if workers == 1 or trials == 1:
         aggregate = run_trial_block(program, 0, trials, seed, policy, lanes,

@@ -310,7 +310,8 @@ def run_lifetime(dag: DataFlowGraph, target: TargetSpec,
                  horizon: int = 1_000_000,
                  fault_map: FaultMap | None = None,
                  validate: bool = False, lanes: int = 16,
-                 engine: str = "auto") -> LifetimeResult:
+                 engine: str = "auto",
+                 checkpoint=None) -> LifetimeResult:
     """Run a seeded lifetime campaign (wear → remap → recompile → death).
 
     Each trial ages the arrays twice on identical per-cell endurance draws:
@@ -326,6 +327,13 @@ def run_lifetime(dag: DataFlowGraph, target: TargetSpec,
     mismatch is counted in ``validation_failures``.  ``engine`` selects
     the execution backend used by those validation runs (``"auto"``
     keeps the interpreted reference, since they verify writes).
+
+    ``checkpoint`` names a journal file making the run resumable: every
+    finished trial's outcome is appended atomically, and re-running the
+    same invocation skips journaled trials — each trial's wear draws
+    depend only on ``(seed, trial)``, so the resumed result is
+    bit-identical to an uninterrupted run.  A journal from a different
+    run raises :class:`~repro.errors.CheckpointError`.
     """
     validate_engine(engine)
     if trials < 1:
@@ -347,6 +355,25 @@ def run_lifetime(dag: DataFlowGraph, target: TargetSpec,
         # at offset 0 so the campaign still measures remap/recompile gains
         wear_leveling = False
 
+    journal = None
+    journaled: dict[int, dict] = {}
+    if checkpoint is not None:
+        from repro.reliability.checkpoint import (
+            CheckpointJournal,
+            program_digest,
+        )
+
+        # identity uses the *effective* wear_leveling (after the staged
+        # adjustment above) so it matches however the run is re-invoked
+        identity = {"program": program_digest(initial), "trials": trials,
+                    "seed": seed, "endurance": endurance,
+                    "endurance_spread": endurance_spread,
+                    "wear_leveling": wear_leveling,
+                    "rotation_stride": rotation_stride, "horizon": horizon,
+                    "validate": validate, "lanes": lanes, "engine": engine}
+        journal = CheckpointJournal(checkpoint, "lifetime", identity)
+        journaled = {record["trial"]: record for record in journal.records}
+
     baseline_deaths: list[int | None] = []
     mitigated_deaths: list[int | None] = []
     first_remaps: list[int | None] = []
@@ -354,6 +381,15 @@ def run_lifetime(dag: DataFlowGraph, target: TargetSpec,
     validation_failures = 0
 
     for trial in range(trials):
+        if trial in journaled:
+            record = journaled[trial]
+            baseline_deaths.append(record["baseline"])
+            mitigated_deaths.append(record["mitigated"])
+            first_remaps.append(record["first_remap"])
+            recompile_counts.append(record["recompiles"])
+            validation_failures += record["validation_failures"]
+            continue
+        trial_validation_failures_before = validation_failures
         state = _WearState(seed, trial, endurance, endurance_spread)
         baseline_deaths.append(_baseline_death(initial, state, horizon))
 
@@ -416,6 +452,15 @@ def run_lifetime(dag: DataFlowGraph, target: TargetSpec,
         mitigated_deaths.append(death)
         first_remaps.append(first_remap)
         recompile_counts.append(recompiles)
+        if journal is not None:
+            journal.append({
+                "trial": trial,
+                "baseline": baseline_deaths[-1],
+                "mitigated": death,
+                "first_remap": first_remap,
+                "recompiles": recompiles,
+                "validation_failures":
+                    validation_failures - trial_validation_failures_before})
 
     return LifetimeResult(
         program_name=dag.name, technology=target.technology.name,

@@ -9,15 +9,26 @@ back to the CPU.  This package is that runtime for the Sherlock compiler:
   configuration and fault-map content, tolerant of corrupted entries;
 * :mod:`repro.serve.breaker` — a circuit breaker that trips the service
   to the CPU baseline after consecutive CIM failures and probes half-open;
+* :mod:`repro.serve.health` — the per-array health registry: EWMA /
+  rolling-window failure-rate estimation against the technology baseline,
+  the HEALTHY/DEGRADED/QUARANTINED state machine with probation recovery,
+  and the fault-density bridge to multi-array exclusions;
 * :mod:`repro.serve.service` — the job queue + compile-worker pool with
-  admission control, per-job deadlines, retries, and the remap rung run
-  inside the service loop;
+  admission control, per-job deadlines, retries, the remap rung run
+  inside the service loop, and the health registry's adaptive responses;
 * :mod:`repro.serve.server` — request parsing, the batch request-file
   runner, and the line-delimited-JSON TCP server behind ``sherlock serve``.
 """
 
 from repro.serve.breaker import BreakerState, CircuitBreaker
 from repro.serve.cache import ARTIFACT_SCHEMA, ArtifactCache
+from repro.serve.health import (
+    ArrayHealth,
+    HealthPolicy,
+    HealthRegistry,
+    assess_fault_map,
+    subarray_exclusions,
+)
 from repro.serve.server import (
     handle_request_file,
     parse_request,
@@ -33,15 +44,20 @@ from repro.serve.service import (
 
 __all__ = [
     "ARTIFACT_SCHEMA",
+    "ArrayHealth",
     "ArtifactCache",
     "BreakerState",
     "CircuitBreaker",
     "CompileService",
+    "HealthPolicy",
+    "HealthRegistry",
     "ServeRequest",
     "ServeResult",
     "ServiceStats",
+    "assess_fault_map",
     "handle_request_file",
     "parse_request",
     "result_to_dict",
     "serve_tcp",
+    "subarray_exclusions",
 ]

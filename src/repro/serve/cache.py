@@ -23,7 +23,11 @@ Durability properties the tests pin down:
   version-mismatched entry is *quarantined* (moved into ``quarantine/``
   for post-mortem, or deleted when ``keep_quarantined=False``), counted,
   and reported as a miss, so the service transparently recompiles instead
-  of failing the request.
+  of failing the request;
+* **bounded growth** — optional ``max_entries``/``max_bytes`` caps with
+  mtime-LRU eviction: hits touch their entry's mtime, each ``put`` evicts
+  the stalest entries (never the one just published) until both caps
+  hold, and evictions are counted in :meth:`ArtifactCache.stats`.
 """
 
 from __future__ import annotations
@@ -59,15 +63,25 @@ class ArtifactCache:
     """
 
     def __init__(self, root: str | pathlib.Path, *,
-                 keep_quarantined: bool = True) -> None:
+                 keep_quarantined: bool = True,
+                 max_entries: int | None = None,
+                 max_bytes: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise SherlockError(
+                f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise SherlockError(f"max_bytes must be >= 1, got {max_bytes}")
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.quarantine_dir = self.root / "quarantine"
         self.keep_quarantined = keep_quarantined
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
         self.writes = 0
+        self.evictions = 0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -130,12 +144,21 @@ class ArtifactCache:
             with self._lock:
                 self.misses += 1
             return None
+        try:
+            os.utime(path)  # refresh LRU recency for the eviction order
+        except OSError:
+            pass  # a concurrent eviction/replace got there first
         with self._lock:
             self.hits += 1
         return program
 
     def put(self, key: str, program) -> pathlib.Path:
-        """Persist a compiled program under ``key``; atomic, last wins."""
+        """Persist a compiled program under ``key``; atomic, last wins.
+
+        When the cache is bounded, publication is followed by an LRU
+        sweep that evicts the least-recently-used entries (the fresh one
+        is protected) until both caps hold again.
+        """
         document = {"schema": ARTIFACT_SCHEMA, "key": key,
                     "program": program_to_dict(program)}
         path = self.path_for(key)
@@ -144,6 +167,8 @@ class ArtifactCache:
         os.replace(tmp, path)
         with self._lock:
             self.writes += 1
+        if self.max_entries is not None or self.max_bytes is not None:
+            self._evict(protect=path.name)
         return path
 
     # ------------------------------------------------------------------
@@ -164,9 +189,48 @@ class ArtifactCache:
         except OSError:
             pass  # a concurrent put already replaced (or removed) it
 
+    def _evict(self, protect: str) -> None:
+        """Remove LRU entries until the size caps hold.
+
+        ``protect`` is the file name of the entry just published — the one
+        write that must survive its own sweep even when the caps are
+        smaller than a single entry.  Stat failures mean a concurrent
+        evictor/replacer won the race; those entries are simply skipped.
+        """
+        entries = []
+        for path in self.root.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, path.name, stat.st_size, path))
+        entries.sort()  # oldest mtime first; name breaks ties stably
+        count = len(entries)
+        total = sum(size for _, _, size, _ in entries)
+        evicted = 0
+        for _, name, size, path in entries:
+            over_count = (self.max_entries is not None
+                          and count > self.max_entries)
+            over_bytes = (self.max_bytes is not None
+                          and total > self.max_bytes)
+            if not (over_count or over_bytes):
+                break
+            if name == protect:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            count -= 1
+            total -= size
+            evicted += 1
+        if evicted:
+            with self._lock:
+                self.evictions += evicted
+
     def stats(self) -> dict[str, int]:
-        """Hit/miss/quarantine/write counters plus the on-disk entry count."""
+        """Hit/miss/quarantine/write/eviction counters plus the entry count."""
         with self._lock:
             return {"hits": self.hits, "misses": self.misses,
                     "quarantined": self.quarantined, "writes": self.writes,
-                    "entries": self.entries()}
+                    "evictions": self.evictions, "entries": self.entries()}

@@ -148,12 +148,38 @@ def handle_request_file(service: CompileService,
     return service.process(requests)
 
 
+#: default per-line request size bound of the TCP front-end — far above
+#: any legitimate request, far below what could balloon handler memory
+MAX_REQUEST_BYTES = 1 << 20
+
+
 class _ServeHandler(socketserver.StreamRequestHandler):
-    """One connection: line-delimited JSON requests in, results out."""
+    """One connection: line-delimited JSON requests in, results out.
+
+    Hardened: a malformed JSON line, an oversized request line, or any
+    unexpected processing error answers a structured ``{"error": ...}``
+    line and the connection *stays usable* for the next request; only a
+    dead socket ends the loop.
+    """
 
     def handle(self) -> None:  # noqa: D102 - socketserver interface
         service: CompileService = self.server.service  # type: ignore[attr-defined]
-        for raw in self.rfile:
+        limit = self.server.max_request_bytes  # type: ignore[attr-defined]
+        while True:
+            try:
+                raw = self.rfile.readline(limit + 1)
+            except OSError:
+                return
+            if not raw:
+                return
+            if len(raw) > limit and not raw.endswith(b"\n"):
+                dropped = self._drain_line(limit)
+                if not self._answer({
+                        "error": f"request line exceeds {limit} bytes "
+                                 f"(dropped {dropped} bytes)",
+                        "oversized": True, "limit_bytes": limit}):
+                    return
+                continue
             line = raw.decode("utf-8", errors="replace").strip()
             if not line:
                 continue
@@ -172,8 +198,31 @@ class _ServeHandler(socketserver.StreamRequestHandler):
                           "retry_after_s": error.retry_after_s}
             except (SherlockError, json.JSONDecodeError) as error:
                 answer = {"error": str(error)}
+            except Exception as error:  # never crash the connection
+                answer = {"error": f"{type(error).__name__}: {error}"}
+            if not self._answer(answer):
+                return
+
+    def _drain_line(self, limit: int) -> int:
+        """Discard the rest of an oversized line; bytes dropped so far."""
+        dropped = 0
+        while True:
+            try:
+                chunk = self.rfile.readline(limit + 1)
+            except OSError:
+                return dropped
+            dropped += len(chunk)
+            if not chunk or chunk.endswith(b"\n"):
+                return dropped
+
+    def _answer(self, answer: dict) -> bool:
+        """Write one result line; ``False`` when the client went away."""
+        try:
             self.wfile.write((json.dumps(answer) + "\n").encode())
             self.wfile.flush()
+        except (OSError, ValueError):
+            return False
+        return True
 
 
 class _ServeServer(socketserver.ThreadingTCPServer):
@@ -182,18 +231,26 @@ class _ServeServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, address, service: CompileService) -> None:
+    def __init__(self, address, service: CompileService,
+                 max_request_bytes: int = MAX_REQUEST_BYTES) -> None:
         super().__init__(address, _ServeHandler)
         self.service = service
+        self.max_request_bytes = max_request_bytes
 
 
 def serve_tcp(service: CompileService, host: str = "127.0.0.1",
-              port: int = 0) -> _ServeServer:
+              port: int = 0,
+              max_request_bytes: int = MAX_REQUEST_BYTES) -> _ServeServer:
     """Bind the TCP front-end (port 0 = ephemeral); caller runs/stops it.
 
     Returns the bound server; ``server.server_address`` carries the actual
     port.  Call ``serve_forever()`` to serve (blocking) and ``shutdown()``
     + ``server_close()`` to stop — the ``sherlock serve --port`` CLI does
-    exactly that around a KeyboardInterrupt.
+    exactly that around a KeyboardInterrupt.  ``max_request_bytes``
+    bounds one request line; longer lines are drained and answered with
+    a structured error instead of buffering without limit.
     """
-    return _ServeServer((host, port), service)
+    if max_request_bytes < 1:
+        raise ServeError(
+            f"max_request_bytes must be >= 1, got {max_request_bytes}")
+    return _ServeServer((host, port), service, max_request_bytes)

@@ -38,12 +38,14 @@ import math
 import queue
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.core.compiler import SherlockCompiler
 from repro.core.config import CompilerConfig
 from repro.devices.faultmap import FaultMap
 from repro.dfg.evaluate import evaluate, evaluate_many
+from repro.dfg.stats import structural_hash
 from repro.errors import (
     DeadlineExceededError,
     HardFaultError,
@@ -54,6 +56,12 @@ from repro.errors import (
 )
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.cache import ArtifactCache
+from repro.serve.health import (
+    ArrayHealth,
+    HealthPolicy,
+    HealthRegistry,
+    subarray_exclusions,
+)
 from repro.sim.cpu import CpuSpec, dag_events, run_model
 from repro.sim.executor import ArrayMachine, extract_outputs, preload_sources
 from repro.sim.vectorized import validate_engine
@@ -133,6 +141,9 @@ def _percentile(values: list[float], q: float) -> float:
 #: does not grow without bound)
 _LATENCY_WINDOW = 2048
 
+#: (array, dag) pairs remembered for proactive health recompiles
+_SERVED_DAG_WINDOW = 32
+
 
 class ServiceStats:
     """Thread-safe counters and latency windows of one service instance."""
@@ -146,6 +157,7 @@ class ServiceStats:
         self.shed = 0
         self.retries = 0
         self.remaps = 0
+        self.proactive_recompiles = 0
         self.deadline_misses = 0
         self.cim_failures = 0
         self.errors = 0
@@ -174,6 +186,11 @@ class ServiceStats:
         """Record one in-service remap recompile."""
         with self._lock:
             self.remaps += 1
+
+    def note_proactive_recompile(self) -> None:
+        """Record one background health-triggered artifact recompile."""
+        with self._lock:
+            self.proactive_recompiles += 1
 
     def note_result(self, result: ServeResult) -> None:
         """Fold one finished request into the counters and windows."""
@@ -218,6 +235,7 @@ class ServiceStats:
                 "shed": self.shed,
                 "retries": self.retries,
                 "remaps": self.remaps,
+                "proactive_recompiles": self.proactive_recompiles,
                 "deadline_misses": self.deadline_misses,
                 "cim_failures": self.cim_failures,
                 "errors": self.errors,
@@ -275,6 +293,17 @@ class CompileService:
     :class:`~repro.errors.WorkerCrashError` from it simulates a worker
     killed mid-job (the retry policy re-runs the job).  ``clock`` and
     ``sleep`` are injectable for deterministic tests.
+
+    Every successful machine run feeds its verify-after-write telemetry
+    into the per-array :class:`~repro.serve.health.HealthRegistry`
+    (``health`` to share one across services, ``health_policy`` to tune
+    the default's thresholds).  The registry's decisions close the loop:
+    quarantined arrays stop receiving CIM traffic (probation probes
+    excepted), a fleet mostly quarantined trips the breaker into CPU
+    offload, a degrading array's cached artifacts are proactively
+    recompiled in the background against its current fault map, and
+    ``schedule="multi"`` compiles exclude fault-saturated sub-arrays via
+    ``CompilerConfig.exclude_arrays``.
     """
 
     def __init__(self, target, config: CompilerConfig | None = None, *,
@@ -290,6 +319,8 @@ class CompileService:
                  min_healthy_fraction: float = 0.5,
                  spare_cells: bool = True,
                  verify_writes: bool = True,
+                 health: HealthRegistry | None = None,
+                 health_policy: HealthPolicy | None = None,
                  chaos=None,
                  clock=time.monotonic,
                  sleep=time.sleep) -> None:
@@ -306,6 +337,9 @@ class CompileService:
         self.cpu_spec = cpu_spec or CpuSpec()
         self.min_healthy_fraction = min_healthy_fraction
         self.stats_counters = ServiceStats()
+        self.health = health or HealthRegistry(
+            target.technology, health_policy, clock=clock,
+            on_transition=self._on_health_transition)
         self._fault_maps = dict(fault_maps or {})
         self._machine_faults = dict(machine_faults or {})
         self._spare_cells = spare_cells
@@ -317,6 +351,9 @@ class CompileService:
         self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
         self._closed = False
         self._lock = threading.Lock()
+        self._served_dags: OrderedDict = OrderedDict()
+        self._recompile_threads: list[threading.Thread] = []
+        self._breaker_trips_seen = 0
         self._workers = [
             threading.Thread(target=self._worker_loop,
                              name=f"sherlock-serve-{i}", daemon=True)
@@ -336,6 +373,10 @@ class CompileService:
         for _ in self._workers:
             self._queue.put(None)
         for thread in self._workers:
+            thread.join()
+        with self._lock:
+            pending = list(self._recompile_threads)
+        for thread in pending:
             thread.join()
 
     def __enter__(self) -> "CompileService":
@@ -450,6 +491,7 @@ class CompileService:
                 if isinstance(error, DeadlineExceededError):
                     self.stats_counters.note_deadline_miss()
                 self.breaker.record_failure()
+                self._sync_breaker_trips()
                 offload_reason = f"{type(error).__name__}: {error}"
             else:
                 self.breaker.record_success()
@@ -479,15 +521,44 @@ class CompileService:
         return result
 
     def _offload_reason(self, request: ServeRequest) -> str | None:
-        """Why this request must go to the CPU baseline (None = CIM ok)."""
+        """Why this request must go to the CPU baseline (None = CIM ok).
+
+        Checked in escalation order: the array's static healthy capacity,
+        its dynamic quarantine state (probation probes pass through — they
+        are how a quarantined array earns its way back), the fleet-wide
+        census (mostly-quarantined fleet => trip the breaker, serve from
+        CPU), and finally the breaker itself.
+        """
         healthy = self._healthy_fraction(request.array_id)
         if healthy < self.min_healthy_fraction:
             self.breaker.force_open()
+            self._sync_breaker_trips()
             return (f"degraded-capacity: array {request.array_id} has only "
                     f"{healthy:.1%} healthy cells")
+        if not self.health.allow(request.array_id):
+            return (f"quarantined: array {request.array_id} is quarantined "
+                    f"(probation pending)")
+        quarantined, tracked = self.health.census()
+        if (tracked and (tracked - quarantined) / tracked
+                < self.min_healthy_fraction
+                and self.health.state_of(request.array_id)
+                is not ArrayHealth.QUARANTINED):
+            self.breaker.force_open()
+            self._sync_breaker_trips()
+            return (f"degraded-fleet: only {tracked - quarantined}/{tracked} "
+                    f"tracked arrays healthy")
         if not self.breaker.allow():
             return "breaker-open"
         return None
+
+    def _sync_breaker_trips(self) -> None:
+        """Mirror new breaker trips into the health registry's counters."""
+        trips = self.breaker.snapshot()["trips"]
+        with self._lock:
+            new = trips - self._breaker_trips_seen
+            self._breaker_trips_seen = trips
+        for _ in range(new):
+            self.health.note_breaker_trip()
 
     def _healthy_fraction(self, array_id: int) -> float:
         known = self._fault_maps.get(array_id)
@@ -526,17 +597,43 @@ class CompileService:
             known = self._fault_maps.get(array_id)
             return known.copy() if known else None
 
+    def _config_for(self, fault_map: FaultMap | None) -> CompilerConfig:
+        """The compile config for one array's current fault map.
+
+        Multi-array schedules additionally exclude fault-saturated
+        sub-arrays (the quarantine decision expressed as a compile
+        constraint); since the config participates in both cache keys,
+        the exclusion set shifting recompiles naturally.
+        """
+        if self.config.schedule != "multi" or not fault_map:
+            return self.config
+        exclude = subarray_exclusions(fault_map, self.target)
+        if exclude == self.config.exclude_arrays:
+            return self.config
+        return self.config.with_(exclude_arrays=exclude)
+
+    def _note_served(self, request: ServeRequest) -> None:
+        """Remember the dag for proactive recompiles (bounded window)."""
+        entry = (request.array_id, structural_hash(request.dag))
+        with self._lock:
+            self._served_dags[entry] = request.dag
+            self._served_dags.move_to_end(entry)
+            while len(self._served_dags) > _SERVED_DAG_WINDOW:
+                self._served_dags.popitem(last=False)
+
     def _compiled(self, request: ServeRequest):
         """Resolve the request's program: artifact cache, then compile."""
         fault_map = self._known_map(request.array_id)
+        config = self._config_for(fault_map)
+        self._note_served(request)
         key = None
         if self.cache is not None:
             key = ArtifactCache.key_for(request.dag, self.target,
-                                        self.config, fault_map)
+                                        config, fault_map)
             program = self.cache.get(key)
             if program is not None:
                 return program, True
-        compiler = SherlockCompiler(self.target, self.config,
+        compiler = SherlockCompiler(self.target, config,
                                     fault_map=fault_map)
         program = compiler.compile(request.dag)
         if self.cache is not None:
@@ -584,12 +681,29 @@ class CompileService:
                 engine=request.engine), program
         machine = self._machine_for(program, request)
         try:
-            return self._run_on(machine, program, request), program
+            outputs = self._run_on(machine, program, request)
         except HardFaultError:
+            self._note_machine(machine, request, hard_fault=True)
             remapped = self._remap(program, request,
                                    machine.discovered_faults)
             retry_machine = self._machine_for(remapped, request)
-            return self._run_on(retry_machine, remapped, request), remapped
+            outputs = self._run_on(retry_machine, remapped, request)
+            self._note_machine(retry_machine, request)
+            return outputs, remapped
+        self._note_machine(machine, request)
+        return outputs, program
+
+    def _note_machine(self, machine: ArrayMachine, request: ServeRequest,
+                      *, hard_fault: bool = False) -> None:
+        """Feed one machine run's telemetry into the health registry."""
+        self.health.record_execution(
+            request.array_id,
+            writes_verified=machine.writes_verified,
+            write_retries_used=machine.write_retries_used,
+            write_failures_injected=machine.write_failures_injected,
+            discovered_faults=len(machine.discovered_faults),
+            remaps=len(machine.remaps),
+            hard_fault=hard_fault)
 
     def _remap(self, program, request: ServeRequest, discovered: FaultMap):
         """The remap rung inside the service loop.
@@ -599,18 +713,70 @@ class CompileService:
         the new artifact under the merged map's key so every array with
         the same map shares it.
         """
-        compiler = SherlockCompiler(self.target, self.config,
-                                    fault_map=self._known_map(
-                                        request.array_id))
+        known = self._known_map(request.array_id)
+        config = self._config_for(known)
+        compiler = SherlockCompiler(self.target, config, fault_map=known)
         remapped = compiler.remap(program, discovered)
         with self._lock:
             self._fault_maps[request.array_id] = remapped.fault_map.copy()
         if self.cache is not None:
             key = ArtifactCache.key_for(request.dag, self.target,
-                                        self.config, remapped.fault_map)
+                                        config, remapped.fault_map)
             self.cache.put(key, remapped)
         self.stats_counters.note_remap()
+        self._spawn_recompile(request.array_id)
         return remapped
+
+    # ------------------------------------------------------------------
+    # adaptive responses to health transitions
+    # ------------------------------------------------------------------
+    def _on_health_transition(self, array_id: int, old: ArrayHealth,
+                              new: ArrayHealth, reason: str) -> None:
+        """Registry callback: react to an array changing state."""
+        if new in (ArrayHealth.DEGRADED, ArrayHealth.QUARANTINED):
+            self._spawn_recompile(array_id)
+
+    def _spawn_recompile(self, array_id: int) -> None:
+        """Refresh the array's cached artifacts in the background.
+
+        A degrading (or freshly remapped) array's fault map just moved,
+        so its cached programs are keyed off a stale map; recompiling the
+        dags it recently served against the *current* map makes the next
+        request a warm hit instead of an inline compile.  Best-effort:
+        compile failures are swallowed (the request path handles them
+        with full diagnostics).
+        """
+        if self.cache is None:
+            return
+        with self._lock:
+            if self._closed:
+                return
+            dags = [dag for (aid, _h), dag in self._served_dags.items()
+                    if aid == array_id]
+            if not dags:
+                return
+            thread = threading.Thread(
+                target=self._recompile_dags, args=(array_id, dags),
+                name=f"sherlock-health-recompile-{array_id}", daemon=True)
+            self._recompile_threads = [
+                t for t in self._recompile_threads if t.is_alive()]
+            self._recompile_threads.append(thread)
+        thread.start()
+
+    def _recompile_dags(self, array_id: int, dags: list) -> None:
+        fault_map = self._known_map(array_id)
+        config = self._config_for(fault_map)
+        for dag in dags:
+            key = ArtifactCache.key_for(dag, self.target, config, fault_map)
+            if self.cache.path_for(key).exists():
+                continue  # already published under the current map
+            try:
+                program = SherlockCompiler(
+                    self.target, config, fault_map=fault_map).compile(dag)
+            except SherlockError:
+                continue
+            self.cache.put(key, program)
+            self.stats_counters.note_proactive_recompile()
 
     # ------------------------------------------------------------------
     # observability
@@ -620,7 +786,7 @@ class CompileService:
         return self._known_map(array_id)
 
     def stats(self) -> dict:
-        """Counters, latency percentiles, cache stats, breaker snapshot."""
+        """Counters, latency percentiles, cache/breaker/health snapshots."""
         out = self.stats_counters.snapshot()
         out["queue_depth"] = self._queue.qsize()
         out["queue_limit"] = self._queue_limit
@@ -628,6 +794,7 @@ class CompileService:
         out["breaker"] = self.breaker.snapshot()
         out["cache"] = (self.cache.stats() if self.cache is not None
                         else None)
+        out["health"] = self.health.snapshot()
         return out
 
     def stats_text(self) -> str:
@@ -635,6 +802,7 @@ class CompileService:
         stats = self.stats()
         breaker = stats.pop("breaker")
         cache = stats.pop("cache")
+        health = stats.pop("health")
         lines = ["service:"]
         lines += [f"  {key}: {stats[key]}" for key in sorted(stats)]
         lines.append(f"breaker: state={breaker['state']} "
@@ -645,4 +813,24 @@ class CompileService:
         else:
             lines.append("artifact cache: "
                          + " ".join(f"{k}={cache[k]}" for k in sorted(cache)))
+        lines.append(
+            f"health: baseline={health['baseline']:.1e} "
+            f"arrays={len(health['arrays'])} "
+            f"degraded={health['degraded']} "
+            f"quarantined={health['quarantined']} "
+            f"recovered={health['recovered']} "
+            f"breaker_trips={health['breaker_trips']}")
+        for array_id in sorted(health["arrays"]):
+            entry = health["arrays"][array_id]
+            lines.append(
+                f"  array {array_id}: state={entry['state']} "
+                f"rate={entry['failure_rate']:.2e} "
+                f"samples={entry['samples']} probes={entry['probes']} "
+                f"retries={entry['retries']} "
+                f"hard_faults={entry['hard_faults']}")
+        for transition in health["transitions"]:
+            lines.append(
+                f"  transition: array {transition['array']} "
+                f"{transition['from']} -> {transition['to']} "
+                f"({transition['reason']})")
         return "\n".join(lines)

@@ -1,0 +1,251 @@
+"""Deterministic chaos injection for the compile-and-serve runtime.
+
+Robustness claims need *reproducible* failure traffic, not flaky sleeps:
+this module drives worker crashes, artifact-cache corruption, injected
+write-failure bursts, and wear acceleration from a seeded, fully explicit
+schedule, so a chaos acceptance test (or the ``run_all.sh`` chaos gate)
+replays the exact same disaster every run.
+
+The unit of chaos time is the **hook ordinal**: the service invokes its
+chaos hook once per pipeline stage per attempt (``"compile"`` before the
+artifact lookup, ``"execute"`` before the machine run), and the
+:class:`ChaosInjector` counts those invocations per stage.  A
+:class:`ChaosEvent` fires when its stage's counter reaches ``at`` —
+deterministic under ``workers=1`` regardless of wall-clock timing, and a
+retried attempt consumes its own ordinals (so a worker kill at ordinal
+*n* makes the retry run at ordinal *n + 1*).
+
+Event kinds:
+
+``worker-kill``
+    Raise :class:`~repro.errors.WorkerCrashError` from the hook — the
+    canonical retryable failure the service's retry policy absorbs.
+``cache-corrupt``
+    Truncate one published artifact entry in place; the next lookup must
+    quarantine it and transparently recompile.
+``fault-burst``
+    Install stuck-at faults on ``cells`` of the ground-truth fault map of
+    fleet member ``array_id`` (mutated *in place*, so machines built from
+    it start failing verify-after-write immediately).  With ``duration``
+    set, the burst is transient: the injector heals the same cells
+    ``duration`` ordinals later via :meth:`repro.devices.FaultMap.clear`.
+``wear``
+    A permanent ``fault-burst`` (no heal): accelerated wear-out.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+
+from repro.devices.faultmap import CellFault
+from repro.errors import ServeError, WorkerCrashError
+
+__all__ = ["ChaosEvent", "ChaosInjector", "ChaosSchedule", "write_victims"]
+
+VALID_KINDS = ("worker-kill", "cache-corrupt", "fault-burst", "wear")
+VALID_STAGES = ("compile", "execute")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled failure; fires when its stage counter reaches ``at``."""
+
+    #: hook ordinal (per stage) at which the event fires
+    at: int
+    #: one of VALID_KINDS
+    kind: str
+    #: pipeline stage whose ordinal clock this event runs on
+    stage: str = "execute"
+    #: fleet member whose ground-truth fault map a burst mutates
+    array_id: int = 0
+    #: (sub_array, row, col) cells a fault-burst / wear event hits
+    cells: tuple = ()
+    #: stuck-at kind the burst installs ("stuck0", "stuck1", or "dead")
+    fault: str = "stuck0"
+    #: ordinals after which a fault-burst heals (None / wear = permanent)
+    duration: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in VALID_KINDS:
+            raise ServeError(f"unknown chaos kind {self.kind!r}; "
+                             f"choose from {VALID_KINDS}")
+        if self.stage not in VALID_STAGES:
+            raise ServeError(f"unknown chaos stage {self.stage!r}; "
+                             f"choose from {VALID_STAGES}")
+        if self.at < 0:
+            raise ServeError(f"at must be >= 0, got {self.at}")
+        if self.duration is not None and self.duration < 1:
+            raise ServeError(f"duration must be >= 1, got {self.duration}")
+        CellFault(self.fault)  # validates the fault kind
+        object.__setattr__(self, "cells",
+                           tuple(tuple(cell) for cell in self.cells))
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """An ordered, immutable set of chaos events."""
+
+    events: tuple = ()
+
+    def __post_init__(self) -> None:
+        events = tuple(self.events)
+        for event in events:
+            if not isinstance(event, ChaosEvent):
+                raise ServeError(f"not a ChaosEvent: {event!r}")
+        object.__setattr__(
+            self, "events",
+            tuple(sorted(events, key=lambda e: (e.stage, e.at, e.kind))))
+
+    @classmethod
+    def generate(cls, seed: int, *, horizon: int = 16, kills: int = 2,
+                 corruptions: int = 1) -> "ChaosSchedule":
+        """A reproducible kill/corruption schedule within ``horizon``.
+
+        Same seed, same schedule — the CI chaos gate's entry point.
+        Fault bursts need layout-specific victim cells (see
+        :func:`write_victims`), so they are composed explicitly by the
+        caller rather than generated here.
+        """
+        if horizon < 1:
+            raise ServeError(f"horizon must be >= 1, got {horizon}")
+        if kills < 0 or corruptions < 0:
+            raise ServeError("kills and corruptions must be >= 0")
+        rng = random.Random(seed)
+        events = [ChaosEvent(at=rng.randrange(horizon), kind="worker-kill",
+                             stage="execute") for _ in range(kills)]
+        events += [ChaosEvent(at=rng.randrange(horizon),
+                              kind="cache-corrupt", stage="compile")
+                   for _ in range(corruptions)]
+        return cls(tuple(events))
+
+
+@dataclass
+class _Pending:
+    """Events not yet fired, plus scheduled heals, on one stage clock."""
+
+    events: list = field(default_factory=list)
+    #: ordinal -> list of (array_id, cells) to heal at that ordinal
+    heals: dict = field(default_factory=dict)
+    ordinal: int = 0
+
+
+class ChaosInjector:
+    """The service-side chaos hook driving a :class:`ChaosSchedule`.
+
+    Instances are callables matching the service's ``chaos`` parameter:
+    ``injector(stage, request)``.  Each call advances the stage's ordinal
+    clock, applies every event scheduled at that ordinal exactly once
+    (mutating ``cache`` / ``machine_faults`` as the event demands), then
+    raises :class:`WorkerCrashError` if one of them was a worker kill.
+    ``fired`` records ``(stage, ordinal, kind)`` tuples for assertions.
+    """
+
+    def __init__(self, schedule: ChaosSchedule, *, cache=None,
+                 machine_faults=None) -> None:
+        self.schedule = schedule
+        self.cache = cache
+        self.machine_faults = machine_faults or {}
+        self.fired: list[tuple[str, int, str]] = []
+        self._lock = threading.Lock()
+        self._stages = {stage: _Pending() for stage in VALID_STAGES}
+        for event in schedule.events:
+            self._stages[event.stage].events.append(event)
+
+    def __call__(self, stage: str, request) -> None:
+        """Advance ``stage``'s clock by one hook invocation."""
+        if stage not in self._stages:
+            raise ServeError(f"unknown chaos stage {stage!r}")
+        with self._lock:
+            pending = self._stages[stage]
+            ordinal = pending.ordinal
+            pending.ordinal += 1
+            for array_id, cells in pending.heals.pop(ordinal, ()):
+                self._heal(array_id, cells)
+            due = [e for e in pending.events if e.at == ordinal]
+            pending.events = [e for e in pending.events if e.at != ordinal]
+            kill = False
+            for event in due:
+                self.fired.append((stage, ordinal, event.kind))
+                if event.kind == "worker-kill":
+                    kill = True
+                elif event.kind == "cache-corrupt":
+                    self._corrupt_cache()
+                else:  # fault-burst / wear
+                    self._burst(event)
+                    if event.kind == "fault-burst" and event.duration:
+                        pending.heals.setdefault(
+                            ordinal + event.duration, []).append(
+                                (event.array_id, event.cells))
+        if kill:
+            raise WorkerCrashError(
+                f"chaos: worker killed at {stage} ordinal {ordinal}")
+
+    # ------------------------------------------------------------------
+    # effects
+    # ------------------------------------------------------------------
+    def _corrupt_cache(self) -> None:
+        """Truncate the first published artifact entry (sorted = stable)."""
+        if self.cache is None:
+            return
+        entries = sorted(self.cache.root.glob("*.json"))
+        if not entries:
+            return
+        victim = entries[0]
+        try:
+            victim.write_text(victim.read_text()[:25])
+        except OSError:
+            pass  # a concurrent eviction removed it; nothing to corrupt
+
+    def _burst(self, event: ChaosEvent) -> None:
+        """Install the burst's stuck-at faults on the ground-truth map."""
+        ground = self.machine_faults.get(event.array_id)
+        if ground is None:
+            return
+        fault = CellFault(event.fault)
+        for cell in event.cells:
+            ground.set_fault(*cell, fault)
+
+    def _heal(self, array_id: int, cells: tuple) -> None:
+        ground = self.machine_faults.get(array_id)
+        if ground is None:
+            return
+        for cell in cells:
+            ground.clear(*cell)
+
+
+def write_victims(program, dag, inputs, lanes: int, count: int = 1,
+                  exclude_values: tuple[int, ...] = (0,)) -> tuple:
+    """Output cells whose written value a STUCK0 fault visibly corrupts.
+
+    Chooses up to ``count`` outputs of ``dag`` whose reference value
+    (under ``inputs``/``lanes``) is nonzero — a STUCK0 cell under such a
+    write fails verify-after-write read-back deterministically, which is
+    what a fault burst needs to generate observable failure traffic
+    (input preloads bounce off faulty cells silently by design).  Returns
+    ``((array, row, col), ...)`` of the outputs' first placements in the
+    program's layout, for a :class:`ChaosEvent` ``cells`` field.
+    """
+    from repro.dfg.evaluate import evaluate
+
+    if count < 1:
+        raise ServeError(f"count must be >= 1, got {count}")
+    expected = evaluate(dag, inputs, lanes)
+    placements = program.layout.placements()
+    victims = []
+    for name in sorted(expected):
+        if expected[name] in exclude_values:
+            continue
+        copies = placements.get(dag.outputs[name])
+        if not copies:
+            continue
+        addr = copies[0]
+        victims.append((addr.array, addr.row, addr.col))
+        if len(victims) >= count:
+            break
+    if not victims:
+        raise ServeError(
+            "no output writes a non-excluded value under these inputs; "
+            "pick different inputs for the fault burst")
+    return tuple(victims)

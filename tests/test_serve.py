@@ -1,6 +1,7 @@
 """Tests for the resilient compile-and-serve subsystem (repro.serve)."""
 
 import json
+import os
 import random
 import socket
 import threading
@@ -85,7 +86,7 @@ class TestArtifactCache:
         inputs = inputs_for(dag)
         assert reloaded.execute(inputs, 8) == program.execute(inputs, 8)
         assert cache.stats() == {"hits": 1, "misses": 1, "quarantined": 0,
-                                 "writes": 1, "entries": 1}
+                                 "writes": 1, "evictions": 0, "entries": 1}
 
     def test_fault_map_content_changes_the_key(self):
         target, config, dag = small_target(), CompilerConfig(), small_dag()
@@ -554,3 +555,206 @@ class TestServer:
 
     def test_artifact_schema_tag_is_stable(self):
         assert ARTIFACT_SCHEMA == "sherlock-artifact/v1"
+
+
+# ----------------------------------------------------------------------
+# artifact-cache eviction (LRU size bounds)
+# ----------------------------------------------------------------------
+class TestCacheEviction:
+    @staticmethod
+    def fill(cache, seeds):
+        """Publish one entry per seed; returns {seed: (key, path)}."""
+        target, config = small_target(), CompilerConfig()
+        entries = {}
+        for age, seed in enumerate(seeds):
+            dag = small_dag(seed=seed)
+            program = SherlockCompiler(target, config,
+                                       cache=False).compile(dag)
+            key = ArtifactCache.key_for(dag, target, config)
+            path = cache.put(key, program)
+            # explicit mtimes make the LRU order filesystem-independent
+            os.utime(path, (1_000_000 + age, 1_000_000 + age))
+            entries[seed] = (key, path)
+        return entries
+
+    def test_rejects_non_positive_bounds(self, tmp_path):
+        with pytest.raises(SherlockError):
+            ArtifactCache(tmp_path, max_entries=0)
+        with pytest.raises(SherlockError):
+            ArtifactCache(tmp_path, max_bytes=0)
+
+    def test_max_entries_evicts_the_oldest(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_entries=2)
+        entries = self.fill(cache, [1, 2])
+        os.utime(entries[2][1], (2_000_000, 2_000_000))
+        self.fill(cache, [3])
+        assert not entries[1][1].exists()  # oldest mtime lost
+        assert cache.get(entries[2][0]) is not None
+        assert cache.evictions == 1
+        assert cache.stats()["entries"] == 2
+        assert cache.stats()["evictions"] == 1
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_entries=2)
+        entries = self.fill(cache, [1, 2])  # 1 older than 2
+        assert cache.get(entries[1][0]) is not None  # touch 1: now newest
+        self.fill(cache, [3])
+        assert entries[1][1].exists()
+        assert not entries[2][1].exists()  # 2 became the LRU victim
+
+    def test_max_bytes_bound(self, tmp_path):
+        probe = ArtifactCache(tmp_path / "probe")
+        size = self.fill(probe, [1])[1][1].stat().st_size
+        cache = ArtifactCache(tmp_path / "real",
+                              max_bytes=int(size * 1.5))
+        entries = self.fill(cache, [1, 2])
+        assert not entries[1][1].exists()
+        assert entries[2][1].exists()
+        assert cache.evictions == 1
+
+    def test_never_evicts_the_fresh_entry(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_bytes=1)  # below any entry
+        entries = self.fill(cache, [1])
+        assert entries[1][1].exists()  # protected despite the bound
+        assert cache.get(entries[1][0]) is not None
+        assert cache.evictions == 0
+
+
+# ----------------------------------------------------------------------
+# circuit-breaker edges
+# ----------------------------------------------------------------------
+class TestCircuitBreakerEdges:
+    def test_half_open_failure_resets_the_full_backoff(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_time_s=5,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(5.1)
+        assert breaker.allow()  # the probe
+        breaker.record_failure()  # probe fails: re-trip
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(4.9)
+        assert not breaker.allow()  # backoff restarted, not resumed
+        clock.advance(0.2)
+        assert breaker.allow()
+
+    def test_force_open_while_half_open(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_time_s=5,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(5.1)
+        assert breaker.allow()
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.force_open()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow()
+
+    def test_exactly_one_concurrent_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_time_s=5,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(5.1)
+        admitted = []
+        barrier = threading.Barrier(8)
+
+        def prober():
+            barrier.wait()
+            if breaker.allow():
+                admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=prober) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert len(admitted) == 1
+        assert breaker.state is BreakerState.HALF_OPEN
+
+
+# ----------------------------------------------------------------------
+# TCP front-end hardening
+# ----------------------------------------------------------------------
+class TestServerHardening:
+    def serve(self, service, **kwargs):
+        server = serve_tcp(service, port=0, **kwargs)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        return server, thread
+
+    def test_oversized_request_answers_error_and_connection_survives(self):
+        with CompileService(small_target(), CompilerConfig(),
+                            workers=1) as service:
+            server, thread = self.serve(service, max_request_bytes=512)
+            try:
+                host, port = server.server_address[:2]
+                with socket.create_connection((host, port), timeout=10) as s:
+                    handle = s.makefile("rw", encoding="utf-8")
+                    handle.write("x" * 2048 + "\n")
+                    handle.flush()
+                    answer = json.loads(handle.readline())
+                    assert answer["oversized"] is True
+                    assert "512 bytes" in answer["error"]
+                    # the same connection still serves real requests
+                    handle.write(json.dumps(
+                        {"id": "ok", "kernel":
+                         "int f(int a, int b) { return a & b; }",
+                         "inputs": {"a": 6, "b": 3}, "lanes": 8}) + "\n")
+                    handle.flush()
+                    result = json.loads(handle.readline())
+                    assert result["outputs"] == {"return": 2}
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=10)
+
+    def test_malformed_json_is_a_structured_error(self):
+        with CompileService(small_target(), CompilerConfig(),
+                            workers=1) as service:
+            server, thread = self.serve(service)
+            try:
+                host, port = server.server_address[:2]
+                with socket.create_connection((host, port), timeout=10) as s:
+                    handle = s.makefile("rw", encoding="utf-8")
+                    for bad in ('{"unterminated": ', "[1, 2, 3]",
+                                '"just-a-string"'):
+                        handle.write(bad + "\n")
+                        handle.flush()
+                        answer = json.loads(handle.readline())
+                        assert "error" in answer
+                    handle.write(json.dumps({"cmd": "stats"}) + "\n")
+                    handle.flush()
+                    stats = json.loads(handle.readline())
+                    assert "completed" in stats
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=10)
+
+    def test_rejects_non_positive_size_bound(self):
+        with CompileService(small_target(), CompilerConfig(),
+                            workers=1) as service:
+            with pytest.raises(ServeError):
+                serve_tcp(service, port=0, max_request_bytes=0)
+
+
+# ----------------------------------------------------------------------
+# serve CLI flag validation
+# ----------------------------------------------------------------------
+class TestServeCliValidation:
+    @pytest.mark.parametrize("flag,value,needle", [
+        ("--workers", "0", "positive integer"),
+        ("--workers", "-3", "positive integer"),
+        ("--queue-limit", "0", "positive integer"),
+        ("--deadline", "0", "positive number of seconds"),
+        ("--deadline", "-1.5", "positive number of seconds"),
+        ("--deadline", "soon", "expected a number"),
+    ])
+    def test_non_positive_serve_flags_exit_2(self, capsys, flag, value,
+                                             needle):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--port", "0", flag, value])
+        assert excinfo.value.code == 2
+        assert needle in capsys.readouterr().err
