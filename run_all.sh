@@ -355,6 +355,132 @@ print(f"chaos gate passed: 12 requests bit-identical through a worker "
       f"(fired: {injector.fired})")
 EOF
 
+echo "== scrub gate (planted latent fault found by patrol before any request fails) =="
+python - <<'EOF'
+import random
+import sys
+
+from repro.arch.target import TargetSpec
+from repro.core import CompilerConfig, SherlockCompiler
+from repro.devices import RERAM, FaultMap
+from repro.dfg.evaluate import evaluate
+from repro.serve import (
+    ArrayHealth,
+    CompileService,
+    HealthPolicy,
+    ScrubPolicy,
+    ServeRequest,
+)
+from repro.util import ChaosEvent, ChaosInjector, ChaosSchedule, latent_victims
+from repro.workloads.synthetic import synthetic_dag
+
+
+class Clock:
+    now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+clock = Clock()
+lanes = 8
+target = TargetSpec.square(64, RERAM, num_arrays=2)
+config = CompilerConfig()
+dag_a = synthetic_dag(num_ops=16, num_inputs=6, seed=1, name="scrub-a")
+dag_b = synthetic_dag(num_ops=16, num_inputs=6, seed=2, name="scrub-b")
+
+
+def inputs_for(dag):
+    rng = random.Random(0)
+    return {o.name: rng.getrandbits(lanes) for o in dag.inputs()}
+
+
+inputs = {d.name: inputs_for(d) for d in (dag_a, dag_b)}
+want = {d.name: evaluate(d, inputs[d.name], lanes) for d in (dag_a, dag_b)}
+# the victim is an input cell of dag_a's deterministic compile: preloads
+# write it without read-back, so only the patrol scrubber can find it
+victims = latent_victims(
+    SherlockCompiler(target, config, cache=False).compile(dag_a),
+    dag_a, inputs[dag_a.name], lanes, count=1)
+ground = {0: FaultMap(), 1: FaultMap()}
+space = target.num_arrays * target.rows * target.cols
+injector = ChaosInjector(
+    ChaosSchedule((ChaosEvent(at=2, kind="latent-fault", stage="execute",
+                              array_id=1, cells=victims),)),
+    machine_faults=ground)
+policy = HealthPolicy(min_samples=1, probation_period_s=5.0,
+                      probation_successes=1)
+
+
+def serve(service, dag, array_id, **kwargs):
+    result = service.process([ServeRequest(
+        dag=dag, inputs=inputs[dag.name], lanes=lanes,
+        request_id=dag.name, array_id=array_id, **kwargs)])[0]
+    if result.error is not None:
+        sys.exit(f"scrub gate: {dag.name} failed: {result.error}")
+    if result.outputs != want[dag.name]:
+        sys.exit(f"scrub gate: {dag.name} diverged from the reference "
+                 f"evaluator")
+    return result
+
+
+with CompileService(target, config, workers=1, machine_faults=ground,
+                    health_policy=policy, placement="health",
+                    scrub=ScrubPolicy(budget=2 * space, seed=3, weight=64.0),
+                    chaos=injector, clock=clock,
+                    sleep=lambda _s: None) as service:
+    voted = serve(service, dag_a, 0, redundancy=3)
+    if not voted.voted or voted.disagreeing != ():
+        sys.exit(f"scrub gate: clean vote was not unanimous: {voted}")
+    serve(service, dag_b, 1)
+    serve(service, dag_b, 1)          # ordinal 2: latent fault planted
+    report = service.scrub()          # patrol finds it, zero failures so far
+    if report.latent_faults_found != 1 or sorted(report.discoveries) != [1]:
+        sys.exit(f"scrub gate: patrol missed the planted latent fault: "
+                 f"found={report.latent_faults_found} "
+                 f"arrays={sorted(report.discoveries)}")
+    found = [cell for cell, _ in report.discoveries[1].cells()]
+    if found != [victims[0]]:
+        sys.exit(f"scrub gate: patrol reported {found}, planted {victims}")
+    if service.stats()["errors"] != 0:
+        sys.exit("scrub gate: a request failed before the patrol ran")
+    if service.health.state_of(1) is not ArrayHealth.DEGRADED:
+        sys.exit(f"scrub gate: array 1 is "
+                 f"{service.health.state_of(1).value}, expected degraded")
+    moved = serve(service, dag_b, 1)  # placement shifts degraded traffic
+    if moved.placed_array != 0:
+        sys.exit(f"scrub gate: degraded array kept its traffic "
+                 f"(placed on {moved.placed_array})")
+    outvoted = serve(service, dag_a, 0, redundancy=3)
+    if outvoted.disagreeing != (1,):  # minority stays bit-identical
+        sys.exit(f"scrub gate: expected array 1 outvoted, "
+                 f"disagreeing={outvoted.disagreeing}")
+    if service.health.state_of(1) is not ArrayHealth.QUARANTINED:
+        sys.exit("scrub gate: vote disagreement did not quarantine array 1")
+    clock.now += 5.1                  # probation cool-down elapses
+    probe = serve(service, dag_b, 1)
+    if probe.engine != "cim" or probe.placed_array != 1:
+        sys.exit("scrub gate: probation probe did not land on array 1")
+    if service.health.state_of(1) is not ArrayHealth.HEALTHY:
+        sys.exit("scrub gate: array 1 did not recover after probation")
+    final = serve(service, dag_b, 0, redundancy=3)
+    if not final.voted or 1 not in final.voters:
+        sys.exit("scrub gate: recovered array never voted again")
+    snap = service.stats()
+    text = service.stats_text()
+
+if snap["scrub"]["latent_faults_found"] != 1 or snap["errors"] != 0:
+    sys.exit(f"scrub gate: unexpected counters: scrub={snap['scrub']} "
+             f"errors={snap['errors']}")
+for needle in ("placement: health", "scrub: passes=1", "votes: 3"):
+    if needle not in text:
+        sys.exit(f"scrub gate: stats surface is missing {needle!r}:\n{text}")
+print(f"scrub gate passed: patrol found the planted latent cell "
+      f"{victims[0]} with zero failed requests; array 1 walked degraded "
+      f"-> quarantined -> healthy while every answer (3 of them voted) "
+      f"stayed bit-identical")
+EOF
+
 echo "== health smoke (static fault-map assessment CLI) =="
 HEALTH_TMP=$(mktemp -d)
 python - <<EOF

@@ -48,7 +48,7 @@ from repro.arch.target import TargetSpec
 from repro.bench.registry import Timer, benchmark
 from repro.core.compiler import clear_compile_cache, compile_dag
 from repro.core.config import CompilerConfig
-from repro.devices import RERAM, STT_MRAM
+from repro.devices import RERAM, STT_MRAM, FaultMap
 from repro.dfg.evaluate import evaluate
 from repro.reliability.campaign import run_campaign
 from repro.workloads import get_workload
@@ -468,3 +468,62 @@ def _serve_degraded(timer: Timer):
                     "workers": 2, "cpu_served": stats["cpu_served"],
                     "cim_served": stats["cim_served"],
                     "errors": stats["errors"]}
+
+
+@benchmark("serve.voted", group="serve",
+           description="serve the 3-request batch with redundancy=3 voted "
+                       "execution across a 2-array fleet plus CPU referee")
+def _serve_voted(timer: Timer):
+    import dataclasses
+
+    from repro.serve import CompileService
+
+    target, requests = _serve_batch()
+    voted = [dataclasses.replace(request, redundancy=3)
+             for request in requests]
+    fleet = {0: FaultMap(), 1: FaultMap()}
+    with CompileService(target, workers=2,
+                        machine_faults=fleet) as service:
+        service.process(voted)  # warm the compile cache, untimed
+
+        def _work():
+            service.process(voted)
+
+        values = timer.measure(_work)
+        stats = service.stats()
+    return values, {"requests": _SERVE_REQUESTS, "lanes": _LANES,
+                    "workers": 2, "redundancy": 3,
+                    "votes": stats["votes"],
+                    "vote_disagreements": stats["vote_disagreements"],
+                    "errors": stats["errors"]}
+
+
+#: cells march-tested per serve.scrub repeat
+_SCRUB_BUDGET = 4096
+
+
+@benchmark("serve.scrub", group="serve", unit="cells/s", better="higher",
+           description="patrol-scrub march-test throughput over a 2-array "
+                       "fleet with planted latent faults")
+def _serve_scrub(timer: Timer):
+    from repro.devices import CellFault
+    from repro.serve import CompileService
+
+    target, _ = _serve_batch()
+    fleet = {0: FaultMap(), 1: FaultMap()}
+    rng = random.Random(7)
+    for ground in fleet.values():
+        for _ in range(8):
+            ground.set_fault(rng.randrange(target.num_arrays),
+                             rng.randrange(target.rows),
+                             rng.randrange(target.cols), CellFault.STUCK0)
+    with CompileService(target, machine_faults=fleet) as service:
+        def _work():
+            service.scrub(budget=_SCRUB_BUDGET)
+
+        values = timer.throughput(_work, _SCRUB_BUDGET)
+        scrub_stats = service.scrubber.stats()
+    return values, {"budget": _SCRUB_BUDGET, "fleet": len(fleet),
+                    "passes": scrub_stats["passes"],
+                    "latent_faults_found":
+                        scrub_stats["latent_faults_found"]}

@@ -457,6 +457,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import (
         ArtifactCache,
         CompileService,
+        ScrubPolicy,
         handle_request_file,
         result_to_dict,
         serve_tcp,
@@ -470,10 +471,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
              if args.cache_dir is not None else None)
     fault_map = _fault_map_of(args)
     fault_maps = {0: fault_map} if fault_map is not None else None
+    # the loaded map doubles as the machine's ground truth so patrol
+    # scrubbing has real cells to march (known == ground: no latents
+    # until the hardware drifts, but the cadence counters stay live)
+    machine_faults = ({0: fault_map.copy()} if fault_map is not None
+                      else None)
+    scrub = (ScrubPolicy(budget=args.scrub_budget,
+                         every_requests=args.scrub_every)
+             if args.scrub_every else None)
     service = CompileService(
         _target_of(args), _config_of(args), cache=cache,
         workers=args.workers, queue_limit=args.queue_limit,
-        deadline_s=args.deadline, fault_maps=fault_maps)
+        deadline_s=args.deadline, fault_maps=fault_maps,
+        machine_faults=machine_faults,
+        shed_policy=args.shed_policy, placement=args.placement,
+        scrub=scrub)
     failures = 0
     with service:
         if args.requests is not None:
@@ -506,6 +518,21 @@ def _cmd_health(args: argparse.Namespace) -> int:
     target = _target_of(args)
     fault_map = _fault_map_of(args) or FaultMap()
     assessment = assess_fault_map(fault_map, target)
+    if args.json:
+        document = {
+            "target": {"num_arrays": target.num_arrays,
+                       "rows": target.rows, "cols": target.cols,
+                       "technology": target.technology.name.lower()},
+            "baseline_write_failure_probability":
+                target.technology.write_failure_probability,
+            "arrays": {str(array): {"faults": entry["faults"],
+                                    "density": entry["density"],
+                                    "state": entry["state"].value}
+                       for array, entry in sorted(assessment.items())},
+            "exclusions": list(subarray_exclusions(fault_map, target)),
+        }
+        print(json.dumps(document, indent=2))
+        return 0
     print(f"target: {target.num_arrays} x {target.rows}x{target.cols} "
           f"{target.technology.name.lower()}")
     print(f"baseline soft write-failure probability: "
@@ -702,6 +729,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queue-limit", type=_positive_int, default=16,
                    help="job-queue bound; beyond it requests are shed "
                         "with a structured overload error")
+    p.add_argument("--shed-policy", default="reject",
+                   choices=("reject", "oldest", "deadline"),
+                   help="who loses when the queue is full: the newcomer "
+                        "(reject), the oldest queued job (oldest), or the "
+                        "queued job with the least deadline slack "
+                        "(deadline)")
+    p.add_argument("--placement", default="sticky",
+                   choices=("sticky", "health"),
+                   help="array placement: honor the requested array "
+                        "(sticky) or steer around DEGRADED/QUARANTINED "
+                        "arrays (health)")
+    p.add_argument("--scrub-every", type=int, default=0, metavar="N",
+                   help="patrol-scrub the fleet after every N completed "
+                        "requests (0 = scrubbing off)")
+    p.add_argument("--scrub-budget", type=_positive_int, default=256,
+                   help="cells march-tested per scrub pass")
     p.add_argument("--deadline", type=_positive_float, default=None,
                    help="default per-request deadline in seconds (> 0)")
     p.add_argument("--lanes", type=int, default=16,
@@ -717,6 +760,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "health",
         help="assess per-sub-array health of a target from a fault map")
+    p.add_argument("--json", action="store_true",
+                   help="emit the assessment as a JSON document instead "
+                        "of the table")
     _add_target_args(p)
     _add_fault_map_arg(p)
     p.set_defaults(func=_cmd_health)

@@ -468,7 +468,8 @@ class SherlockCompiler:
                 beta=self.config.beta,
                 merge_instructions=self.config.merge_instructions,
                 recycle=recycle,
-                exclude_arrays=self.config.exclude_arrays)
+                exclude_arrays=self.config.exclude_arrays,
+                array_penalties=self.config.array_penalties)
             return lambda d: map_multiarray(d, self.target, multi,
                                             fault_map=self.fault_map)
         options = SherlockOptions(
@@ -587,7 +588,8 @@ class SherlockCompiler:
             beta=self.config.beta,
             merge_instructions=self.config.merge_instructions,
             recycle=self.config.recycle != "never",
-            exclude_arrays=self.config.exclude_arrays)
+            exclude_arrays=self.config.exclude_arrays,
+            array_penalties=self.config.array_penalties)
         candidate = max(suggested, self.target.num_arrays + 1)
         for _ in range(4):
             try:

@@ -74,6 +74,11 @@ class CompilerConfig:
     #: constraint (ignored by schedule="single", which spills in array
     #: order for capacity only)
     exclude_arrays: tuple[int, ...] = ()
+    #: ``(array, cost)`` pairs the multi-array co-scheduler subtracts
+    #: from a sub-array's assignment score — the health registry's
+    #: DEGRADED verdict expressed as a soft compile preference (where
+    #: ``exclude_arrays`` is the hard one)
+    array_penalties: tuple[tuple[int, float], ...] = ()
 
     def __post_init__(self) -> None:
         # normalize so serialized configs (JSON lists) and unsorted
@@ -85,6 +90,15 @@ class CompilerConfig:
             raise SherlockError(
                 f"exclude_arrays must be non-negative array indices, "
                 f"got {self.exclude_arrays}")
+        penalties = {int(a): float(p) for a, p in self.array_penalties}
+        object.__setattr__(
+            self, "array_penalties", tuple(sorted(penalties.items())))
+        for array, penalty in self.array_penalties:
+            if array < 0 or penalty < 0.0:
+                raise SherlockError(
+                    f"array_penalties entries must pair a non-negative "
+                    f"array index with a non-negative cost, "
+                    f"got ({array}, {penalty})")
         if self.pipeline is not None:
             from repro.core.passes import get_pass, parse_pipeline
 

@@ -439,7 +439,8 @@ def _run_map_multiarray(ctx: CompilationContext) -> dict[str, object]:
         beta=ctx.config.beta,
         merge_instructions=ctx.config.merge_instructions,
         recycle=_wants_recycle(ctx.config),
-        exclude_arrays=ctx.config.exclude_arrays)
+        exclude_arrays=ctx.config.exclude_arrays,
+        array_penalties=ctx.config.array_penalties)
     ctx.mapping = map_multiarray(ctx.dag, ctx.target, options,
                                  fault_map=ctx.fault_map)
     # recompute duplication mutates a private copy; adopt it as the

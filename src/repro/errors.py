@@ -163,15 +163,18 @@ class ServiceOverloadError(ServeError):
 
     def __init__(self, message: str, *, queue_depth: int = 0,
                  queue_limit: int = 0,
-                 retry_after_s: float | None = None) -> None:
+                 retry_after_s: float | None = None,
+                 shed_policy: str = "reject") -> None:
         super().__init__(message)
         self.queue_depth = queue_depth
         self.queue_limit = queue_limit
         self.retry_after_s = retry_after_s
+        self.shed_policy = shed_policy
 
     def details(self) -> list[str]:
         """Human-readable diagnostic lines for CLI/server error paths."""
-        lines = [f"queue depth: {self.queue_depth} (limit {self.queue_limit})"]
+        lines = [f"queue depth: {self.queue_depth} (limit {self.queue_limit})",
+                 f"shed policy: {self.shed_policy}"]
         if self.retry_after_s is not None:
             lines.append(f"retry after: {self.retry_after_s:.3f} s")
         return lines

@@ -84,6 +84,14 @@ class MultiArrayOptions:
     #: array ids the assignment must not place onto (health quarantine);
     #: excluding every array is a MappingError
     exclude_arrays: tuple[int, ...] = ()
+    #: ``(array, cost)`` pairs subtracted from a candidate array's
+    #: assignment score — the health registry's DEGRADED verdict as a
+    #: soft preference (quarantine is the hard ``exclude_arrays`` form)
+    array_penalties: tuple[tuple[int, float], ...] = ()
+
+    def penalty_of(self) -> dict[int, float]:
+        """The ``array_penalties`` pairs as a lookup dict."""
+        return {int(a): float(p) for a, p in self.array_penalties}
 
 
 @dataclass
@@ -166,6 +174,7 @@ def _assign_clusters(dag: DataFlowGraph, clusters: list[Cluster],
     """
     arrays = sorted(capacity)
     scale = max(1, sum(capacity.values()) // max(1, len(arrays)))
+    penalty = options.penalty_of()
     load = {a: 0 for a in arrays}
     cols_used = {a: 0 for a in arrays}
     position = {op_id: idx for idx, op_id in enumerate(blevel_order(dag))}
@@ -179,7 +188,8 @@ def _assign_clusters(dag: DataFlowGraph, clusters: list[Cluster],
         def score(a: int) -> float:
             resident = sum(1 for p in producers if op_array.get(p) == a)
             return (options.affinity_weight * resident
-                    - options.balance_weight * load[a] / scale)
+                    - options.balance_weight * load[a] / scale
+                    - penalty.get(a, 0.0))
 
         fitting = [a for a in arrays
                    if load[a] + cluster.footprint <= capacity[a]
@@ -215,6 +225,7 @@ def assign_arrays(dag: DataFlowGraph, target: TargetSpec,
                                  exclude=options.exclude_arrays)
     arrays = sorted(capacity)
     scale = max(1, sum(capacity.values()) // max(1, len(arrays)))
+    penalty = options.penalty_of()
     bridge = _bridge_cycles(target)
     preassigned = (_assign_clusters(dag, clusters, options, capacity,
                                     target.cols)
@@ -235,7 +246,8 @@ def assign_arrays(dag: DataFlowGraph, target: TargetSpec,
                 resident = sum(1 for oid in operands
                                if a in sites.get(oid, ()))
                 return (options.affinity_weight * resident
-                        - options.balance_weight * load[a] / scale)
+                        - options.balance_weight * load[a] / scale
+                        - penalty.get(a, 0.0))
 
             need = {a: 1 + sum(1 for oid in operands
                                if a not in sites.get(oid, ()))

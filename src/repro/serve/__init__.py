@@ -13,9 +13,14 @@ back to the CPU.  This package is that runtime for the Sherlock compiler:
   rolling-window failure-rate estimation against the technology baseline,
   the HEALTHY/DEGRADED/QUARANTINED state machine with probation recovery,
   and the fault-density bridge to multi-array exclusions;
+* :mod:`repro.serve.scrub` — the patrol scrubber: deterministic budgeted
+  march-test sweeps that find *latent* faults (the ones input preloads
+  hit silently) before live traffic does;
 * :mod:`repro.serve.service` — the job queue + compile-worker pool with
-  admission control, per-job deadlines, retries, the remap rung run
-  inside the service loop, and the health registry's adaptive responses;
+  admission control (pluggable shed policies), per-job deadlines,
+  retries, the remap rung run inside the service loop, health-aware
+  placement, voted redundant execution, and the health registry's
+  adaptive responses;
 * :mod:`repro.serve.server` — request parsing, the batch request-file
   runner, and the line-delimited-JSON TCP server behind ``sherlock serve``.
 """
@@ -28,7 +33,9 @@ from repro.serve.health import (
     HealthRegistry,
     assess_fault_map,
     subarray_exclusions,
+    subarray_penalties,
 )
+from repro.serve.scrub import PatrolScrubber, ScrubPolicy, ScrubReport
 from repro.serve.server import (
     handle_request_file,
     parse_request,
@@ -36,6 +43,8 @@ from repro.serve.server import (
     serve_tcp,
 )
 from repro.serve.service import (
+    VALID_PLACEMENTS,
+    VALID_SHED_POLICIES,
     CompileService,
     ServeRequest,
     ServeResult,
@@ -51,13 +60,19 @@ __all__ = [
     "CompileService",
     "HealthPolicy",
     "HealthRegistry",
+    "PatrolScrubber",
+    "ScrubPolicy",
+    "ScrubReport",
     "ServeRequest",
     "ServeResult",
     "ServiceStats",
+    "VALID_PLACEMENTS",
+    "VALID_SHED_POLICIES",
     "assess_fault_map",
     "handle_request_file",
     "parse_request",
     "result_to_dict",
     "serve_tcp",
     "subarray_exclusions",
+    "subarray_penalties",
 ]

@@ -48,6 +48,7 @@ __all__ = [
     "HealthRegistry",
     "assess_fault_map",
     "subarray_exclusions",
+    "subarray_penalties",
 ]
 
 #: state transitions kept for the stats surface (a bounded ring so a
@@ -129,7 +130,8 @@ class _ArrayRecord:
 
     __slots__ = ("state", "ewma", "window", "samples", "probes",
                  "clean_probes", "quarantined_at", "hard_faults",
-                 "faults_discovered", "retries", "transitions")
+                 "faults_discovered", "retries", "transitions",
+                 "scrub_probes", "scrub_faults", "vote_disagreements")
 
     def __init__(self) -> None:
         self.state = ArrayHealth.HEALTHY
@@ -143,6 +145,9 @@ class _ArrayRecord:
         self.faults_discovered = 0
         self.retries = 0
         self.transitions = 0
+        self.scrub_probes = 0
+        self.scrub_faults = 0
+        self.vote_disagreements = 0
 
 
 class HealthRegistry:
@@ -170,6 +175,7 @@ class HealthRegistry:
         self.quarantined_total = 0
         self.recovered_total = 0
         self.breaker_trips = 0
+        self.vote_disagreements_total = 0
 
     # ------------------------------------------------------------------
     # telemetry in
@@ -198,21 +204,61 @@ class HealthRegistry:
         fired: tuple | None = None
         with self._lock:
             rec = self._records.setdefault(array_id, _ArrayRecord())
-            rec.samples += 1
             rec.retries += write_retries_used
             rec.faults_discovered += discovered_faults
             if hard_fault:
                 rec.hard_faults += 1
-            if rec.state is ArrayHealth.QUARANTINED:
-                fired = self._probe(array_id, rec, rate)
-            else:
-                rec.ewma = (rate if rec.ewma is None else
-                            (1.0 - self.policy.ewma_alpha) * rec.ewma
-                            + self.policy.ewma_alpha * rate)
-                rec.window.append(rate)
-                if len(rec.window) > self.policy.window:
-                    del rec.window[:len(rec.window) - self.policy.window]
-                fired = self._step(array_id, rec)
+            fired = self._fold(array_id, rec, rate)
+            state = rec.state
+        self._fire(fired)
+        return state
+
+    def record_scrub(self, array_id: int, *, cells_probed: int,
+                     latent_faults: int = 0,
+                     weight: float = 16.0) -> ArrayHealth:
+        """Fold one patrol-scrub slice into the array's estimate.
+
+        A scrub probes idle cells, so its discoveries are *weighted*
+        (``weight`` x, default 16): one latent stuck-at found among
+        hundreds of clean cells still says more about the array's decay
+        than the same ratio of soft write retries would — latent faults
+        corrupt results silently until found.  The sample rate is
+        ``min(1, weight * latent_faults / cells_probed)``; a clean slice
+        is a rate-0 sample (scrubbing actively *recovers* a DEGRADED
+        array whose faults have been placed around).  Scrub samples on a
+        QUARANTINED array update counters only — probation probes must be
+        real serve-path successes, not background sweeps.
+        """
+        if cells_probed < 0 or latent_faults < 0 or weight < 0.0:
+            raise ServeError("scrub sample counts must be non-negative")
+        rate = min(1.0, weight * latent_faults / max(1, cells_probed))
+        fired: tuple | None = None
+        with self._lock:
+            rec = self._records.setdefault(array_id, _ArrayRecord())
+            rec.scrub_probes += cells_probed
+            rec.scrub_faults += latent_faults
+            rec.faults_discovered += latent_faults
+            if rec.state is not ArrayHealth.QUARANTINED:
+                fired = self._fold(array_id, rec, rate)
+            state = rec.state
+        self._fire(fired)
+        return state
+
+    def record_vote_disagreement(self, array_id: int) -> ArrayHealth:
+        """Fold one voted-execution disagreement as a rate-1.0 sample.
+
+        An array outvoted by the rest of the fleet returned a wrong
+        answer that every per-cell mitigation missed — the highest-weight
+        failure evidence the serve loop can produce, so it counts like a
+        hard fault (and, on a quarantined array, as a dirty probation
+        probe).
+        """
+        fired: tuple | None = None
+        with self._lock:
+            rec = self._records.setdefault(array_id, _ArrayRecord())
+            rec.vote_disagreements += 1
+            self.vote_disagreements_total += 1
+            fired = self._fold(array_id, rec, 1.0)
             state = rec.state
         self._fire(fired)
         return state
@@ -225,6 +271,25 @@ class HealthRegistry:
     # ------------------------------------------------------------------
     # the state machine
     # ------------------------------------------------------------------
+    def _fold(self, array_id: int, rec: _ArrayRecord,
+              rate: float) -> tuple | None:
+        """Fold one rate sample under the lock: estimators + one step.
+
+        Quarantined arrays route the sample to the probation logic
+        instead of the estimators (their pre-quarantine estimate is
+        frozen until probation resets it).
+        """
+        rec.samples += 1
+        if rec.state is ArrayHealth.QUARANTINED:
+            return self._probe(array_id, rec, rate)
+        rec.ewma = (rate if rec.ewma is None else
+                    (1.0 - self.policy.ewma_alpha) * rec.ewma
+                    + self.policy.ewma_alpha * rate)
+        rec.window.append(rate)
+        if len(rec.window) > self.policy.window:
+            del rec.window[:len(rec.window) - self.policy.window]
+        return self._step(array_id, rec)
+
     def _step(self, array_id: int, rec: _ArrayRecord) -> tuple | None:
         """One ladder step (at most) for a non-quarantined array."""
         if rec.samples < self.policy.min_samples or rec.ewma is None:
@@ -324,6 +389,11 @@ class HealthRegistry:
             return (self._clock() - rec.quarantined_at
                     >= self.policy.probation_period_s)
 
+    def tracked(self) -> tuple[int, ...]:
+        """Sorted ids of every array the registry has seen a sample for."""
+        with self._lock:
+            return tuple(sorted(self._records))
+
     def census(self) -> tuple[int, int]:
         """``(quarantined, tracked)`` fleet counts (sampled arrays only)."""
         with self._lock:
@@ -369,6 +439,9 @@ class HealthRegistry:
                     "faults_discovered": rec.faults_discovered,
                     "hard_faults": rec.hard_faults,
                     "transitions": rec.transitions,
+                    "scrub_probes": rec.scrub_probes,
+                    "scrub_faults": rec.scrub_faults,
+                    "vote_disagreements": rec.vote_disagreements,
                 }
             return {
                 "baseline": self.baseline,
@@ -376,6 +449,7 @@ class HealthRegistry:
                 "quarantined": self.quarantined_total,
                 "recovered": self.recovered_total,
                 "breaker_trips": self.breaker_trips,
+                "vote_disagreements": self.vote_disagreements_total,
                 "arrays": arrays,
                 "transitions": list(self._transitions),
             }
@@ -418,6 +492,29 @@ def subarray_exclusions(fault_map, target, *,
         keep = min(over, key=lambda a: (counts[a], a))
         over = [a for a in over if a != keep]
     return tuple(over)
+
+
+def subarray_penalties(fault_map, target, *,
+                       degrade_fraction: float = 0.05,
+                       quarantine_fraction: float = 0.25,
+                       penalty: float = 4.0) -> tuple[tuple[int, float], ...]:
+    """DEGRADED sub-arrays of ``target`` as assignment-cost penalties.
+
+    The soft companion of :func:`subarray_exclusions`: sub-arrays whose
+    known-fault density sits in the DEGRADED band (between
+    ``degrade_fraction`` and ``quarantine_fraction``) each get ``penalty``
+    subtracted from their multi-array assignment score — steering new
+    placements toward healthier arrays without forbidding anything.
+    Returns sorted ``(array, penalty)`` pairs ready for
+    ``CompilerConfig.array_penalties``.
+    """
+    if penalty < 0.0:
+        raise ServeError(f"penalty must be >= 0, got {penalty}")
+    assessment = assess_fault_map(fault_map, target,
+                                  degrade_fraction=degrade_fraction,
+                                  quarantine_fraction=quarantine_fraction)
+    return tuple((array, penalty) for array in sorted(assessment)
+                 if assessment[array]["state"] is ArrayHealth.DEGRADED)
 
 
 def assess_fault_map(fault_map, target, *,

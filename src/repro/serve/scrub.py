@@ -1,0 +1,253 @@
+"""Patrol scrubbing: find latent faults before a user's request does.
+
+The serve loop's existing defenses are all *reactive*: verify-after-write
+catches a stuck cell only when live traffic writes to it, and input
+preloads bounce off faulty cells silently (no read-back at all), so a
+stuck-at on an operand cell corrupts answers without producing a single
+failure sample.  A :class:`PatrolScrubber` closes that blind spot the way
+DRAM/NVM controllers do — a budgeted background sweep that march-tests
+idle cells against the ground-truth ``machine_faults`` model and reports
+what live traffic cannot see.
+
+Determinism is a design requirement, not a nicety: each fleet member's
+probe order is a seeded shuffle of its full cell space, fixed at first
+sweep, and every scrub consumes the next ``budget`` cells round-robin
+across the fleet.  Same seed + same budget sequence ⇒ the identical probe
+sequence and the identical discoveries, which is what lets the CI scrub
+gate replay "planted latent fault found before any request fails" exactly.
+
+The scrubber is passive like the health registry: it diagnoses and
+reports via a :class:`ScrubReport`; the *service* merges discoveries into
+its known per-array fault maps (``FaultMap.merge`` — first diagnosis
+wins), feeds :meth:`~repro.serve.health.HealthRegistry.record_scrub`, and
+triggers the proactive-recompile path so new compiles place around the
+freshly known cells.
+
+A model caveat worth knowing when reading reports: a DEAD cell in the
+fault model forces 0 at sense time, exactly like STUCK0, so the march
+element (w0r0, w1r1) classifies it as STUCK0.  That is the *observed*
+behavior — and the only consumer of the discovered kind is placement
+avoidance, which treats every fault kind identically.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+
+from repro.devices.faultmap import CellFault, FaultMap
+from repro.errors import ServeError
+
+__all__ = ["PatrolScrubber", "ScrubPolicy", "ScrubReport", "march_test"]
+
+#: cell address tuple used throughout: (sub_array, row, col)
+_Cell = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class ScrubPolicy:
+    """Budget and cadence of the patrol scrubber."""
+
+    #: cells march-tested per sweep slice (split round-robin over fleet)
+    budget: int = 256
+    #: seeds the per-array probe-order shuffle (determinism anchor)
+    seed: int = 0
+    #: weight of a scrub discovery as a health sample (see
+    #: :meth:`~repro.serve.health.HealthRegistry.record_scrub`)
+    weight: float = 16.0
+    #: auto-scrub after every N completed service requests (0 = manual)
+    every_requests: int = 0
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise ServeError(f"scrub budget must be >= 1, got {self.budget}")
+        if self.weight < 0.0:
+            raise ServeError(f"scrub weight must be >= 0, got {self.weight}")
+        if self.every_requests < 0:
+            raise ServeError(
+                f"every_requests must be >= 0, got {self.every_requests}")
+
+
+@dataclass
+class ScrubReport:
+    """What one scrub pass probed and what it found."""
+
+    #: probe sequence in execution order: (fleet_array, (sub, row, col))
+    probed: list[tuple[int, _Cell]] = field(default_factory=list)
+    #: fleet array -> newly diagnosed faults (absent from the known map)
+    discoveries: dict[int, FaultMap] = field(default_factory=dict)
+    #: fleet array -> cells probed this pass
+    probed_per_array: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def cells_probed(self) -> int:
+        """Total cells march-tested this pass."""
+        return len(self.probed)
+
+    @property
+    def latent_faults_found(self) -> int:
+        """Total newly diagnosed faults this pass."""
+        return sum(len(found) for found in self.discoveries.values())
+
+
+def march_test(ground: FaultMap | None, cell: _Cell,
+               mask: int) -> CellFault | None:
+    """One march element (w0r0, w1r1) on ``cell`` against the fault model.
+
+    Writes the all-zeros then the all-ones lane pattern and checks each
+    read-back: a cell that fails the ones pattern reads back 0s where 1s
+    were written (STUCK0), one that fails the zeros pattern forces 1s
+    (STUCK1), and one that fails both is DEAD.  ``mask`` is the all-ones
+    lane pattern (``(1 << lanes) - 1``).  Returns the *observed* fault
+    kind, or ``None`` for a cell that reads back both patterns faithfully.
+    """
+    if mask <= 0:
+        raise ServeError(f"march mask must be positive, got {mask}")
+    if ground is None:
+        return None
+    fault = ground.fault_at(*cell)
+    if fault is None:
+        return None  # healthy cells echo both patterns
+    forced = fault.forced_value(mask)
+    fails_zeros = forced != 0
+    fails_ones = forced != mask
+    if fails_zeros and fails_ones:
+        return CellFault.DEAD
+    return CellFault.STUCK1 if fails_zeros else CellFault.STUCK0
+
+
+class PatrolScrubber:
+    """Deterministic budgeted march-test sweeps over a served fleet.
+
+    One instance patrols one service's fleet: ``target`` fixes each
+    member's cell space (``num_arrays`` sub-arrays x ``rows`` x ``cols``
+    — full rows, spare rows included, because spares matter most when a
+    remap is about to land on one).  The probe order per fleet member is
+    a ``random.Random(seed * P + array_id)``-shuffled permutation of that
+    space, computed once and then consumed cursor-style: successive
+    scrubs continue where the last stopped and wrap around, so the whole
+    array is eventually covered no matter how small the per-pass budget.
+    ``sweeps`` counts those complete wrap-arounds per member.
+
+    Thread-safe; counters are cumulative across the instance's lifetime.
+    """
+
+    def __init__(self, target, policy: ScrubPolicy | None = None) -> None:
+        self.target = target
+        self.policy = policy or ScrubPolicy()
+        self._lock = threading.Lock()
+        self._orders: dict[int, list[_Cell]] = {}
+        self._cursors: dict[int, int] = {}
+        self._probed: dict[int, int] = {}
+        self._found: dict[int, int] = {}
+        self._sweeps: dict[int, int] = {}
+        self._passes = 0
+
+    # ------------------------------------------------------------------
+    # the sweep
+    # ------------------------------------------------------------------
+    def _order_for(self, fleet_id: int) -> list[_Cell]:
+        """The fleet member's fixed, seeded probe permutation."""
+        order = self._orders.get(fleet_id)
+        if order is None:
+            target = self.target
+            order = [(sub, row, col)
+                     for sub in range(target.num_arrays)
+                     for row in range(target.rows)
+                     for col in range(target.cols)]
+            # integer-mixed seed: deterministic across processes (no
+            # reliance on string hashing) and distinct per fleet member
+            random.Random(self.policy.seed * 1_000_003 + fleet_id
+                          ).shuffle(order)
+            self._orders[fleet_id] = order
+            self._cursors[fleet_id] = 0
+        return order
+
+    def scrub(self, machine_faults: dict[int, FaultMap],
+              known_maps: dict[int, FaultMap] | None = None,
+              budget: int | None = None, *, lanes: int = 1) -> ScrubReport:
+        """March-test the next ``budget`` cells round-robin over the fleet.
+
+        ``machine_faults`` is the ground truth being probed (fleet array
+        id -> :class:`FaultMap`); ``known_maps`` holds what the service
+        already knows — cells already diagnosed there are *skipped* (they
+        cost no budget: patrol time belongs to the unknown).  A fault
+        present in the ground truth but absent from the known map is a
+        **latent fault** and lands in the report's ``discoveries``.
+
+        The per-pass ``budget`` (default: the policy's) is divided
+        round-robin across ``sorted(machine_faults)`` so no fleet member
+        starves.  Returns the :class:`ScrubReport`; merging discoveries
+        into the known maps is the caller's job (the service does it under
+        its own lock).
+        """
+        spend = self.policy.budget if budget is None else budget
+        if spend < 1:
+            raise ServeError(f"scrub budget must be >= 1, got {spend}")
+        mask = (1 << max(1, lanes)) - 1
+        report = ScrubReport()
+        fleet = sorted(machine_faults)
+        if not fleet:
+            return report
+        known_maps = known_maps or {}
+        with self._lock:
+            self._passes += 1
+            share, extra = divmod(spend, len(fleet))
+            for index, fleet_id in enumerate(fleet):
+                slice_budget = share + (1 if index < extra else 0)
+                if slice_budget == 0:
+                    continue
+                self._march_slice(fleet_id, machine_faults[fleet_id],
+                                  known_maps.get(fleet_id), slice_budget,
+                                  mask, report)
+        return report
+
+    def _march_slice(self, fleet_id: int, ground: FaultMap,
+                     known: FaultMap | None, budget: int, mask: int,
+                     report: ScrubReport) -> None:
+        """Consume ``budget`` unknown cells of one member's probe order."""
+        order = self._order_for(fleet_id)
+        cursor = self._cursors[fleet_id]
+        probed = 0
+        # bound the walk to one full revolution so a fully-diagnosed
+        # array cannot spin the cursor forever
+        for _ in range(len(order)):
+            if probed >= budget:
+                break
+            cell = order[cursor]
+            cursor += 1
+            if cursor >= len(order):
+                cursor = 0
+                self._sweeps[fleet_id] = self._sweeps.get(fleet_id, 0) + 1
+            if known is not None and known.fault_at(*cell) is not None:
+                continue  # already diagnosed: free to skip
+            probed += 1
+            report.probed.append((fleet_id, cell))
+            observed = march_test(ground, cell, mask)
+            if observed is not None:
+                found = report.discoveries.setdefault(fleet_id, FaultMap())
+                found.set_fault(*cell, observed)
+        self._cursors[fleet_id] = cursor
+        self._probed[fleet_id] = self._probed.get(fleet_id, 0) + probed
+        found_here = len(report.discoveries.get(fleet_id, ()))
+        self._found[fleet_id] = self._found.get(fleet_id, 0) + found_here
+        report.probed_per_array[fleet_id] = probed
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The JSON-compatible ``scrub`` section of the service stats."""
+        with self._lock:
+            arrays = {a: {"cells_probed": self._probed.get(a, 0),
+                          "latent_faults_found": self._found.get(a, 0),
+                          "sweeps": self._sweeps.get(a, 0)}
+                      for a in sorted(self._probed)}
+            return {
+                "passes": self._passes,
+                "cells_probed": sum(self._probed.values()),
+                "latent_faults_found": sum(self._found.values()),
+                "sweeps": sum(self._sweeps.values()),
+                "arrays": arrays,
+            }

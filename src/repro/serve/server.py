@@ -90,7 +90,9 @@ def parse_request(obj: dict, default_lanes: int = 16) -> ServeRequest:
 
     ``"input_sets": [{...}, ...]`` makes a batch request (one compile,
     many executions; see :attr:`ServeRequest.input_sets`); ``"engine"``
-    picks the execution backend for the CIM path.
+    picks the execution backend for the CIM path; ``"redundancy": K``
+    requests voted redundant execution on ``K`` arrays (per input set for
+    batch requests).
     """
     if not isinstance(obj, dict):
         raise ServeError(f"request must be a JSON object, got {type(obj).__name__}")
@@ -109,13 +111,17 @@ def parse_request(obj: dict, default_lanes: int = 16) -> ServeRequest:
         input_sets = [_checked_inputs(entry, dag, lanes, rng)
                       for entry in raw_sets]
     deadline = obj.get("deadline_s")
+    redundancy = int(obj.get("redundancy", 1))
+    if redundancy < 1:
+        raise ServeError(f"redundancy must be >= 1, got {redundancy}")
     return ServeRequest(
         dag=dag, inputs=inputs, lanes=lanes,
         request_id=str(obj.get("id", "")),
         array_id=int(obj.get("array_id", 0)),
         deadline_s=float(deadline) if deadline is not None else None,
         input_sets=input_sets,
-        engine=str(obj.get("engine", "auto")))
+        engine=str(obj.get("engine", "auto")),
+        redundancy=redundancy)
 
 
 def parse_request_lines(text: str, default_lanes: int = 16,

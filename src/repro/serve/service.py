@@ -30,6 +30,29 @@ retried with :func:`repro.util.retry.retry_call` under a bounded
 exponential-backoff policy; fatal compiler errors are not retried.  Every
 stage is timed, and :meth:`CompileService.stats` exposes the counters and
 per-stage latency percentiles behind ``sherlock serve --stats``.
+
+On top of the per-request pipeline sits the **active-integrity layer**:
+
+* ``placement="health"`` steers each request to the cheapest healthy
+  fleet member instead of its sticky ``array_id`` (DEGRADED arrays carry
+  a ``placement_penalty``, QUARANTINED arrays are skipped entirely until
+  probation readmits them) — and ``schedule="multi"`` compiles
+  additionally penalize DEGRADED *sub-arrays* through
+  ``CompilerConfig.array_penalties``;
+* ``ServeRequest(redundancy=K)`` executes on ``K`` arrays, majority-votes
+  the outputs per lane (a CPU referee joins when the fleet is thin or the
+  panel would be even, and breaks exact ties), answers with the voted
+  result, and reports out-voted arrays to the health registry as
+  top-weight failure samples;
+* a :class:`~repro.serve.scrub.PatrolScrubber` march-tests idle cells in
+  the background (:meth:`CompileService.scrub`, or automatically every
+  ``ScrubPolicy.every_requests`` completed jobs) so latent faults — the
+  ones input preloads hit *silently* — are discovered, merged into the
+  known per-array maps, and placed around before a user's answer is
+  corrupted;
+* ``shed_policy`` picks who loses under overload: ``"reject"`` the
+  newcomer (the historical behavior), ``"oldest"`` the head of the queue,
+  or ``"deadline"`` the queued job with the least slack left.
 """
 
 from __future__ import annotations
@@ -39,7 +62,7 @@ import queue
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.compiler import SherlockCompiler
 from repro.core.config import CompilerConfig
@@ -61,7 +84,9 @@ from repro.serve.health import (
     HealthPolicy,
     HealthRegistry,
     subarray_exclusions,
+    subarray_penalties,
 )
+from repro.serve.scrub import PatrolScrubber, ScrubPolicy, ScrubReport
 from repro.sim.cpu import CpuSpec, dag_events, run_model
 from repro.sim.executor import ArrayMachine, extract_outputs, preload_sources
 from repro.sim.vectorized import validate_engine
@@ -72,7 +97,14 @@ __all__ = [
     "ServeRequest",
     "ServeResult",
     "ServiceStats",
+    "VALID_PLACEMENTS",
+    "VALID_SHED_POLICIES",
 ]
+
+#: admission-control policies for a full queue (see ``shed_policy``)
+VALID_SHED_POLICIES = ("reject", "oldest", "deadline")
+#: compile-targeting policies (see ``placement``)
+VALID_PLACEMENTS = ("sticky", "health")
 
 
 @dataclass
@@ -96,6 +128,10 @@ class ServeRequest:
     #: "vectorized"); batch requests resolve "auto" to the vectorized
     #: op-table
     engine: str = "auto"
+    #: voted redundant execution: run on this many arrays and answer with
+    #: the per-lane majority (1 = plain single-array execution; a CPU
+    #: referee joins thin fleets and breaks even-panel ties)
+    redundancy: int = 1
 
 
 @dataclass
@@ -126,6 +162,49 @@ class ServeResult:
     #: modeled CPU-baseline latency for the same work (priced per request)
     cpu_latency_us: float | None = None
     array_id: int = 0
+    #: the array health-aware placement actually compiled/executed on
+    #: (== ``array_id`` under sticky placement; None for CPU-only answers)
+    placed_array: int | None = None
+    #: whether the outputs are a redundancy-K majority vote
+    voted: bool = False
+    #: the voting panel: fleet array ids plus "cpu" for the referee
+    voters: tuple = ()
+    #: arrays whose ballot the majority out-voted (reported to health)
+    disagreeing: tuple = ()
+    #: whether admission control evicted this request under overload
+    shed: bool = False
+
+
+def _majority_value(values: list[int], lanes: int,
+                    tiebreak: int | None = None) -> int:
+    """Per-lane majority of lane-bitmask ballots.
+
+    A lane bit is set in the result when a strict majority of ``values``
+    set it.  With an even panel, bits split exactly in half are resolved
+    by ``tiebreak`` (the CPU referee's ballot) — the panel construction
+    guarantees a referee is present whenever a tie is possible.
+    """
+    n = len(values)
+    need = n // 2 + 1
+    out = 0
+    for bit in range(lanes):
+        mask = 1 << bit
+        ones = sum(1 for value in values if value & mask)
+        if ones >= need:
+            out |= mask
+        elif tiebreak is not None and 2 * ones == n and tiebreak & mask:
+            out |= mask
+    return out
+
+
+def _majority_outputs(ballots: list[dict[str, int]], lanes: int,
+                      tiebreak: dict[str, int] | None = None
+                      ) -> dict[str, int]:
+    """Majority-vote every output of a ballot panel (see above)."""
+    return {name: _majority_value(
+        [ballot[name] for ballot in ballots], lanes,
+        None if tiebreak is None else tiebreak[name])
+        for name in ballots[0]}
 
 
 def _percentile(values: list[float], q: float) -> float:
@@ -162,6 +241,10 @@ class ServiceStats:
         self.cim_failures = 0
         self.errors = 0
         self.queue_high_water = 0
+        self.votes = 0
+        self.vote_disagreements = 0
+        self.placement_shifts = 0
+        self.placements: dict[int, int] = {}
         self._compile_s: list[float] = []
         self._execute_s: list[float] = []
         self._total_s: list[float] = []
@@ -191,6 +274,19 @@ class ServiceStats:
         """Record one background health-triggered artifact recompile."""
         with self._lock:
             self.proactive_recompiles += 1
+
+    def note_vote(self, disagreements: int) -> None:
+        """Record one voted execution and its out-voted minority size."""
+        with self._lock:
+            self.votes += 1
+            self.vote_disagreements += disagreements
+
+    def note_placement(self, array_id: int, shifted: bool) -> None:
+        """Record where one request was placed (and whether it moved)."""
+        with self._lock:
+            self.placements[array_id] = self.placements.get(array_id, 0) + 1
+            if shifted:
+                self.placement_shifts += 1
 
     def note_result(self, result: ServeResult) -> None:
         """Fold one finished request into the counters and windows."""
@@ -240,6 +336,11 @@ class ServiceStats:
                 "cim_failures": self.cim_failures,
                 "errors": self.errors,
                 "queue_high_water": self.queue_high_water,
+                "votes": self.votes,
+                "vote_disagreements": self.vote_disagreements,
+                "placement_shifts": self.placement_shifts,
+                "placements": {a: self.placements[a]
+                               for a in sorted(self.placements)},
             }
             for stage, window in (("compile", self._compile_s),
                                   ("execute", self._execute_s),
@@ -303,7 +404,20 @@ class CompileService:
     offload, a degrading array's cached artifacts are proactively
     recompiled in the background against its current fault map, and
     ``schedule="multi"`` compiles exclude fault-saturated sub-arrays via
-    ``CompilerConfig.exclude_arrays``.
+    ``CompilerConfig.exclude_arrays`` (and penalize DEGRADED-density ones
+    via ``CompilerConfig.array_penalties``).
+
+    The active-integrity knobs: ``shed_policy`` picks the overload victim
+    (``"reject"`` the newcomer, ``"oldest"`` the queue head,
+    ``"deadline"`` the queued job with the least slack — evicted jobs
+    complete with a ``shed`` error result); ``placement="health"`` routes
+    each request to the cheapest healthy fleet member
+    (``placement_penalty`` is the DEGRADED surcharge) instead of its
+    sticky ``array_id``; ``scrub`` configures the
+    :class:`~repro.serve.scrub.PatrolScrubber` — :meth:`scrub` runs a
+    budgeted march-test sweep on demand, and a nonzero
+    ``ScrubPolicy.every_requests`` makes the worker pool run one
+    automatically that often.
     """
 
     def __init__(self, target, config: CompilerConfig | None = None, *,
@@ -321,6 +435,10 @@ class CompileService:
                  verify_writes: bool = True,
                  health: HealthRegistry | None = None,
                  health_policy: HealthPolicy | None = None,
+                 shed_policy: str = "reject",
+                 placement: str = "sticky",
+                 placement_penalty: float = 4.0,
+                 scrub: ScrubPolicy | None = None,
                  chaos=None,
                  clock=time.monotonic,
                  sleep=time.sleep) -> None:
@@ -328,6 +446,15 @@ class CompileService:
             raise ServeError(f"worker count must be >= 1, got {workers}")
         if queue_limit < 1:
             raise ServeError(f"queue limit must be >= 1, got {queue_limit}")
+        if shed_policy not in VALID_SHED_POLICIES:
+            raise ServeError(f"unknown shed policy {shed_policy!r}; "
+                             f"choose from {VALID_SHED_POLICIES}")
+        if placement not in VALID_PLACEMENTS:
+            raise ServeError(f"unknown placement {placement!r}; "
+                             f"choose from {VALID_PLACEMENTS}")
+        if placement_penalty < 0.0:
+            raise ServeError(
+                f"placement_penalty must be >= 0, got {placement_penalty}")
         self.target = target
         self.config = config or CompilerConfig()
         self.cache = cache
@@ -336,10 +463,15 @@ class CompileService:
         self.breaker = breaker or CircuitBreaker(clock=clock)
         self.cpu_spec = cpu_spec or CpuSpec()
         self.min_healthy_fraction = min_healthy_fraction
+        self.shed_policy = shed_policy
+        self.placement = placement
+        self.placement_penalty = placement_penalty
         self.stats_counters = ServiceStats()
         self.health = health or HealthRegistry(
             target.technology, health_policy, clock=clock,
             on_transition=self._on_health_transition)
+        self.scrubber = PatrolScrubber(target, scrub)
+        self._since_scrub = 0
         self._fault_maps = dict(fault_maps or {})
         self._machine_faults = dict(machine_faults or {})
         self._spare_cells = spare_cells
@@ -400,19 +532,25 @@ class CompileService:
         if request.input_sets is not None and not request.input_sets:
             raise ServeError(
                 f"batch request {request.request_id!r} has no input sets")
+        if request.redundancy < 1:
+            raise ServeError(
+                f"redundancy must be >= 1, got {request.redundancy}")
         if request.deadline_s is None and self.deadline_s is not None:
             request.deadline_s = self.deadline_s
         job = _Job(request, self._clock())
         try:
             self._queue.put_nowait(job)
         except queue.Full:
-            self.stats_counters.note_shed()
-            depth = self._queue.qsize()
-            raise ServiceOverloadError(
-                f"service queue is full ({depth}/{self._queue_limit}); "
-                f"request {request.request_id!r} shed",
-                queue_depth=depth, queue_limit=self._queue_limit,
-                retry_after_s=self._retry_after_hint()) from None
+            if not self._shed_and_admit(job):
+                self.stats_counters.note_shed()
+                depth = self._queue.qsize()
+                raise ServiceOverloadError(
+                    f"service queue is full ({depth}/{self._queue_limit}); "
+                    f"request {request.request_id!r} shed "
+                    f"(policy {self.shed_policy})",
+                    queue_depth=depth, queue_limit=self._queue_limit,
+                    retry_after_s=self._retry_after_hint(),
+                    shed_policy=self.shed_policy) from None
         self.stats_counters.note_enqueue(self._queue.qsize())
         return job
 
@@ -442,6 +580,87 @@ class CompileService:
         return max(0.005, typical * max(1, depth) / max(1, len(self._workers)))
 
     # ------------------------------------------------------------------
+    # load shedding
+    # ------------------------------------------------------------------
+    def _shed_and_admit(self, job: _Job) -> bool:
+        """Evict one queued victim per ``shed_policy`` and admit ``job``.
+
+        Returns ``False`` (caller rejects the newcomer) under the
+        ``"reject"`` policy, when no eligible victim is queued, or when a
+        racing submitter refilled the freed slot.  An evicted victim's
+        job completes immediately with a ``shed`` error result — its
+        submitter already holds the job handle, so an exception can no
+        longer reach it.
+        """
+        if self.shed_policy == "reject":
+            return False
+        with self._lock:
+            evicted = self._pop_victims(job)
+        for victim in evicted:
+            victim.result = ServeResult(
+                request_id=victim.request.request_id, outputs=None,
+                engine="cpu", shed=True,
+                error=(f"shed by admission control "
+                       f"(policy {self.shed_policy}, queue "
+                       f"{self._queue.qsize()}/{self._queue_limit})"),
+                array_id=victim.request.array_id)
+            self.stats_counters.note_shed()
+            self.stats_counters.note_result(victim.result)
+            victim.event.set()
+        if not evicted:
+            return False
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            return False
+        return True
+
+    def _pop_victims(self, newcomer: _Job) -> list[_Job]:
+        """Pick and remove the queued job(s) the policy sacrifices.
+
+        ``"oldest"`` pops the queue head.  ``"deadline"`` drains the
+        queue, evicts the job with the least deadline slack (falling back
+        to rejecting the newcomer when nothing queued carries a
+        deadline), and requeues the survivors in order.  Runs under the
+        service lock, but the plain ``submit`` fast path does not take
+        it — a racing submitter can steal a freed slot mid-requeue, in
+        which case the displaced survivor is shed too rather than lost.
+        """
+        if self.shed_policy == "oldest":
+            try:
+                victim = self._queue.get_nowait()
+            except queue.Empty:
+                return []
+            self._queue.task_done()
+            return [victim]
+        # deadline: least slack loses
+        drained: list[_Job] = []
+        while True:
+            try:
+                drained.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        now = self._clock()
+        best: tuple[float, _Job] | None = None
+        for queued in drained:
+            if queued.request.deadline_s is None:
+                continue
+            slack = queued.request.deadline_s - (now - queued.enqueued_at)
+            if best is None or slack < best[0]:
+                best = (slack, queued)
+        chosen = best[1] if best is not None else None
+        evicted = [] if chosen is None else [chosen]
+        for queued in drained:
+            self._queue.task_done()
+            if queued is chosen:
+                continue
+            try:
+                self._queue.put_nowait(queued)
+            except queue.Full:
+                evicted.append(queued)
+        return evicted
+
+    # ------------------------------------------------------------------
     # the worker pool
     # ------------------------------------------------------------------
     def _worker_loop(self) -> None:
@@ -461,6 +680,7 @@ class CompileService:
                 self.stats_counters.note_result(job.result)
                 job.event.set()
                 self._queue.task_done()
+            self._maybe_autoscrub()
 
     def _check_deadline(self, job: _Job) -> None:
         deadline = job.request.deadline_s
@@ -476,16 +696,75 @@ class CompileService:
         if self._chaos is not None:
             self._chaos(stage, request)
 
+    # ------------------------------------------------------------------
+    # patrol scrubbing
+    # ------------------------------------------------------------------
+    def scrub(self, budget: int | None = None) -> ScrubReport:
+        """Run one patrol pass: march-test, merge, report, recompile.
+
+        March-tests the next ``budget`` idle cells (default: the scrub
+        policy's) of every fleet member with a ground-truth map,
+        round-robin.  Discovered latent faults merge into the array's
+        *known* map (``FaultMap.merge`` — first diagnosis wins), shifting
+        its compile cache key so the next request recompiles around them;
+        every probed array feeds a weighted
+        :meth:`~repro.serve.health.HealthRegistry.record_scrub` sample
+        (clean slices actively recover DEGRADED arrays); discoveries also
+        trigger the proactive background recompile of recently served
+        dags.  Returns the pass's :class:`~repro.serve.scrub.ScrubReport`.
+        """
+        with self._lock:
+            grounds = dict(self._machine_faults)
+            knowns = {a: m.copy() for a, m in self._fault_maps.items()}
+        report = self.scrubber.scrub(grounds, knowns, budget)
+        for fleet_id in sorted(grounds):
+            probed = report.probed_per_array.get(fleet_id, 0)
+            found = report.discoveries.get(fleet_id)
+            if probed == 0 and not found:
+                continue
+            added = 0
+            if found:
+                with self._lock:
+                    known = self._fault_maps.setdefault(fleet_id, FaultMap())
+                    added = known.merge(found)
+            self.health.record_scrub(
+                fleet_id, cells_probed=probed,
+                latent_faults=len(found) if found else 0,
+                weight=self.scrubber.policy.weight)
+            if added:
+                self._spawn_recompile(fleet_id)
+        return report
+
+    def _maybe_autoscrub(self) -> None:
+        """Run the cadence scrub after every ``every_requests`` jobs."""
+        every = self.scrubber.policy.every_requests
+        if every <= 0:
+            return
+        with self._lock:
+            self._since_scrub += 1
+            due = self._since_scrub >= every
+            if due:
+                self._since_scrub = 0
+        if due:
+            try:
+                self.scrub()
+            except ServeError:
+                pass  # patrol is best-effort; the request path has its own
+
     def _process(self, job: _Job) -> ServeResult:
         request = job.request
         started = self._clock()
-        offload_reason = self._offload_reason(request)
+        placed = self._place(request)
+        self.stats_counters.note_placement(placed,
+                                           placed != request.array_id)
+        offload_reason = self._offload_reason(request, placed)
         result = ServeResult(request_id=request.request_id, outputs=None,
-                             array_id=request.array_id)
+                             array_id=request.array_id, placed_array=placed)
         if offload_reason is None:
             try:
-                (program, cached, outputs, remapped,
-                 result.compile_s, result.execute_s) = self._serve_cim(job)
+                (program, cached, outputs, remapped, vote,
+                 result.compile_s, result.execute_s) = self._serve_cim(
+                     job, placed)
             except SherlockError as error:
                 self.stats_counters.note_cim_failure()
                 if isinstance(error, DeadlineExceededError):
@@ -504,7 +783,11 @@ class CompileService:
                 result.remapped = remapped
                 result.degradation = program.degradation
                 result.cim_latency_us = program.metrics.latency_us
+                if vote is not None:
+                    result.voted = True
+                    result.voters, result.disagreeing = vote
         if offload_reason is not None:
+            result.placed_array = None
             t0 = self._clock()
             result.engine = "cpu"
             result.offload_reason = offload_reason
@@ -520,28 +803,31 @@ class CompileService:
         result.total_s = self._clock() - started
         return result
 
-    def _offload_reason(self, request: ServeRequest) -> str | None:
+    def _offload_reason(self, request: ServeRequest,
+                        array_id: int) -> str | None:
         """Why this request must go to the CPU baseline (None = CIM ok).
 
-        Checked in escalation order: the array's static healthy capacity,
-        its dynamic quarantine state (probation probes pass through — they
-        are how a quarantined array earns its way back), the fleet-wide
-        census (mostly-quarantined fleet => trip the breaker, serve from
-        CPU), and finally the breaker itself.
+        ``array_id`` is the placement decision (== the request's array
+        under sticky placement).  Checked in escalation order: the
+        array's static healthy capacity, its dynamic quarantine state
+        (probation probes pass through — they are how a quarantined array
+        earns its way back), the fleet-wide census (mostly-quarantined
+        fleet => trip the breaker, serve from CPU), and finally the
+        breaker itself.
         """
-        healthy = self._healthy_fraction(request.array_id)
+        healthy = self._healthy_fraction(array_id)
         if healthy < self.min_healthy_fraction:
             self.breaker.force_open()
             self._sync_breaker_trips()
-            return (f"degraded-capacity: array {request.array_id} has only "
+            return (f"degraded-capacity: array {array_id} has only "
                     f"{healthy:.1%} healthy cells")
-        if not self.health.allow(request.array_id):
-            return (f"quarantined: array {request.array_id} is quarantined "
+        if not self.health.allow(array_id):
+            return (f"quarantined: array {array_id} is quarantined "
                     f"(probation pending)")
         quarantined, tracked = self.health.census()
         if (tracked and (tracked - quarantined) / tracked
                 < self.min_healthy_fraction
-                and self.health.state_of(request.array_id)
+                and self.health.state_of(array_id)
                 is not ArrayHealth.QUARANTINED):
             self.breaker.force_open()
             self._sync_breaker_trips()
@@ -550,6 +836,57 @@ class CompileService:
         if not self.breaker.allow():
             return "breaker-open"
         return None
+
+    # ------------------------------------------------------------------
+    # health-aware placement
+    # ------------------------------------------------------------------
+    def _fleet_arrays(self) -> list[int]:
+        """Every fleet member the service knows about, sorted."""
+        with self._lock:
+            known = set(self._fault_maps) | set(self._machine_faults)
+        return sorted(known | set(self.health.tracked()))
+
+    def _placement_cost(self, array_id: int) -> float:
+        """The placement score of one candidate (lower is better).
+
+        Known-fault density is the base cost, a DEGRADED verdict adds the
+        configured ``placement_penalty``, and QUARANTINED is infinitely
+        expensive (probation re-admission goes through the offload gate,
+        not through placement).
+        """
+        state = self.health.state_of(array_id)
+        if state is ArrayHealth.QUARANTINED:
+            return math.inf
+        with self._lock:
+            faults = len(self._fault_maps.get(array_id) or ())
+        total = max(1, self.target.num_arrays * self.target.rows
+                    * self.target.cols)
+        cost = faults / total
+        if state is ArrayHealth.DEGRADED:
+            cost += self.placement_penalty
+        return cost
+
+    def _place(self, request: ServeRequest) -> int:
+        """Choose the fleet member this request compiles/executes on.
+
+        Sticky placement honors the request's ``array_id``.  Health-aware
+        placement picks the cheapest candidate, preferring the requested
+        array on ties — and always returns the requested array when it is
+        QUARANTINED, so probation probes keep hitting the array that must
+        earn its way back.
+        """
+        requested = request.array_id
+        if self.placement != "health":
+            return requested
+        if self.health.state_of(requested) is ArrayHealth.QUARANTINED:
+            return requested
+        candidates = sorted(set(self._fleet_arrays()) | {requested})
+        best = min(candidates,
+                   key=lambda a: (self._placement_cost(a),
+                                  a != requested, a))
+        if math.isinf(self._placement_cost(best)):
+            return requested
+        return best
 
     def _sync_breaker_trips(self) -> None:
         """Mirror new breaker trips into the health registry's counters."""
@@ -570,22 +907,23 @@ class CompileService:
     # ------------------------------------------------------------------
     # the CIM path
     # ------------------------------------------------------------------
-    def _serve_cim(self, job: _Job):
+    def _serve_cim(self, job: _Job, array_id: int):
         request = job.request
 
         def attempt():
             self._check_deadline(job)
             self._chaos_hook("compile", request)
             t0 = self._clock()
-            program, cached = self._compiled(request)
+            program, cached = self._compiled(request, array_id)
             compile_s = self._clock() - t0
             self._check_deadline(job)
             self._chaos_hook("execute", request)
             t1 = self._clock()
-            outputs, program_used = self._execute(program, request)
+            outputs, program_used, vote = self._execute(program, request,
+                                                        array_id)
             execute_s = self._clock() - t1
             return (program_used, cached, outputs,
-                    program_used is not program, compile_s, execute_s)
+                    program_used is not program, vote, compile_s, execute_s)
 
         return retry_call(
             attempt, policy=self.retry_policy, sleep=self._sleep,
@@ -602,30 +940,36 @@ class CompileService:
 
         Multi-array schedules additionally exclude fault-saturated
         sub-arrays (the quarantine decision expressed as a compile
-        constraint); since the config participates in both cache keys,
-        the exclusion set shifting recompiles naturally.
+        constraint) and penalize DEGRADED-density ones
+        (``array_penalties`` — the soft steer); since the config
+        participates in both cache keys, either set shifting recompiles
+        naturally.
         """
         if self.config.schedule != "multi" or not fault_map:
             return self.config
         exclude = subarray_exclusions(fault_map, self.target)
-        if exclude == self.config.exclude_arrays:
+        penalties = subarray_penalties(fault_map, self.target,
+                                       penalty=self.placement_penalty)
+        if (exclude == self.config.exclude_arrays
+                and penalties == self.config.array_penalties):
             return self.config
-        return self.config.with_(exclude_arrays=exclude)
+        return self.config.with_(exclude_arrays=exclude,
+                                 array_penalties=penalties)
 
-    def _note_served(self, request: ServeRequest) -> None:
+    def _note_served(self, request: ServeRequest, array_id: int) -> None:
         """Remember the dag for proactive recompiles (bounded window)."""
-        entry = (request.array_id, structural_hash(request.dag))
+        entry = (array_id, structural_hash(request.dag))
         with self._lock:
             self._served_dags[entry] = request.dag
             self._served_dags.move_to_end(entry)
             while len(self._served_dags) > _SERVED_DAG_WINDOW:
                 self._served_dags.popitem(last=False)
 
-    def _compiled(self, request: ServeRequest):
+    def _compiled(self, request: ServeRequest, array_id: int):
         """Resolve the request's program: artifact cache, then compile."""
-        fault_map = self._known_map(request.array_id)
+        fault_map = self._known_map(array_id)
         config = self._config_for(fault_map)
-        self._note_served(request)
+        self._note_served(request, array_id)
         key = None
         if self.cache is not None:
             key = ArtifactCache.key_for(request.dag, self.target,
@@ -640,8 +984,9 @@ class CompileService:
             self.cache.put(key, program)
         return program, False
 
-    def _machine_for(self, program, request: ServeRequest) -> ArrayMachine:
-        ground = self._machine_faults.get(request.array_id)
+    def _machine_for(self, program, request: ServeRequest,
+                     array_id: int) -> ArrayMachine:
+        ground = self._machine_faults.get(array_id)
         fault_map = ground if ground is not None else program.fault_map
         spare_pool = None
         if self._verify_writes:
@@ -665,39 +1010,142 @@ class CompileService:
         machine.run(program.instructions)
         return extract_outputs(machine, program.layout, program.dag)
 
-    def _execute(self, program, request: ServeRequest):
+    def _execute(self, program, request: ServeRequest, array_id: int):
         """Run the program; a hard fault triggers the in-loop remap rung.
 
-        Returns ``(outputs, program_used)`` — the latter is the remapped
-        program when the rung ran, the original otherwise.  Batch requests
+        Returns ``(outputs, program_used, vote)`` — ``program_used`` is
+        the remapped program when the rung ran, the original otherwise,
+        and ``vote`` is ``(voters, disagreeing)`` for redundancy > 1
+        requests (``None`` for plain ones).  Batch requests
         (``input_sets``) take the compile-once/execute-many fast path
         instead: the lowered op-table streams every set through in bulk
         (no per-write verification — the throughput trade-off is
         documented in ``docs/PERFORMANCE.md``).
         """
+        if request.redundancy > 1:
+            outputs, vote = self._execute_voted(program, request, array_id)
+            return outputs, program, vote
         if request.input_sets is not None:
             return program.execute_many(
                 request.input_sets, lanes=request.lanes,
-                engine=request.engine), program
-        machine = self._machine_for(program, request)
+                engine=request.engine), program, None
+        machine = self._machine_for(program, request, array_id)
         try:
             outputs = self._run_on(machine, program, request)
         except HardFaultError:
-            self._note_machine(machine, request, hard_fault=True)
-            remapped = self._remap(program, request,
+            self._note_machine(machine, array_id, hard_fault=True)
+            remapped = self._remap(program, request, array_id,
                                    machine.discovered_faults)
-            retry_machine = self._machine_for(remapped, request)
+            retry_machine = self._machine_for(remapped, request, array_id)
             outputs = self._run_on(retry_machine, remapped, request)
-            self._note_machine(retry_machine, request)
-            return outputs, remapped
-        self._note_machine(machine, request)
-        return outputs, program
+            self._note_machine(retry_machine, array_id)
+            return outputs, remapped, None
+        self._note_machine(machine, array_id)
+        return outputs, program, None
 
-    def _note_machine(self, machine: ArrayMachine, request: ServeRequest,
+    # ------------------------------------------------------------------
+    # voted redundant execution
+    # ------------------------------------------------------------------
+    def _voter_arrays(self, placed: int, k: int) -> list[int]:
+        """Up to ``k`` voting arrays: the placement first, then the
+        cheapest non-quarantined fleet members."""
+        voters = [placed]
+        ranked = sorted((a for a in self._fleet_arrays() if a != placed),
+                        key=lambda a: (self._placement_cost(a), a))
+        for array_id in ranked:
+            if len(voters) >= k:
+                break
+            if math.isinf(self._placement_cost(array_id)):
+                continue
+            voters.append(array_id)
+        return voters
+
+    def _voter_program(self, program, array_id: int):
+        """A clone of ``program`` carrying the voter's ground-truth map.
+
+        The batch path executes through the program's own ``fault_map``
+        (both engines; the vectorized lowering bakes it in), so per-array
+        voting needs a per-voter program.  Clones are cached on the
+        program instance keyed by the ground map's content digest — a
+        chaos event mutating the map in place gets a fresh clone (and a
+        fresh lowering) on the next vote.
+        """
+        ground = self._machine_faults.get(array_id)
+        if ground is None:
+            return program
+        digest = ground.digest()
+        cache = program.__dict__.setdefault("_voter_programs", {})
+        clone = cache.get((array_id, digest))
+        if clone is None:
+            if len(cache) >= 8:  # bound per-program clone growth
+                cache.clear()
+            clone = replace(program, fault_map=ground.copy())
+            cache[(array_id, digest)] = clone
+        return clone
+
+    def _execute_voted(self, program, request: ServeRequest, placed: int):
+        """Execute on ``redundancy`` arrays and majority-vote per lane.
+
+        Ballots come from the placement plus the cheapest healthy fleet
+        members; a voter that hard-faults drops out (recorded as a
+        rate-1.0 health sample).  The CPU reference evaluator joins the
+        panel as referee whenever fewer than ``redundancy`` CIM ballots
+        survive *or* the panel would be even, and breaks exact ties — so
+        a strict per-lane majority always exists.  Every out-voted array
+        is reported via
+        :meth:`~repro.serve.health.HealthRegistry.record_vote_disagreement`.
+        Returns ``(outputs, (voters, disagreeing))``.
+        """
+        batch = request.input_sets is not None
+        ballots: list[tuple[int, object]] = []
+        for array_id in self._voter_arrays(placed, request.redundancy):
+            try:
+                if batch:
+                    clone = self._voter_program(program, array_id)
+                    outputs = clone.execute_many(
+                        request.input_sets, lanes=request.lanes,
+                        engine=request.engine)
+                else:
+                    machine = self._machine_for(program, request, array_id)
+                    outputs = self._run_on(machine, program, request)
+                    self._note_machine(machine, array_id)
+            except HardFaultError:
+                self.health.record_execution(array_id, hard_fault=True)
+                continue
+            ballots.append((array_id, outputs))
+        referee = None
+        if len(ballots) < request.redundancy or len(ballots) % 2 == 0:
+            if batch:
+                referee = evaluate_many(request.dag, request.input_sets,
+                                        request.lanes)
+            else:
+                referee = evaluate(request.dag, request.inputs,
+                                   request.lanes)
+            ballots.append((-1, referee))
+        if batch:
+            voted = [
+                _majority_outputs(
+                    [outputs[index] for _, outputs in ballots],
+                    request.lanes,
+                    None if referee is None else referee[index])
+                for index in range(len(request.input_sets))]
+        else:
+            voted = _majority_outputs([outputs for _, outputs in ballots],
+                                      request.lanes,
+                                      referee)
+        voters = tuple("cpu" if a < 0 else a for a, _ in ballots)
+        disagreeing = tuple(a for a, outputs in ballots
+                            if a >= 0 and outputs != voted)
+        for array_id in disagreeing:
+            self.health.record_vote_disagreement(array_id)
+        self.stats_counters.note_vote(len(disagreeing))
+        return voted, (voters, disagreeing)
+
+    def _note_machine(self, machine: ArrayMachine, array_id: int,
                       *, hard_fault: bool = False) -> None:
         """Feed one machine run's telemetry into the health registry."""
         self.health.record_execution(
-            request.array_id,
+            array_id,
             writes_verified=machine.writes_verified,
             write_retries_used=machine.write_retries_used,
             write_failures_injected=machine.write_failures_injected,
@@ -705,7 +1153,8 @@ class CompileService:
             remaps=len(machine.remaps),
             hard_fault=hard_fault)
 
-    def _remap(self, program, request: ServeRequest, discovered: FaultMap):
+    def _remap(self, program, request: ServeRequest, array_id: int,
+               discovered: FaultMap):
         """The remap rung inside the service loop.
 
         Merges the machine-discovered faults into the fleet's known map
@@ -713,18 +1162,18 @@ class CompileService:
         the new artifact under the merged map's key so every array with
         the same map shares it.
         """
-        known = self._known_map(request.array_id)
+        known = self._known_map(array_id)
         config = self._config_for(known)
         compiler = SherlockCompiler(self.target, config, fault_map=known)
         remapped = compiler.remap(program, discovered)
         with self._lock:
-            self._fault_maps[request.array_id] = remapped.fault_map.copy()
+            self._fault_maps[array_id] = remapped.fault_map.copy()
         if self.cache is not None:
             key = ArtifactCache.key_for(request.dag, self.target,
                                         config, remapped.fault_map)
             self.cache.put(key, remapped)
         self.stats_counters.note_remap()
-        self._spawn_recompile(request.array_id)
+        self._spawn_recompile(array_id)
         return remapped
 
     # ------------------------------------------------------------------
@@ -791,10 +1240,13 @@ class CompileService:
         out["queue_depth"] = self._queue.qsize()
         out["queue_limit"] = self._queue_limit
         out["workers"] = len(self._workers)
+        out["shed_policy"] = self.shed_policy
+        out["placement"] = self.placement
         out["breaker"] = self.breaker.snapshot()
         out["cache"] = (self.cache.stats() if self.cache is not None
                         else None)
         out["health"] = self.health.snapshot()
+        out["scrub"] = self.scrubber.stats()
         return out
 
     def stats_text(self) -> str:
@@ -803,6 +1255,7 @@ class CompileService:
         breaker = stats.pop("breaker")
         cache = stats.pop("cache")
         health = stats.pop("health")
+        scrub = stats.pop("scrub")
         lines = ["service:"]
         lines += [f"  {key}: {stats[key]}" for key in sorted(stats)]
         lines.append(f"breaker: state={breaker['state']} "
@@ -813,13 +1266,18 @@ class CompileService:
         else:
             lines.append("artifact cache: "
                          + " ".join(f"{k}={cache[k]}" for k in sorted(cache)))
+        lines.append(f"scrub: passes={scrub['passes']} "
+                     f"cells_probed={scrub['cells_probed']} "
+                     f"latent_faults_found={scrub['latent_faults_found']} "
+                     f"sweeps={scrub['sweeps']}")
         lines.append(
             f"health: baseline={health['baseline']:.1e} "
             f"arrays={len(health['arrays'])} "
             f"degraded={health['degraded']} "
             f"quarantined={health['quarantined']} "
             f"recovered={health['recovered']} "
-            f"breaker_trips={health['breaker_trips']}")
+            f"breaker_trips={health['breaker_trips']} "
+            f"vote_disagreements={health['vote_disagreements']}")
         for array_id in sorted(health["arrays"]):
             entry = health["arrays"][array_id]
             lines.append(
@@ -827,7 +1285,10 @@ class CompileService:
                 f"rate={entry['failure_rate']:.2e} "
                 f"samples={entry['samples']} probes={entry['probes']} "
                 f"retries={entry['retries']} "
-                f"hard_faults={entry['hard_faults']}")
+                f"hard_faults={entry['hard_faults']} "
+                f"scrubbed={entry['scrub_probes']} "
+                f"latent={entry['scrub_faults']} "
+                f"outvoted={entry['vote_disagreements']}")
         for transition in health["transitions"]:
             lines.append(
                 f"  transition: array {transition['array']} "

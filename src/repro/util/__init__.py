@@ -12,6 +12,7 @@ from repro.util.chaos import (
     ChaosEvent,
     ChaosInjector,
     ChaosSchedule,
+    latent_victims,
     write_victims,
 )
 from repro.util.retry import RetryPolicy, compute_backoff, retry_call
@@ -22,6 +23,7 @@ __all__ = [
     "ChaosSchedule",
     "RetryPolicy",
     "compute_backoff",
+    "latent_victims",
     "retry_call",
     "write_victims",
 ]

@@ -31,6 +31,15 @@ Event kinds:
     ``duration`` ordinals later via :meth:`repro.devices.FaultMap.clear`.
 ``wear``
     A permanent ``fault-burst`` (no heal): accelerated wear-out.
+``latent-fault``
+    A permanent burst aimed at cells live traffic cannot observe failing:
+    input preloads bounce off faulty cells *silently* (no verify-after-
+    write read-back), so a stuck-at planted on an operand cell corrupts
+    results without generating any failure traffic.  Only the patrol
+    scrubber (:mod:`repro.serve.scrub`) can find it before a user does —
+    which is exactly what the scrub acceptance gate proves.  Use
+    :func:`latent_victims` to pick cells whose corruption is observable
+    in outputs yet invisible to the write-verify ladder.
 """
 
 from __future__ import annotations
@@ -42,9 +51,11 @@ from dataclasses import dataclass, field
 from repro.devices.faultmap import CellFault
 from repro.errors import ServeError, WorkerCrashError
 
-__all__ = ["ChaosEvent", "ChaosInjector", "ChaosSchedule", "write_victims"]
+__all__ = ["ChaosEvent", "ChaosInjector", "ChaosSchedule", "latent_victims",
+           "write_victims"]
 
-VALID_KINDS = ("worker-kill", "cache-corrupt", "fault-burst", "wear")
+VALID_KINDS = ("worker-kill", "cache-corrupt", "fault-burst", "wear",
+               "latent-fault")
 VALID_STAGES = ("compile", "execute")
 
 
@@ -248,4 +259,37 @@ def write_victims(program, dag, inputs, lanes: int, count: int = 1,
         raise ServeError(
             "no output writes a non-excluded value under these inputs; "
             "pick different inputs for the fault burst")
+    return tuple(victims)
+
+
+def latent_victims(program, dag, inputs, lanes: int,
+                   count: int = 1) -> tuple:
+    """Input cells a STUCK0 fault corrupts *silently* — latent faults.
+
+    The write-verify ladder only guards committed CIM results: input
+    preloads poke cells and bounce off faulty ones without any read-back,
+    so a STUCK0 on an input cell holding a nonzero lane mask flips result
+    bits while the service sees zero failure traffic.  Returns up to
+    ``count`` such ``((array, row, col), ...)`` placements (first copy of
+    each nonzero input), for a ``latent-fault`` :class:`ChaosEvent` —
+    the planted fault only a patrol scrub can discover before a user does.
+    """
+    if count < 1:
+        raise ServeError(f"count must be >= 1, got {count}")
+    placements = program.layout.placements()
+    victims = []
+    for operand in sorted(dag.inputs(), key=lambda o: o.node_id):
+        if not inputs.get(operand.name):
+            continue  # an all-zero input is invisible to STUCK0
+        copies = placements.get(operand.node_id)
+        if not copies:
+            continue
+        addr = copies[0]
+        victims.append((addr.array, addr.row, addr.col))
+        if len(victims) >= count:
+            break
+    if not victims:
+        raise ServeError(
+            "no placed input carries a nonzero lane mask under these "
+            "inputs; pick different inputs for the latent fault")
     return tuple(victims)

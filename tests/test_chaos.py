@@ -15,7 +15,13 @@ from repro.devices import FaultMap
 from repro.dfg.evaluate import evaluate
 from repro.errors import ServeError, WorkerCrashError
 from repro.serve import ArrayHealth, ArtifactCache, CompileService, HealthPolicy
-from repro.util import ChaosEvent, ChaosInjector, ChaosSchedule, write_victims
+from repro.util import (
+    ChaosEvent,
+    ChaosInjector,
+    ChaosSchedule,
+    latent_victims,
+    write_victims,
+)
 
 from tests.test_serve import (
     FakeClock,
@@ -239,3 +245,149 @@ class TestChaosAcceptance:
         assert "health: baseline=" in text
         assert "array 0: state=healthy" in text
         assert "transition: array 0 degraded -> quarantined" in text
+
+
+class TestLatentFaults:
+    def test_latent_fault_event_is_permanent(self):
+        ground = FaultMap()
+        injector = ChaosInjector(
+            ChaosSchedule((ChaosEvent(at=0, kind="latent-fault", array_id=1,
+                                      cells=((0, 4, 4),)),)),
+            machine_faults={1: ground})
+        for _ in range(5):
+            injector("execute", None)
+        assert ground.fault_at(0, 4, 4) is not None
+
+    def test_latent_victims_are_nonzero_input_placements(self):
+        target, config, dag = small_target(), CompilerConfig(), small_dag()
+        program = SherlockCompiler(target, config, cache=False).compile(dag)
+        inputs = inputs_for(dag)
+        victims = latent_victims(program, dag, inputs, 8, count=2)
+        assert 1 <= len(victims) <= 2
+        placements = program.layout.placements()
+        for victim in victims:
+            owners = [op.name for op in dag.inputs()
+                      if any((a.array, a.row, a.col) == victim
+                             for a in placements.get(op.node_id, []))]
+            assert owners, f"victim {victim} is not an input placement"
+            assert any(inputs[name] != 0 for name in owners)
+        with pytest.raises(ServeError):
+            latent_victims(program, dag, inputs, 8, count=0)
+        with pytest.raises(ServeError):
+            latent_victims(program, dag, {k: 0 for k in inputs}, 8)
+
+
+# ----------------------------------------------------------------------
+# the active-integrity acceptance gate
+# ----------------------------------------------------------------------
+class TestActiveIntegrityAcceptance:
+    def test_scrub_finds_planted_latents_before_any_request_fails(self):
+        """The PR's end-to-end gate for the active-integrity layer.
+
+        A chaos event plants a latent fault (an input cell no write ever
+        verifies) on array 1.  The patrol scrubber must diagnose it
+        before any request fails; the discovery degrades the array, so
+        health-aware placement visibly shifts its traffic to array 0; a
+        voted request outvotes the still-poisoned array bit-identically,
+        quarantining it; and after probation the array earns its way
+        back and votes again.
+        """
+        from repro.serve import ScrubPolicy
+        from repro.util import latent_victims
+
+        clock = FakeClock()
+        lanes = 8
+        target = small_target(num_arrays=2)
+        config = CompilerConfig()
+        dag_a, dag_b = small_dag(seed=1), small_dag(seed=2)
+        expect_a = evaluate(dag_a, inputs_for(dag_a), lanes)
+        expect_b = evaluate(dag_b, inputs_for(dag_b), lanes)
+        # the victim comes from the deterministic compile of dag_a: an
+        # input cell carrying a nonzero lane mask, written by preloads
+        # only — no verify-after-write ladder ever reads it back
+        program_a = SherlockCompiler(target, config, cache=False
+                                     ).compile(dag_a)
+        victims = latent_victims(program_a, dag_a, inputs_for(dag_a),
+                                 lanes, count=1)
+        ground = {0: FaultMap(), 1: FaultMap()}
+        space = target.num_arrays * target.rows * target.cols
+        injector = ChaosInjector(
+            ChaosSchedule((ChaosEvent(at=2, kind="latent-fault",
+                                      stage="execute", array_id=1,
+                                      cells=victims),)),
+            machine_faults=ground)
+        policy = HealthPolicy(min_samples=1, probation_period_s=5.0,
+                              probation_successes=1)
+
+        def serve_one(service, dag, expect, **kwargs):
+            result = service.process([request_for(dag, lanes=lanes,
+                                                  **kwargs)])[0]
+            assert result.error is None, result.error
+            assert result.outputs == expect
+            return result
+
+        with CompileService(target, config, workers=1,
+                            machine_faults=ground, health_policy=policy,
+                            placement="health", chaos=injector,
+                            scrub=ScrubPolicy(budget=2 * space, seed=3,
+                                              weight=64.0),
+                            clock=clock, sleep=lambda _s: None) as service:
+            # phase 1 — clean traffic, including a unanimous vote
+            voted = serve_one(service, dag_a, expect_a, array_id=0,
+                              redundancy=3)
+            assert voted.voted and voted.disagreeing == ()
+            serve_one(service, dag_b, expect_b, array_id=1)
+            # phase 2 — the chaos event plants the latent fault silently
+            serve_one(service, dag_b, expect_b, array_id=1)  # ordinal 2
+            assert injector.fired == [("execute", 2, "latent-fault")]
+            assert ground[1].fault_at(*victims[0]) is not None
+            # phase 3 — the patrol scrubber finds it before any request
+            # does: zero failed requests so far, and the march test
+            # reports exactly the planted cell
+            report = service.scrub()
+            assert report.latent_faults_found == 1
+            assert sorted(report.discoveries) == [1]
+            found = [cell for cell, _ in report.discoveries[1].cells()]
+            assert found == [victims[0]]
+            assert service.stats()["errors"] == 0
+            assert service.health.state_of(1) is ArrayHealth.DEGRADED
+            # phase 4 — placement visibly shifts the degraded array's
+            # traffic onto its healthy peer
+            moved = serve_one(service, dag_b, expect_b, array_id=1)
+            assert moved.placed_array == 0
+            stats = service.stats()
+            assert stats["placement_shifts"] >= 1
+            text = service.stats_text()
+            assert "placement: health" in text
+            assert "state=degraded" in text
+            assert "latent=1" in text
+            # phase 5 — a voted request outvotes the poisoned array:
+            # the answer stays bit-identical, the minority is reported,
+            # and the disagreement quarantines the array
+            outvoted = serve_one(service, dag_a, expect_a, array_id=0,
+                                 redundancy=3)
+            assert outvoted.voted
+            assert outvoted.disagreeing == (1,)
+            assert service.health.state_of(1) is ArrayHealth.QUARANTINED
+            parked = service.process([request_for(dag_b, lanes=lanes,
+                                                  array_id=1)])[0]
+            assert parked.engine == "cpu"
+            assert "quarantined" in parked.offload_reason
+            # phase 6 — probation: the probe lands on array 1 itself
+            # (placement never steals probe traffic), compiles around
+            # the now-known cell, runs clean, and restores the array
+            clock.advance(5.1)
+            probe = serve_one(service, dag_b, expect_b, array_id=1)
+            assert probe.engine == "cim" and probe.placed_array == 1
+            assert service.health.state_of(1) is ArrayHealth.HEALTHY
+            # phase 7 — the recovered array votes again, bit-identically
+            final = serve_one(service, dag_b, expect_b, array_id=0,
+                              redundancy=3)
+            assert final.voted and 1 in final.voters
+            snap = service.stats()
+        assert snap["errors"] == 0
+        assert snap["votes"] == 3
+        assert snap["vote_disagreements"] == 1
+        assert snap["scrub"]["latent_faults_found"] == 1
+        assert snap["health"]["arrays"][1]["scrub_faults"] == 1
+        assert snap["health"]["arrays"][1]["vote_disagreements"] == 1

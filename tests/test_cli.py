@@ -253,3 +253,80 @@ class TestFaultMapOption:
                      "--size", "64", "--arrays", "4", "--policy", "none",
                      "--fault-map", path]) == 0
         assert "loaded fault map" in capsys.readouterr().err
+
+
+class TestHealthJson:
+    def make_map(self, tmp_path, size=32, arrays=2, fraction=0.08):
+        from repro.arch.target import TargetSpec
+        from repro.devices import RERAM, FaultMap
+
+        target = TargetSpec.square(size, RERAM, num_arrays=arrays)
+        path = tmp_path / "faults.json"
+        FaultMap.random_map(target, fraction=fraction, seed=4).save(path)
+        return str(path), target
+
+    def test_json_round_trips_the_assessment_schema(self, tmp_path, capsys):
+        import json
+
+        from repro.devices import FaultMap
+        from repro.serve import assess_fault_map
+
+        path, target = self.make_map(tmp_path)
+        assert main(["health", "--size", "32", "--arrays", "2",
+                     "--fault-map", path, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assessment = assess_fault_map(FaultMap.load(path), target)
+        assert document["target"]["num_arrays"] == target.num_arrays
+        assert set(document["arrays"]) == {
+            str(a) for a in range(target.num_arrays)}
+        for array, entry in assessment.items():
+            emitted = document["arrays"][str(array)]
+            assert emitted["faults"] == entry["faults"]
+            assert emitted["density"] == pytest.approx(entry["density"])
+            assert emitted["state"] == entry["state"].value
+        assert isinstance(document["exclusions"], list)
+        assert document["baseline_write_failure_probability"] > 0
+
+    def test_table_mode_is_unchanged(self, tmp_path, capsys):
+        path, _ = self.make_map(tmp_path)
+        assert main(["health", "--size", "32", "--arrays", "2",
+                     "--fault-map", path]) == 0
+        out = capsys.readouterr().out
+        assert "hard faults" in out and "{" not in out
+
+
+class TestServeFlags:
+    def test_parser_accepts_the_active_integrity_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--requests", "r.jsonl", "--shed-policy", "deadline",
+             "--placement", "health", "--scrub-every", "8",
+             "--scrub-budget", "128"])
+        assert args.shed_policy == "deadline"
+        assert args.placement == "health"
+        assert args.scrub_every == 8 and args.scrub_budget == 128
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--shed-policy", "coin-flip"),
+        ("--placement", "astrology"),
+        ("--scrub-budget", "0"),
+    ])
+    def test_bad_flag_values_exit_2(self, flag, value):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--requests", "r.jsonl", flag, value])
+
+    def test_serve_batch_with_scrub_and_voting(self, tmp_path, capsys):
+        import json
+
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            '{"id": "v1", "synthetic": 8, "seed": 1, "redundancy": 3}\n')
+        assert main(["serve", "--requests", str(requests), "--size", "64",
+                     "--arrays", "2", "--shed-policy", "oldest",
+                     "--placement", "health", "--scrub-every", "1",
+                     "--scrub-budget", "64", "--stats"]) == 0
+        captured = capsys.readouterr()
+        result = json.loads(captured.out.splitlines()[0])
+        assert result["error"] is None and result["voted"]
+        assert "scrub:" in captured.err
+        assert "shed_policy: oldest" in captured.err

@@ -17,6 +17,7 @@ from repro.serve import (
     HealthRegistry,
     assess_fault_map,
     subarray_exclusions,
+    subarray_penalties,
 )
 from repro.workloads.synthetic import synthetic_dag
 
@@ -304,3 +305,121 @@ class TestServiceHealthIntegration:
             text = service.stats_text()
             assert "health: baseline=" in text
             assert "array 0: state=healthy" in text
+
+
+# ----------------------------------------------------------------------
+# scrub samples, vote disagreements, concurrency
+# ----------------------------------------------------------------------
+class TestActiveIntegritySamples:
+    def test_scrub_discovery_is_a_weighted_sample(self):
+        reg = registry()
+        # 1 latent fault in 160 cells at weight 16 => rate 0.1, far above
+        # any threshold: one sample walks HEALTHY -> DEGRADED
+        state = reg.record_scrub(0, cells_probed=160, latent_faults=1)
+        assert state is ArrayHealth.DEGRADED
+        snap = reg.snapshot()["arrays"][0]
+        assert snap["scrub_probes"] == 160
+        assert snap["scrub_faults"] == 1
+        assert snap["faults_discovered"] == 1
+
+    def test_clean_scrub_slice_recovers_a_degraded_array(self):
+        reg = registry()
+        # 1 latent in 8000 cells at weight 16 => rate 2e-3: inside the
+        # degraded band (8e-4 .. 6.4e-3 for the ReRAM baseline)
+        reg.record_scrub(0, cells_probed=8000, latent_faults=1)
+        assert reg.state_of(0) is ArrayHealth.DEGRADED
+        for _ in range(32):  # rate-0 samples decay the EWMA
+            reg.record_scrub(0, cells_probed=64)
+        assert reg.state_of(0) is ArrayHealth.HEALTHY
+
+    def test_scrub_on_quarantined_array_updates_counters_only(self):
+        clock = FakeClock()
+        reg = registry(clock=clock)
+        reg.force_state(0, ArrayHealth.QUARANTINED)
+        clock.advance(60.0)  # probation window is open
+        reg.record_scrub(0, cells_probed=64)
+        reg.record_scrub(0, cells_probed=64)
+        snap = reg.snapshot()["arrays"][0]
+        assert snap["scrub_probes"] == 128
+        # background sweeps are not probation probes
+        assert snap["probes"] == 0
+        assert reg.state_of(0) is ArrayHealth.QUARANTINED
+
+    def test_scrub_rejects_negative_counts(self):
+        with pytest.raises(ServeError):
+            registry().record_scrub(0, cells_probed=-1)
+
+    def test_vote_disagreement_counts_like_a_hard_fault(self):
+        reg = registry()
+        assert reg.record_vote_disagreement(0) is ArrayHealth.DEGRADED
+        assert reg.record_vote_disagreement(0) is ArrayHealth.QUARANTINED
+        snap = reg.snapshot()
+        assert snap["vote_disagreements"] == 2
+        assert snap["arrays"][0]["vote_disagreements"] == 2
+
+    def test_concurrent_hammer_loses_no_samples_or_transitions(self):
+        import threading
+
+        reg = registry(policy=HealthPolicy(min_samples=1))
+        moves = []
+        reg._on_transition = lambda *t: moves.append(t)
+        threads_per_array, samples = 4, 50
+
+        def hammer(array_id, seed):
+            rng = random.Random(seed)
+            for _ in range(samples):
+                if rng.random() < 0.5:
+                    dirty(reg, array_id)
+                else:
+                    clean(reg, array_id)
+
+        threads = [
+            threading.Thread(target=hammer, args=(array_id, seed))
+            for array_id in (0, 1) for seed in range(threads_per_array)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = reg.snapshot()
+        for array_id in (0, 1):
+            rec = snap["arrays"][array_id]
+            assert rec["samples"] == threads_per_array * samples
+            assert rec["state"] in ("healthy", "degraded", "quarantined")
+            assert 0.0 <= rec["failure_rate"] <= 1.0
+        # every callback-visible move is also in the per-array tallies
+        assert len(moves) == sum(
+            snap["arrays"][a]["transitions"] for a in (0, 1))
+        assert (snap["degraded"] + snap["quarantined"] + snap["recovered"]
+                >= len([m for m in moves]) // 3 or moves == [])
+
+
+class TestSubarrayPenalties:
+    def test_degraded_band_arrays_are_penalized(self):
+        target = TargetSpec.square(16, RERAM, num_arrays=4)
+        fault_map = FaultMap()
+        cells = target.usable_rows * target.cols
+        # array 1: ~10% density (degraded band); array 2: >25% (quarantine)
+        for index in range(max(2, cells // 10)):
+            fault_map.set_fault(1, index // target.cols,
+                                index % target.cols, CellFault.STUCK0)
+        for index in range(cells // 3):
+            fault_map.set_fault(2, index // target.cols,
+                                index % target.cols, CellFault.STUCK1)
+        penalties = dict(subarray_penalties(fault_map, target, penalty=3.0))
+        assert penalties == {1: 3.0}  # quarantined array is excluded, not
+        # penalized; healthy arrays carry no penalty
+        assert subarray_exclusions(fault_map, target) == (2,)
+
+    def test_penalties_round_trip_through_config(self):
+        config = CompilerConfig(
+            schedule="multi",
+            array_penalties=subarray_penalties(FaultMap(),
+                                               small_target()) or
+            ((1, 2.5),))
+        assert config.array_penalties == ((1, 2.5),)
+        with pytest.raises(Exception):
+            CompilerConfig(array_penalties=((-1, 2.0),))
+
+    def test_rejects_negative_penalty(self):
+        with pytest.raises(ServeError):
+            subarray_penalties(FaultMap(), small_target(), penalty=-1.0)

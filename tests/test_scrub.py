@@ -1,0 +1,153 @@
+"""Tests for the patrol scrubber (repro.serve.scrub).
+
+The determinism tests are the load-bearing ones: the CI scrub gate
+replays "planted latent fault found before any request fails", which only
+works if the same seed and budget sequence always probes the same cells
+in the same order and reports the same discoveries.
+"""
+
+import pytest
+
+from repro.devices import CellFault, FaultMap
+from repro.errors import ServeError
+from repro.serve import PatrolScrubber, ScrubPolicy
+from repro.serve.scrub import march_test
+
+from tests.test_serve import small_target
+
+
+def cell_space(target):
+    return target.num_arrays * target.rows * target.cols
+
+
+class TestScrubPolicy:
+    @pytest.mark.parametrize("kwargs", [
+        {"budget": 0},
+        {"budget": -4},
+        {"weight": -1.0},
+        {"every_requests": -1},
+    ])
+    def test_rejects_invalid_policies(self, kwargs):
+        with pytest.raises(ServeError):
+            ScrubPolicy(**kwargs)
+
+
+class TestMarchTest:
+    def test_healthy_cell_passes_both_elements(self):
+        ground = FaultMap()
+        assert march_test(ground, (0, 1, 2), 0xFF) is None
+        assert march_test(None, (0, 1, 2), 0xFF) is None
+
+    def test_stuck_at_classification(self):
+        ground = FaultMap()
+        ground.set_fault(0, 1, 2, CellFault.STUCK0)
+        ground.set_fault(0, 1, 3, CellFault.STUCK1)
+        assert march_test(ground, (0, 1, 2), 0xFF) is CellFault.STUCK0
+        assert march_test(ground, (0, 1, 3), 0xFF) is CellFault.STUCK1
+
+    def test_dead_observes_as_its_forced_behavior(self):
+        # the fault model forces a DEAD cell to 0 at sense time, exactly
+        # like STUCK0 — the march element reports the observed kind
+        ground = FaultMap()
+        ground.mark_dead(0, 2, 2)
+        observed = march_test(ground, (0, 2, 2), 0xFF)
+        assert observed in (CellFault.STUCK0, CellFault.DEAD)
+
+    def test_rejects_non_positive_mask(self):
+        with pytest.raises(ServeError):
+            march_test(FaultMap(), (0, 0, 0), 0)
+
+
+class TestPatrolScrubber:
+    def test_same_seed_and_budget_probe_identically(self):
+        target = small_target()
+        ground = FaultMap()
+        ground.set_fault(0, 3, 5, CellFault.STUCK0)
+        ground.set_fault(1, 7, 9, CellFault.STUCK1)
+        fleet = {0: ground.copy(), 1: ground.copy()}
+        runs = []
+        for _ in range(2):
+            scrubber = PatrolScrubber(target, ScrubPolicy(seed=7))
+            reports = [scrubber.scrub(fleet, budget=512) for _ in range(3)]
+            runs.append([
+                (r.probed, sorted((a, sorted(m.cells()))
+                                  for a, m in r.discoveries.items()))
+                for r in reports])
+        assert runs[0] == runs[1]
+
+    def test_different_seeds_probe_differently(self):
+        target = small_target()
+        fleet = {0: FaultMap()}
+        first = PatrolScrubber(target, ScrubPolicy(seed=1)).scrub(
+            fleet, budget=64)
+        second = PatrolScrubber(target, ScrubPolicy(seed=2)).scrub(
+            fleet, budget=64)
+        assert first.probed != second.probed
+
+    def test_full_sweep_finds_every_latent_fault(self):
+        target = small_target()
+        ground = FaultMap()
+        planted = [(0, 3, 5), (1, 7, 9), (0, 60, 60)]
+        for cell in planted:
+            ground.set_fault(*cell, CellFault.STUCK0)
+        scrubber = PatrolScrubber(target)
+        report = scrubber.scrub({4: ground}, budget=cell_space(target))
+        assert report.cells_probed == cell_space(target)
+        assert report.latent_faults_found == len(planted)
+        found = report.discoveries[4]
+        for cell in planted:
+            assert found.fault_at(*cell) is CellFault.STUCK0
+        assert scrubber.stats()["sweeps"] == 1
+
+    def test_known_cells_are_skipped_for_free(self):
+        target = small_target()
+        ground = FaultMap()
+        ground.set_fault(0, 3, 5, CellFault.STUCK0)
+        known = ground.copy()  # everything already diagnosed
+        scrubber = PatrolScrubber(target)
+        report = scrubber.scrub({0: ground}, {0: known},
+                                budget=cell_space(target))
+        assert report.latent_faults_found == 0
+        # the known cell cost no budget: a full-space budget still walks
+        # every *unknown* cell exactly once
+        assert report.cells_probed == cell_space(target) - 1
+
+    def test_budget_splits_round_robin_across_the_fleet(self):
+        target = small_target()
+        fleet = {0: FaultMap(), 1: FaultMap(), 2: FaultMap()}
+        report = PatrolScrubber(target).scrub(fleet, budget=100)
+        assert report.cells_probed == 100
+        assert sorted(report.probed_per_array) == [0, 1, 2]
+        assert sorted(report.probed_per_array.values()) == [33, 33, 34]
+
+    def test_cursor_resumes_and_wraps(self):
+        target = small_target()
+        fleet = {0: FaultMap()}
+        scrubber = PatrolScrubber(target)
+        half = cell_space(target) // 2
+        first = scrubber.scrub(fleet, budget=half)
+        second = scrubber.scrub(fleet, budget=half)
+        cells = [cell for _, cell in first.probed + second.probed]
+        assert len(set(cells)) == cell_space(target)  # no repeats yet
+        assert scrubber.stats()["sweeps"] == 1
+        third = scrubber.scrub(fleet, budget=4)
+        assert [cell for _, cell in third.probed] == cells[:4]  # wrapped
+
+    def test_empty_fleet_and_bad_budget(self):
+        scrubber = PatrolScrubber(small_target())
+        assert scrubber.scrub({}).cells_probed == 0
+        with pytest.raises(ServeError):
+            scrubber.scrub({0: FaultMap()}, budget=0)
+
+    def test_stats_accumulate(self):
+        target = small_target()
+        ground = FaultMap()
+        ground.set_fault(0, 1, 1, CellFault.STUCK0)
+        scrubber = PatrolScrubber(target)
+        scrubber.scrub({0: ground}, budget=cell_space(target))
+        scrubber.scrub({0: ground}, budget=cell_space(target))
+        stats = scrubber.stats()
+        assert stats["passes"] == 2
+        assert stats["cells_probed"] == 2 * cell_space(target)
+        assert stats["latent_faults_found"] == 2  # no known map: re-found
+        assert stats["arrays"][0]["cells_probed"] == stats["cells_probed"]

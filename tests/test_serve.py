@@ -758,3 +758,308 @@ class TestServeCliValidation:
             main(["serve", "--port", "0", flag, value])
         assert excinfo.value.code == 2
         assert needle in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# active integrity: shed policies, placement, voting, scrubbing
+# ----------------------------------------------------------------------
+class TestShedPolicies:
+    def _stalled(self, shed_policy, queue_limit=1):
+        gate = threading.Event()
+
+        def chaos(stage, request):
+            gate.wait(10)
+
+        service = CompileService(small_target(), CompilerConfig(),
+                                 workers=1, queue_limit=queue_limit,
+                                 shed_policy=shed_policy, chaos=chaos)
+        return service, gate
+
+    @staticmethod
+    def _settle(service):
+        """Wait for the stalled worker to hold its job off the queue."""
+        import time as _time
+        deadline = _time.monotonic() + 5.0
+        while service.stats()["queue_depth"] > 0:
+            if _time.monotonic() > deadline:
+                raise AssertionError("worker never picked up the job")
+            _time.sleep(0.005)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ServeError):
+            CompileService(small_target(), shed_policy="coin-flip")
+
+    def test_reject_error_carries_the_policy(self):
+        dag = small_dag()
+        service, gate = self._stalled("reject")
+        try:
+            service.submit(request_for(dag, request_id="run"))
+            self._settle(service)
+            queued = service.submit(request_for(dag, request_id="q"))
+            with pytest.raises(ServiceOverloadError) as excinfo:
+                service.submit(request_for(dag, request_id="shed-me"))
+            assert excinfo.value.shed_policy == "reject"
+            assert any("shed policy: reject" in line
+                       for line in excinfo.value.details())
+            gate.set()
+            assert queued.wait(30).outputs is not None
+        finally:
+            gate.set()
+            service.close()
+
+    def test_oldest_policy_evicts_the_queue_head(self):
+        dag = small_dag()
+        service, gate = self._stalled("oldest")
+        try:
+            running = service.submit(request_for(dag, request_id="run"))
+            self._settle(service)
+            old = service.submit(request_for(dag, request_id="old"))
+            new = service.submit(request_for(dag, request_id="new"))
+            evicted = old.wait(5)  # completed immediately with a shed result
+            assert evicted.shed and evicted.outputs is None
+            assert "shed by admission control" in evicted.error
+            assert "policy oldest" in evicted.error
+            gate.set()
+            assert running.wait(30).outputs is not None
+            assert new.wait(30).outputs is not None
+            assert service.stats()["shed"] == 1
+        finally:
+            gate.set()
+            service.close()
+
+    def test_deadline_policy_evicts_the_least_slack_job(self):
+        dag = small_dag()
+        service, gate = self._stalled("deadline", queue_limit=2)
+        try:
+            running = service.submit(request_for(dag, request_id="run"))
+            self._settle(service)
+            tight = service.submit(request_for(dag, request_id="tight",
+                                               deadline_s=0.5))
+            loose = service.submit(request_for(dag, request_id="loose",
+                                               deadline_s=60.0))
+            new = service.submit(request_for(dag, request_id="new"))
+            evicted = tight.wait(5)
+            assert evicted.shed and "policy deadline" in evicted.error
+            gate.set()
+            for job in (running, loose, new):
+                assert job.wait(30).outputs is not None
+        finally:
+            gate.set()
+            service.close()
+
+    def test_deadline_policy_rejects_when_nothing_has_a_deadline(self):
+        dag = small_dag()
+        service, gate = self._stalled("deadline")
+        try:
+            service.submit(request_for(dag, request_id="run"))
+            self._settle(service)
+            queued = service.submit(request_for(dag, request_id="q"))
+            with pytest.raises(ServiceOverloadError) as excinfo:
+                service.submit(request_for(dag, request_id="shed-me"))
+            assert excinfo.value.shed_policy == "deadline"
+            gate.set()
+            assert queued.wait(30).outputs is not None
+        finally:
+            gate.set()
+            service.close()
+
+    def test_stats_surface_names_the_policy(self):
+        with CompileService(small_target(),
+                            shed_policy="oldest") as service:
+            assert service.stats()["shed_policy"] == "oldest"
+            assert "shed_policy: oldest" in service.stats_text()
+
+
+class TestHealthAwarePlacement:
+    def test_rejects_unknown_placement(self):
+        with pytest.raises(ServeError):
+            CompileService(small_target(), placement="astrology")
+
+    def test_sticky_placement_never_moves(self):
+        from repro.serve import ArrayHealth
+
+        dag = small_dag()
+        fleet = {0: FaultMap(), 1: FaultMap()}
+        with CompileService(small_target(), workers=1,
+                            machine_faults=fleet) as service:
+            service.health.force_state(0, ArrayHealth.DEGRADED)
+            result = service.process([request_for(dag, array_id=0)])[0]
+            assert result.placed_array == 0
+            assert service.stats()["placement_shifts"] == 0
+
+    def test_degraded_array_sheds_traffic_to_a_healthy_peer(self):
+        from repro.serve import ArrayHealth
+
+        dag = small_dag()
+        fleet = {0: FaultMap(), 1: FaultMap()}
+        with CompileService(small_target(), workers=1,
+                            machine_faults=fleet,
+                            placement="health") as service:
+            service.health.force_state(0, ArrayHealth.DEGRADED)
+            moved = service.process([request_for(dag, array_id=0)])[0]
+            assert moved.error is None and moved.engine == "cim"
+            assert moved.array_id == 0 and moved.placed_array == 1
+            assert moved.outputs == evaluate(dag, inputs_for(dag), 8)
+            stats = service.stats()
+            assert stats["placement_shifts"] == 1
+            assert stats["placements"] == {1: 1}
+            assert "placement: health" in service.stats_text()
+            # after recovery the requested array wins ties again
+            service.health.force_state(0, ArrayHealth.HEALTHY)
+            back = service.process([request_for(dag, array_id=0)])[0]
+            assert back.placed_array == 0
+
+    def test_quarantined_requested_array_stays_for_probation(self):
+        from repro.serve import ArrayHealth
+
+        from repro.serve import HealthPolicy
+
+        clock = FakeClock()
+        policy = HealthPolicy(min_samples=1, probation_period_s=5.0,
+                              probation_successes=1)
+        dag = small_dag()
+        fleet = {0: FaultMap(), 1: FaultMap()}
+        with CompileService(small_target(), workers=1, clock=clock,
+                            machine_faults=fleet, placement="health",
+                            health_policy=policy) as service:
+            service.health.force_state(0, ArrayHealth.QUARANTINED)
+            # during the cool-down the offload gate answers from the CPU
+            parked = service.process([request_for(dag, array_id=0)])[0]
+            assert parked.engine == "cpu"
+            assert "quarantined" in parked.offload_reason
+            # after it, the probe must hit array 0 itself — placement
+            # does not steal the probe traffic probation needs
+            clock.advance(5.1)
+            probe = service.process([request_for(dag, array_id=0)])[0]
+            assert probe.engine == "cim" and probe.placed_array == 0
+            from repro.serve import ArrayHealth as AH
+            assert service.health.state_of(0) is AH.HEALTHY
+
+
+class TestVotedExecution:
+    def test_rejects_non_positive_redundancy(self):
+        dag = small_dag()
+        with CompileService(small_target(), workers=1) as service:
+            with pytest.raises(ServeError):
+                service.submit(request_for(dag, redundancy=0))
+
+    def test_unanimous_vote_is_bit_identical(self):
+        dag = small_dag()
+        fleet = {0: FaultMap(), 1: FaultMap()}
+        with CompileService(small_target(), workers=1,
+                            machine_faults=fleet) as service:
+            result = service.process([request_for(dag, redundancy=3)])[0]
+        assert result.error is None and result.voted
+        assert result.outputs == evaluate(dag, inputs_for(dag), 8)
+        assert list(result.voters) == [0, 1, "cpu"]  # referee fills to 3
+        assert result.disagreeing == ()
+
+    def test_outvoted_minority_is_reported_and_penalized(self):
+        from repro.util import latent_victims
+
+        dag = small_dag()
+        target, config = small_target(), CompilerConfig()
+        program = SherlockCompiler(target, config, cache=False).compile(dag)
+        inputs = inputs_for(dag)
+        victims = latent_victims(program, dag, inputs, 8, count=1)
+        poisoned = FaultMap()
+        poisoned.set_fault(*victims[0], CellFault.STUCK0)
+        fleet = {0: FaultMap(), 1: poisoned}
+        with CompileService(target, config, workers=1,
+                            machine_faults=fleet) as service:
+            result = service.process([request_for(dag, redundancy=3)])[0]
+            health = service.stats()["health"]["arrays"]
+        assert result.error is None and result.voted
+        # the corrupted voter is outvoted; the answer stays bit-identical
+        assert result.outputs == evaluate(dag, inputs, 8)
+        assert result.disagreeing == (1,)
+        assert health[1]["vote_disagreements"] == 1
+        stats = service.stats()
+        assert stats["votes"] == 1 and stats["vote_disagreements"] == 1
+
+    @pytest.mark.parametrize("engine", ["vectorized", "interpreted"])
+    def test_batch_votes_per_input_set_on_both_engines(self, engine):
+        from repro.dfg.evaluate import evaluate_many
+
+        dag = small_dag()
+        sets = [inputs_for(dag, seed=s) for s in range(4)]
+        fleet = {0: FaultMap(), 1: FaultMap()}
+        with CompileService(small_target(), workers=1,
+                            machine_faults=fleet) as service:
+            result = service.process([ServeRequest(
+                dag=dag, inputs=sets[0], input_sets=sets, lanes=8,
+                engine=engine, redundancy=3, request_id="batch")])[0]
+        assert result.error is None and result.voted
+        assert result.outputs is None
+        assert result.batch_outputs == evaluate_many(dag, sets, 8)
+        assert result.disagreeing == ()
+
+    def test_batch_outvotes_a_poisoned_voter_differentially(self):
+        from repro.dfg.evaluate import evaluate_many
+        from repro.util import latent_victims
+
+        dag = small_dag()
+        target, config = small_target(), CompilerConfig()
+        program = SherlockCompiler(target, config, cache=False).compile(dag)
+        sets = [inputs_for(dag, seed=s) for s in range(3)]
+        live = next(s for s in sets if any(s.values()))
+        victims = latent_victims(program, dag, live, 8, count=1)
+        poisoned = FaultMap()
+        poisoned.set_fault(*victims[0], CellFault.STUCK0)
+        fleet = {0: FaultMap(), 1: poisoned}
+        expected = evaluate_many(dag, sets, 8)
+        results = {}
+        for engine in ("vectorized", "interpreted"):
+            with CompileService(target, config, workers=1,
+                                machine_faults=fleet) as service:
+                result = service.process([ServeRequest(
+                    dag=dag, inputs=sets[0], input_sets=sets, lanes=8,
+                    engine=engine, redundancy=3, request_id=engine)])[0]
+            assert result.error is None
+            assert result.batch_outputs == expected
+            results[engine] = result.batch_outputs
+        assert results["vectorized"] == results["interpreted"]
+
+    def test_parse_request_carries_redundancy(self):
+        request = parse_request({"synthetic": 8, "redundancy": 2})
+        assert request.redundancy == 2
+        with pytest.raises(ServeError):
+            parse_request({"synthetic": 8, "redundancy": 0})
+
+
+class TestServiceScrub:
+    def test_scrub_discovers_merges_and_feeds_health(self):
+        from repro.serve import ScrubPolicy
+
+        target = small_target()
+        ground = FaultMap()
+        ground.set_fault(0, 5, 7, CellFault.STUCK0)
+        fleet = {0: ground, 1: FaultMap()}
+        space = target.num_arrays * target.rows * target.cols
+        with CompileService(target, machine_faults=fleet,
+                            scrub=ScrubPolicy(budget=2 * space)) as service:
+            report = service.scrub()
+            assert report.latent_faults_found == 1
+            # the discovery is merged into the known map: a second pass
+            # has nothing latent left to find
+            assert service.scrub().latent_faults_found == 0
+            stats = service.stats()
+        assert stats["scrub"]["passes"] == 2
+        assert stats["scrub"]["latent_faults_found"] == 1
+        assert stats["health"]["arrays"][0]["scrub_faults"] == 1
+        assert "scrub: passes=2" in service.stats_text()
+
+    def test_autoscrub_runs_on_the_request_cadence(self):
+        from repro.serve import ScrubPolicy
+
+        dag = small_dag()
+        fleet = {0: FaultMap()}
+        with CompileService(small_target(), workers=1,
+                            machine_faults=fleet,
+                            scrub=ScrubPolicy(budget=32,
+                                              every_requests=2)) as service:
+            for index in range(4):
+                service.process([request_for(dag, request_id=str(index))])
+            stats = service.stats()
+        assert stats["scrub"]["passes"] == 2
+        assert stats["scrub"]["cells_probed"] == 64
